@@ -1,0 +1,121 @@
+//! Criterion microbenchmarks of the simulation substrate: the hot data
+//! structures that bound how much simulated time per wall-second the
+//! system can deliver.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use paratick_guest::timer_wheel::TimerWheel;
+use paratick_sim::{EventQueue, Histogram, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k_fifo", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.push(SimTime::from_nanos(i * 7 % 1000), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("push_cancel_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                let tokens: Vec<_> = (0..10_000u64)
+                    .map(|i| q.push(SimTime::from_nanos(i % 997), i))
+                    .collect();
+                for t in tokens.iter().step_by(2) {
+                    q.cancel(*t);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_timer_wheel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timer_wheel");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("insert_advance_10k", |b| {
+        b.iter_batched(
+            TimerWheel::<u32>::new,
+            |mut w| {
+                for i in 0..10_000u64 {
+                    w.insert(1 + (i * 13) % 5_000, i as u32);
+                }
+                w.advance(10_000);
+                w
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("next_fire_under_load", |b| {
+        let mut w = TimerWheel::<u32>::new();
+        for i in 0..4_096u64 {
+            w.insert(1 + (i * 37) % 100_000, i as u32);
+        }
+        b.iter(|| std::hint::black_box(w.next_fire()))
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("xoshiro_u64_1k", |b| {
+        let mut r = SimRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc ^= r.next_u64();
+            }
+            acc
+        })
+    });
+    g.bench_function("lognormal_1k", |b| {
+        let mut r = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..1_000 {
+                acc += r.lognormal(100.0, 50.0);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("record_10k", |b| {
+        b.iter_batched(
+            Histogram::new,
+            |mut h| {
+                for i in 0..10_000u64 {
+                    h.record(i * 131 % 10_000_000);
+                }
+                h
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_timer_wheel,
+    bench_rng,
+    bench_histogram
+);
+criterion_main!(benches);

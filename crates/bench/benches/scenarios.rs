@@ -1,0 +1,97 @@
+//! Criterion benchmarks of whole-system simulation throughput: how fast
+//! the engine chews through representative scenarios for each tick mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paratick::prelude::*;
+use paratick_workloads::fio::{workload as fio_workload, FioPattern, FioSpec};
+use paratick_workloads::parsec;
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_sequential_dedup");
+    g.sample_size(10);
+    for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::Paratick] {
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            let profile = parsec::profile("dedup").unwrap();
+            b.iter(|| {
+                Engine::run(
+                    Scenario::new(HostConfig::small(1))
+                        .vm(
+                            VmConfig::with_vcpus(1).mode(mode),
+                            parsec::workload(profile, 1, 0.05),
+                        )
+                        .seed(1),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_parallel_streamcluster16");
+    g.sample_size(10);
+    for mode in [TickMode::DynticksIdle, TickMode::Paratick] {
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            let profile = parsec::profile("streamcluster").unwrap();
+            b.iter(|| {
+                Engine::run(
+                    Scenario::new(HostConfig::small(16))
+                        .vm(
+                            VmConfig::with_vcpus(16).mode(mode),
+                            parsec::workload(profile, 16, 0.02),
+                        )
+                        .seed(2),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_fio_seqr16k");
+    g.sample_size(10);
+    for mode in [TickMode::DynticksIdle, TickMode::Paratick] {
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            let spec = FioSpec::new(FioPattern::SeqRead, 16 * 1024, 4 << 20);
+            b.iter(|| {
+                Engine::run(
+                    Scenario::new(HostConfig::small(1))
+                        .vm(VmConfig::with_vcpus(1).mode(mode), fio_workload(&spec))
+                        .seed(3),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_idle_horizon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_idle_16vcpu_1s");
+    g.sample_size(10);
+    for mode in [TickMode::Periodic, TickMode::DynticksIdle] {
+        g.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            b.iter(|| {
+                Engine::run(
+                    Scenario::new(HostConfig::small(16))
+                        .vm(
+                            VmConfig::with_vcpus(16).mode(mode).spanning(1),
+                            VmWorkload::idle("idle"),
+                        )
+                        .until(RunUntil::Time(SimTime::from_secs(1)))
+                        .seed(4),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential,
+    bench_parallel,
+    bench_io,
+    bench_idle_horizon
+);
+criterion_main!(benches);

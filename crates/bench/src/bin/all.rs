@@ -1,0 +1,33 @@
+//! Run every paper artefact in order (Table 1, Figures 4–6 with their
+//! aggregate tables, the crossover analysis and the ablations) by
+//! invoking the sibling binaries' logic through the shared harness.
+//!
+//! For EXPERIMENTS.md regeneration: `cargo run --release -p
+//! paratick-bench --bin all | tee experiments.txt`.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in [
+        "table1",
+        "fig4_seq",
+        "fig5_par",
+        "fig6_io",
+        "crossover",
+        "ablations",
+        "overcommit",
+        "fourmodes",
+        "netrpc",
+        "hz_sweep",
+        "pipeline",
+    ] {
+        let path = dir.join(bin);
+        println!("\n################ {bin} ################");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+}

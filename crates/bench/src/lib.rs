@@ -1,0 +1,168 @@
+//! Shared harness for the paper-reproduction benchmark binaries.
+//!
+//! Each binary regenerates one table/figure of the paper:
+//!
+//! | binary      | artefact                              |
+//! |-------------|---------------------------------------|
+//! | `table1`    | Table 1 (analytic + simulated W1–W4)  |
+//! | `fig4_seq`  | Figure 4 + Table 2 (sequential PARSEC)|
+//! | `fig5_par`  | Figure 5 + Table 3 (parallel PARSEC)  |
+//! | `fig6_io`   | Figure 6 + Table 4 (fio)              |
+//! | `crossover` | §3.3 crossover analysis               |
+//! | `ablations` | design-choice ablations               |
+//! | `all`       | everything, in order                  |
+//!
+//! Scale knobs come from the environment so CI can run quick passes:
+//! `PARATICK_SCALE` (workload scale factor, default 0.25) and
+//! `PARATICK_ITERS` (max iterations per configuration, default 3).
+
+use paratick::prelude::*;
+use paratick::experiment::{aggregate, Comparison, Experiment};
+use rayon::prelude::*;
+
+/// Workload scale factor (1.0 ≈ the paper's simsmall-like runs).
+pub fn scale() -> f64 {
+    std::env::var("PARATICK_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// Iteration cap per configuration.
+pub fn iters() -> u32 {
+    std::env::var("PARATICK_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Run a set of experiments in parallel (each experiment is internally
+/// sequential and deterministic; the set is embarrassingly parallel).
+pub fn run_all(experiments: Vec<Experiment>) -> Vec<Comparison> {
+    experiments.par_iter().map(|e| e.run()).collect()
+}
+
+/// If `PARATICK_JSON=<dir>` is set, persist a comparison batch as
+/// `<dir>/<label>.json` so EXPERIMENTS.md regeneration (or external
+/// plotting) can consume machine-readable results.
+pub fn maybe_dump_json(label: &str, comparisons: &[Comparison]) {
+    let Some(dir) = std::env::var_os("PARATICK_JSON") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("PARATICK_JSON: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{}.json", label.replace('/', "_")));
+    match serde_json::to_string_pretty(comparisons) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("PARATICK_JSON: write {} failed: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("PARATICK_JSON: serialize failed: {e}"),
+    }
+}
+
+/// Print a paper-style aggregate line.
+pub fn print_aggregate(label: &str, comparisons: &[Comparison]) -> Comparison {
+    let agg = aggregate(label, comparisons);
+    println!(
+        "  {:<28} exits {:>6}  throughput {:>6}  exec time {:>6}",
+        label,
+        paratick::report::pct(agg.exits_pct),
+        paratick::report::pct(agg.throughput_pct),
+        paratick::report::pct(agg.exec_time_pct),
+    );
+    agg
+}
+
+/// Banner for a reproduced artefact.
+pub fn banner(title: &str, paper_expectation: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("paper: {paper_expectation}");
+    println!();
+}
+
+/// A sequential-PARSEC experiment (Figure 4 / Table 2 rows).
+pub fn seq_parsec_experiment(name: &'static str) -> Experiment {
+    let profile = *paratick_workloads::parsec::profile(name).expect("unknown benchmark");
+    let s = scale();
+    Experiment::new(name, move |mode, seed| {
+        Scenario::new(HostConfig::default())
+            .vm(
+                VmConfig::with_vcpus(1).mode(mode).spanning(1),
+                paratick_workloads::parsec::workload(&profile, 1, s),
+            )
+            .seed(seed)
+    })
+    .iterations(iters().min(3), iters())
+}
+
+/// A parallel-PARSEC experiment in one of the paper's VM sizes
+/// (Figure 5 / Table 3 rows).
+pub fn par_parsec_experiment(name: &'static str, vm: VmSize) -> Experiment {
+    let profile = *paratick_workloads::parsec::profile(name).expect("unknown benchmark");
+    let s = scale();
+    let label = format!("{}/{}", name, vm.label());
+    Experiment::new(label, move |mode, seed| {
+        let cfg = vm.config().mode(mode);
+        let threads = cfg.vcpus as usize;
+        Scenario::new(HostConfig::default())
+            .vm(
+                cfg,
+                paratick_workloads::parsec::workload(&profile, threads, s),
+            )
+            .seed(seed)
+    })
+    .iterations(iters().min(3), iters())
+}
+
+/// The paper's three VM sizes (§6.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmSize {
+    Small,
+    Medium,
+    Large,
+}
+
+impl VmSize {
+    pub const ALL: [VmSize; 3] = [VmSize::Small, VmSize::Medium, VmSize::Large];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            VmSize::Small => "small",
+            VmSize::Medium => "medium",
+            VmSize::Large => "large",
+        }
+    }
+
+    pub fn config(self) -> VmConfig {
+        match self {
+            VmSize::Small => VmConfig::small_vm(),
+            VmSize::Medium => VmConfig::medium_vm(),
+            VmSize::Large => VmConfig::large_vm(),
+        }
+    }
+}
+
+/// A fio experiment (Figure 6 / Table 4 cells). The backing device is
+/// the host-page-cache-backed virtio disk the paper's runs effectively
+/// hit (guest buffering disabled, host caching on).
+pub fn fio_experiment(spec: paratick_workloads::FioSpec) -> Experiment {
+    Experiment::new(spec.job_name(), move |mode, seed| {
+        let mut cfg = VmConfig::with_vcpus(1).mode(mode).spanning(1);
+        cfg.device = DeviceKind::VirtioCached;
+        Scenario::new(HostConfig::default())
+            .vm(cfg, paratick_workloads::fio::workload(&spec))
+            .seed(seed)
+    })
+    .iterations(iters().min(3), iters())
+}
+
+/// Bytes per fio job, scaled.
+pub fn fio_bytes() -> u64 {
+    ((48u64 << 20) as f64 * scale()) as u64
+}

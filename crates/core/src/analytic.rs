@@ -1,0 +1,251 @@
+//! The paper's closed-form exit-count model (§3.1–§3.3).
+//!
+//! Two layers:
+//!
+//! * [`formula_periodic_exits`] / [`formula_tickless_exits`] — the
+//!   formulas exactly as printed in §3.1 and §3.2 (with their leading
+//!   factor 2: one exit to arm the timer, one to deliver the interrupt).
+//! * [`table1`] — the concrete numbers of Table 1. The published table
+//!   counts **one** exit per periodic tick and models W3/W4 as fully
+//!   loaded VMs (L = 1) with 1 000 idle transitions per second costing
+//!   two exits each; with those parameters the printed values {40 000,
+//!   160 000, 40 000, 160 000} and {0, 0, 60 000, 240 000} are exact.
+//!   (The factor-of-two difference between the §3.1 formula and the
+//!   table is in the original paper; we reproduce both faithfully and
+//!   note it in EXPERIMENTS.md.)
+//!
+//! Also here: the §3.3 crossover rule — "tickless kernels are preferable
+//! as long as the average idle period T_idle is longer than the average
+//! vCPU tick period divided by the number of vCPUs sharing the same
+//! physical CPU".
+
+use paratick_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Shape of one VM for the analytic model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct VmShape {
+    pub vcpus: u64,
+    pub tick_hz: u64,
+    /// VM load as a ratio of utilized to maximum throughput (§3.2's
+    /// `L_n`). Only used by the tickless formula.
+    pub load: f64,
+    /// Mean idle period (§3.2's `T_idle`). Only used by the tickless
+    /// formula; irrelevant when `load == 1`.
+    pub t_idle: SimDuration,
+}
+
+impl VmShape {
+    pub fn idle(vcpus: u64, tick_hz: u64) -> Self {
+        VmShape {
+            vcpus,
+            tick_hz,
+            load: 0.0,
+            t_idle: SimDuration::FOREVER,
+        }
+    }
+
+    pub fn busy(vcpus: u64, tick_hz: u64, t_idle: SimDuration) -> Self {
+        VmShape {
+            vcpus,
+            tick_hz,
+            load: 1.0,
+            t_idle,
+        }
+    }
+}
+
+/// §3.1: `exits = 2·t·Σ (n_vCPU × f_tick)`.
+///
+/// ```
+/// use paratick::analytic::{formula_periodic_exits, VmShape};
+/// // An idle 16-vCPU VM at 250 Hz over 10 s (the paper's W1 shape).
+/// let exits = formula_periodic_exits(10.0, &[VmShape::idle(16, 250)]);
+/// assert_eq!(exits, 80_000.0);
+/// ```
+pub fn formula_periodic_exits(t_secs: f64, vms: &[VmShape]) -> f64 {
+    2.0 * t_secs
+        * vms
+            .iter()
+            .map(|v| (v.vcpus * v.tick_hz) as f64)
+            .sum::<f64>()
+}
+
+/// §3.2: `exits = 2·t·Σ (L·n·f + (1−L)·n / T_idle)`.
+pub fn formula_tickless_exits(t_secs: f64, vms: &[VmShape]) -> f64 {
+    2.0 * t_secs
+        * vms
+            .iter()
+            .map(|v| {
+                let active = v.load * (v.vcpus * v.tick_hz) as f64;
+                let idle_term = if v.t_idle == SimDuration::FOREVER {
+                    0.0
+                } else {
+                    (1.0 - v.load) * v.vcpus as f64 / v.t_idle.as_secs_f64()
+                };
+                active + idle_term
+            })
+            .sum::<f64>()
+}
+
+/// Exit counts for one scenario row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    pub periodic: u64,
+    pub tickless: u64,
+}
+
+/// Table 1 of the paper: VM exits induced by periodic ticks and tickless
+/// kernels for W1–W4 (250 Hz ticks, 10 s, 16 vCPUs per VM).
+///
+/// Published accounting: one exit per periodic tick; for tickless, fully
+/// loaded vCPUs tick at the full rate plus 1 000 idle transitions per
+/// second costing 2 exits each (idle entry + idle exit reprogramming).
+pub fn table1() -> [Table1Row; 4] {
+    const T: u64 = 10;
+    const F: u64 = 250;
+    const N: u64 = 16;
+    const SYNC_PER_SEC: u64 = 1000;
+    let periodic_per_vm = T * N * F;
+    let tickless_busy_per_vm = T * N * F + 2 * SYNC_PER_SEC * T;
+    [
+        // W1: one idle VM.
+        Table1Row {
+            periodic: periodic_per_vm,
+            tickless: 0,
+        },
+        // W2: four idle VMs.
+        Table1Row {
+            periodic: 4 * periodic_per_vm,
+            tickless: 0,
+        },
+        // W3: one busy, blocking-sync VM.
+        Table1Row {
+            periodic: periodic_per_vm,
+            tickless: tickless_busy_per_vm,
+        },
+        // W4: four copies of W3.
+        Table1Row {
+            periodic: 4 * periodic_per_vm,
+            tickless: 4 * tickless_busy_per_vm,
+        },
+    ]
+}
+
+/// §3.3 crossover rule: is a tickless kernel preferable to a periodic
+/// tick for a given mean idle period, tick period and pCPU sharing
+/// ratio (vCPUs per physical CPU)?
+///
+/// ```
+/// use paratick::analytic::tickless_preferable;
+/// use paratick_sim::SimDuration;
+/// let tick = SimDuration::from_millis(4); // 250 Hz
+/// // Millisecond idle periods on a dedicated pCPU: keep the tick.
+/// assert!(!tickless_preferable(SimDuration::from_millis(1), tick, 1));
+/// // Long idle periods: go tickless.
+/// assert!(tickless_preferable(SimDuration::from_millis(50), tick, 1));
+/// ```
+pub fn tickless_preferable(
+    t_idle: SimDuration,
+    tick_period: SimDuration,
+    vcpus_per_pcpu: u64,
+) -> bool {
+    assert!(vcpus_per_pcpu > 0);
+    t_idle > tick_period / vcpus_per_pcpu
+}
+
+/// The break-even idle period of the §3.3 rule.
+pub fn crossover_idle_period(tick_period: SimDuration, vcpus_per_pcpu: u64) -> SimDuration {
+    assert!(vcpus_per_pcpu > 0);
+    tick_period / vcpus_per_pcpu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let t = table1();
+        assert_eq!(t[0], Table1Row { periodic: 40_000, tickless: 0 });
+        assert_eq!(t[1], Table1Row { periodic: 160_000, tickless: 0 });
+        assert_eq!(t[2], Table1Row { periodic: 40_000, tickless: 60_000 });
+        assert_eq!(
+            t[3],
+            Table1Row {
+                periodic: 160_000,
+                tickless: 240_000
+            }
+        );
+    }
+
+    #[test]
+    fn formula_periodic_w1() {
+        // §3.1 with the printed factor 2: an idle 16-vCPU VM over 10 s.
+        let exits = formula_periodic_exits(10.0, &[VmShape::idle(16, 250)]);
+        assert_eq!(exits, 80_000.0);
+    }
+
+    #[test]
+    fn formula_tickless_idle_vm_is_zero() {
+        let exits = formula_tickless_exits(10.0, &[VmShape::idle(16, 250)]);
+        assert_eq!(exits, 0.0);
+    }
+
+    #[test]
+    fn formula_tickless_busy_equals_periodic_at_full_load() {
+        // With L=1 there are no idle transitions: tickless == periodic.
+        let busy = VmShape::busy(16, 250, SimDuration::from_millis(1));
+        assert_eq!(
+            formula_tickless_exits(10.0, &[busy]),
+            formula_periodic_exits(10.0, &[busy])
+        );
+    }
+
+    #[test]
+    fn formula_tickless_idle_transitions_dominate_short_t_idle() {
+        // L=0.5, T_idle=100us: the transition term is 0.5*16/100e-6 =
+        // 80_000 transitions/s, dwarfing the 2_000 active ticks/s.
+        let vm = VmShape {
+            vcpus: 16,
+            tick_hz: 250,
+            load: 0.5,
+            t_idle: SimDuration::from_micros(100),
+        };
+        let exits = formula_tickless_exits(1.0, &[vm]);
+        assert!(exits > 2.0 * 80_000.0, "exits = {exits}");
+    }
+
+    #[test]
+    fn crossover_rule() {
+        let period = SimDuration::from_millis(4);
+        // Dedicated pCPU: break-even at the full tick period.
+        assert!(tickless_preferable(
+            SimDuration::from_millis(5),
+            period,
+            1
+        ));
+        assert!(!tickless_preferable(
+            SimDuration::from_millis(3),
+            period,
+            1
+        ));
+        // 4-way shared pCPU: break-even at 1 ms.
+        assert_eq!(crossover_idle_period(period, 4), SimDuration::from_millis(1));
+        assert!(tickless_preferable(SimDuration::from_micros(1500), period, 4));
+        assert!(!tickless_preferable(SimDuration::from_micros(900), period, 4));
+    }
+
+    #[test]
+    fn formula_scales_linearly_in_time_and_vms() {
+        let vm = VmShape::idle(16, 250);
+        assert_eq!(
+            formula_periodic_exits(20.0, &[vm]),
+            2.0 * formula_periodic_exits(10.0, &[vm])
+        );
+        assert_eq!(
+            formula_periodic_exits(10.0, &[vm, vm]),
+            2.0 * formula_periodic_exits(10.0, &[vm])
+        );
+    }
+}

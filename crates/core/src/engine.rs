@@ -1,0 +1,1587 @@
+//! The full-system discrete-event engine.
+//!
+//! This is the "machine" the experiments run on: it wires the timer
+//! hardware, the KVM-like hypervisor and the guest kernels together and
+//! advances them with a single event queue. The design follows the
+//! event-scheduling worldview:
+//!
+//! * Every physical CPU has a local **accounting frontier** (its own
+//!   clock). All costs — exit handling, interrupt handlers, wakeups —
+//!   advance the frontier and are attributed to a cycle category, so the
+//!   ledger conserves time exactly.
+//! * A running vCPU has one scheduled *stop event* (segment end).
+//!   Anything that perturbs the run (host tick, timer expiry, I/O
+//!   completion) interrupts the guest mid-segment: the partial span is
+//!   accounted, the stale stop event is invalidated by a generation
+//!   counter, the perturbation is handled (with its VM-exit costs), and
+//!   the segment resumes.
+//! * Every **VM entry** runs the host-side paratick hook (Figure 2 of
+//!   the paper) and then drains pending LAPIC vectors through the
+//!   guest's interrupt handlers — which is precisely where the three
+//!   tick strategies diverge and where their `TSC_DEADLINE` writes turn
+//!   into VM exits.
+//!
+//! The engine is deterministic: same scenario + same seed ⇒ identical
+//! metrics, bit for bit.
+
+use crate::config::{RunUntil, Scenario};
+use crate::metrics::{RunMetrics, VmMetrics};
+use paratick_guest::{
+    kernel::SoftTimer, BarrierOutcome, GuestBarrier, GuestCondvar, GuestKernel, GuestMutex,
+    LockOutcome, ThreadId, TickMode, TimerAction, VirtualTickOutcome,
+};
+use paratick_hw::{BlockDevice, DeadlineWriteEffect, IoRequest, Vector};
+use paratick_sim::{EventQueue, SimDuration, SimRng, SimTime, TraceBuffer};
+use paratick_vmm::ple::Ple;
+use paratick_vmm::{
+    hypercall, CostModel, CycleCategory, ExitReason, HaltPoll, HostScheduler, Hypercall,
+    InjectDecision, KvmVcpu, PCpu, ParatickHost, PcpuId, PollOutcome, SchedDecision, SystemStats,
+    VcpuId, VcpuRunState,
+};
+use paratick_workloads::{Action, ThreadModel};
+use std::collections::VecDeque;
+
+/// Engine events.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// The running vCPU reaches the end of its current compute segment.
+    VcpuStop { vm: u32, vcpu: u32, gen: u64 },
+    /// The guest's armed `TSC_DEADLINE` expires.
+    GuestTimer { vm: u32, vcpu: u32, gen: u64 },
+    /// The host scheduler tick on a busy pCPU.
+    HostTick { pcpu: u32, gen: u64 },
+    /// A block-device request completes.
+    IoDone { vm: u32, thread: u32 },
+    /// Cross-vCPU kick: deliver a pending reschedule IPI to a running
+    /// vCPU (full-dynticks tick restart path).
+    Kick { vm: u32, vcpu: u32 },
+    /// §4.1 rate adaptation: the preemption-timer cadence that injects
+    /// virtual ticks at the guest rate when host ticks cannot carry it.
+    AdaptTick { vm: u32, vcpu: u32, gen: u64 },
+    /// §5.2.1 boot: high-resolution timers arrived; switch this vCPU
+    /// from the boot-time periodic tick to its configured mode.
+    BootSwitch { vm: u32, vcpu: u32 },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadStatus {
+    Ready,
+    Running,
+    BlockedLock,
+    BlockedBarrier,
+    BlockedCond,
+    BlockedIo,
+    Sleeping,
+    Done,
+}
+
+struct ThreadState {
+    model: Box<dyn ThreadModel>,
+    status: ThreadStatus,
+    /// Remaining compute in the current segment.
+    seg_remaining: SimDuration,
+    /// After a condvar wakeup, the lock the thread must re-acquire
+    /// before it may continue (pthread_cond_wait semantics).
+    reacquire: Option<u32>,
+}
+
+/// Engine-side per-vCPU control block.
+#[derive(Clone, Debug, Default)]
+struct VcpuCtl {
+    stop_gen: u64,
+    timer_gen: u64,
+    /// Outstanding post-exit pollution (guest slowdown) to charge.
+    pollution: SimDuration,
+    /// First-dispatch boot work done (tick armed / paratick declared).
+    activated: bool,
+    /// This vCPU needs §4.1 rate adaptation (guest HZ not carried by
+    /// the host tick rate).
+    rate_adapt: bool,
+    adapt_gen: u64,
+}
+
+struct VmState {
+    name: String,
+    mode: TickMode,
+    vcpus: Vec<KvmVcpu>,
+    ctl: Vec<VcpuCtl>,
+    kernel: GuestKernel,
+    threads: Vec<ThreadState>,
+    locks: Vec<GuestMutex>,
+    barriers: Vec<GuestBarrier>,
+    condvars: Vec<GuestCondvar>,
+    device: BlockDevice,
+    halt_poll: Vec<HaltPoll>,
+    /// Threads whose I/O completed; drained by the BLOCK_IO handler.
+    io_ready: VecDeque<u32>,
+    live_threads: usize,
+    finished_at: Option<SimTime>,
+    /// Next instant the background RCU-callback generator fires.
+    next_rcu_at: SimTime,
+    /// Distribution of vCPU idle-period lengths (the paper's `T_idle`).
+    t_idle_hist: paratick_sim::Histogram,
+    /// §5.2.1 staged boot: when high-resolution timers come up
+    /// (SimTime::ZERO = immediate boot).
+    hres_at: SimTime,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PcpuMode {
+    Idle,
+    Guest { vm: u32, vcpu: u32 },
+}
+
+/// The assembled system simulator.
+pub struct Engine {
+    queue: EventQueue<Ev>,
+    cost: CostModel,
+    paratick_host: ParatickHost,
+    rate_adapt_enabled: bool,
+    /// Background RCU-callback generation (off for calibration probes
+    /// via PARATICK_NO_RCU=1).
+    rcu_background: bool,
+    ple: Ple,
+    halt_poll_enabled: bool,
+    apicv: bool,
+    host_hz_period: SimDuration,
+    host_tick_freq: paratick_sim::Freq,
+    pcpus: Vec<PCpu>,
+    pcpu_mode: Vec<PcpuMode>,
+    host_tick_gen: Vec<u64>,
+    host_tick_on: Vec<bool>,
+    slice_start: Vec<SimTime>,
+    sched: HostScheduler,
+    vms: Vec<VmState>,
+    rng: SimRng,
+    pub trace: TraceBuffer,
+    run_until: RunUntil,
+    now: SimTime,
+}
+
+impl Engine {
+    pub fn new(mut scenario: Scenario) -> Self {
+        // Affinities need the full scenario; compute them before the
+        // workloads are moved out.
+        let affinities: Vec<Vec<u32>> = (0..scenario.vms.len())
+            .map(|vm| {
+                (0..scenario.vms[vm].0.vcpus)
+                    .map(|v| scenario.affinity(vm, v))
+                    .collect()
+            })
+            .collect();
+        let vm_descs = std::mem::take(&mut scenario.vms);
+        let host = &scenario.host;
+        let n_pcpus = host.num_pcpus() as usize;
+        assert!(n_pcpus > 0, "host with zero pCPUs");
+        let cost = host.cost.clone();
+        let pcpus: Vec<PCpu> = (0..n_pcpus)
+            .map(|i| PCpu::new(PcpuId(i as u32), host.socket_of(i as u32), cost.cpu_freq))
+            .collect();
+        let rng = SimRng::new(scenario.seed);
+
+        let mut vms = Vec::new();
+        for (vm_idx, (cfg, workload)) in vm_descs.into_iter().enumerate() {
+            let nv = cfg.vcpus as usize;
+            assert!(nv > 0, "VM with zero vCPUs");
+            let vcpus: Vec<KvmVcpu> = (0..cfg.vcpus)
+                .map(|v| {
+                    KvmVcpu::new(
+                        VcpuId::new(vm_idx as u32, v),
+                        PcpuId(affinities[vm_idx][v as usize]),
+                        cost.cpu_freq,
+                        SimTime::ZERO,
+                    )
+                })
+                .collect();
+            let hres_at = SimTime::ZERO + cfg.hres_boot_delay;
+            let mut kernel = GuestKernel::with_boot(
+                nv,
+                workload.threads.len(),
+                cfg.guest_hz,
+                cfg.tick_mode,
+                hres_at,
+            );
+            if cfg.paratick_naive_idle_exit {
+                for cl in &mut kernel.cpus {
+                    if let paratick_guest::TickSched::Paratick(p) = &mut cl.tick {
+                        p.naive_idle_exit = true;
+                    }
+                }
+            }
+            let num_locks = workload.num_locks.max(1);
+            let num_barriers = workload.num_barriers;
+            let name = workload.name.clone();
+            let threads: Vec<ThreadState> = workload
+                .threads
+                .into_iter()
+                .map(|model| ThreadState {
+                    model,
+                    status: ThreadStatus::Ready,
+                    seg_remaining: SimDuration::ZERO,
+                    reacquire: None,
+                })
+                .collect();
+            let live = threads.len();
+            let hp = if host.halt_poll {
+                HaltPoll::kvm_default()
+            } else {
+                HaltPoll::disabled()
+            };
+            vms.push(VmState {
+                name,
+                mode: cfg.tick_mode,
+                vcpus,
+                ctl: vec![VcpuCtl::default(); nv],
+                kernel,
+                threads,
+                locks: (0..num_locks).map(|_| GuestMutex::new()).collect(),
+                barriers: (0..num_barriers)
+                    .map(|_| GuestBarrier::new(live.max(1)))
+                    .collect(),
+                condvars: Vec::new(), // grown on first use
+                
+                device: BlockDevice::new(cfg.device),
+                halt_poll: vec![hp; nv],
+                io_ready: VecDeque::new(),
+                live_threads: live,
+                finished_at: if live == 0 { Some(SimTime::ZERO) } else { None },
+                next_rcu_at: SimTime::from_millis(30),
+                t_idle_hist: paratick_sim::Histogram::new(),
+                hres_at,
+            });
+        }
+
+        Engine {
+            queue: EventQueue::with_capacity(1024),
+            paratick_host: ParatickHost::new(host.paratick_host),
+            rate_adapt_enabled: host.paratick_rate_adapt,
+            rcu_background: std::env::var_os("PARATICK_NO_RCU").is_none(),
+            ple: if host.ple {
+                Ple::kvm_default()
+            } else {
+                Ple::disabled()
+            },
+            halt_poll_enabled: host.halt_poll,
+            apicv: host.apicv,
+            host_hz_period: host.host_hz.period(),
+            host_tick_freq: host.host_hz,
+            pcpu_mode: vec![PcpuMode::Idle; n_pcpus],
+            host_tick_gen: vec![0; n_pcpus],
+            host_tick_on: vec![false; n_pcpus],
+            slice_start: vec![SimTime::ZERO; n_pcpus],
+            sched: HostScheduler::new(n_pcpus, host.slice),
+            pcpus,
+            vms,
+            rng,
+            cost,
+            trace: TraceBuffer::disabled(),
+            run_until: scenario.run_until,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Run the scenario to completion and produce metrics.
+    pub fn run(scenario: Scenario) -> RunMetrics {
+        let mut e = Engine::new(scenario);
+        e.start();
+        e.main_loop();
+        e.finalize()
+    }
+
+    /// Run with an event trace of the last `capacity` records; returns
+    /// the metrics and the rendered trace (post-mortem debugging).
+    pub fn run_traced(scenario: Scenario, capacity: usize) -> (RunMetrics, String) {
+        let mut e = Engine::new(scenario);
+        e.trace = TraceBuffer::with_capacity(capacity);
+        e.start();
+        e.main_loop();
+        let dump = e.trace.dump();
+        (e.finalize(), dump)
+    }
+
+    // ----------------------------------------------------------------
+    // Bootstrap & main loop
+    // ----------------------------------------------------------------
+
+    fn start(&mut self) {
+        // Place threads on their home vCPUs and make every vCPU
+        // runnable; idle vCPUs take their boot path (arm the first tick
+        // or declare paratick) and halt.
+        for vm in 0..self.vms.len() {
+            let nt = self.vms[vm].threads.len();
+            for t in 0..nt {
+                let cpu = self.vms[vm].kernel.sched.prev_cpu(ThreadId(t as u32));
+                self.vms[vm].kernel.sched.enqueue_on(ThreadId(t as u32), cpu);
+            }
+            for v in 0..self.vms[vm].vcpus.len() {
+                let p = self.vms[vm].vcpus[v].affinity;
+                self.sched.enqueue(VcpuId::new(vm as u32, v as u32), p);
+            }
+        }
+        for p in 0..self.pcpus.len() {
+            self.try_dispatch(PcpuId(p as u32));
+        }
+    }
+
+    fn main_loop(&mut self) {
+        let horizon = match self.run_until {
+            RunUntil::Time(t) => Some(t),
+            RunUntil::AllWorkloadsDone => None,
+        };
+        loop {
+            if let Some(h) = horizon {
+                match self.queue.peek_time() {
+                    Some(t) if t < h => {}
+                    _ => {
+                        self.now = h.max(self.now);
+                        return;
+                    }
+                }
+            } else if self.vms.iter().all(|vm| vm.finished_at.is_some()) {
+                return;
+            }
+            let Some((t, ev)) = self.queue.pop() else {
+                if horizon.is_none() && !self.vms.iter().all(|v| v.finished_at.is_some()) {
+                    panic!(
+                        "event queue drained with unfinished workloads (deadlock)\n{}",
+                        self.deadlock_report()
+                    );
+                }
+                return;
+            };
+            self.now = t;
+            self.handle(t, ev);
+        }
+    }
+
+    fn deadlock_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (vi, vm) in self.vms.iter().enumerate() {
+            if vm.finished_at.is_some() {
+                continue;
+            }
+            let _ = writeln!(out, "vm{vi} '{}': {} live threads", vm.name, vm.live_threads);
+            for (ti, t) in vm.threads.iter().enumerate() {
+                if t.status != ThreadStatus::Done {
+                    let _ = writeln!(
+                        out,
+                        "  t{ti}: {:?} seg_remaining={}",
+                        t.status, t.seg_remaining
+                    );
+                }
+            }
+            for (ci, v) in vm.vcpus.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  vcpu{ci}: {:?} guest_idle={} rq.current={:?} rq.waiting={} pending_irq={} armed={:?}",
+                    v.state(),
+                    vm.kernel.is_idle(ci),
+                    vm.kernel.sched.rq(ci).current(),
+                    vm.kernel.sched.rq(ci).waiting(),
+                    v.lapic.pending_count(),
+                    v.deadline.expiry(),
+                );
+            }
+            for (li, l) in vm.locks.iter().enumerate() {
+                if l.is_locked() || l.waiters() > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  lock{li}: holder={:?} waiters={}",
+                        l.holder(),
+                        l.waiters()
+                    );
+                }
+            }
+            for (bi, b) in vm.barriers.iter().enumerate() {
+                if b.waiting() > 0 {
+                    let _ = writeln!(out, "  barrier{bi}: waiting={}", b.waiting());
+                }
+            }
+            for (ci, c) in vm.condvars.iter().enumerate() {
+                if c.waiters() > 0 {
+                    let _ = writeln!(out, "  condvar{ci}: waiters={}", c.waiters());
+                }
+            }
+        }
+        out
+    }
+
+    fn handle(&mut self, t: SimTime, ev: Ev) {
+        match ev {
+            Ev::VcpuStop { vm, vcpu, gen } => self.on_vcpu_stop(vm as usize, vcpu as usize, gen, t),
+            Ev::GuestTimer { vm, vcpu, gen } => {
+                self.on_guest_timer(vm as usize, vcpu as usize, gen, t)
+            }
+            Ev::HostTick { pcpu, gen } => self.on_host_tick(PcpuId(pcpu), gen, t),
+            Ev::IoDone { vm, thread } => self.on_io_done(vm as usize, thread, t),
+            Ev::Kick { vm, vcpu } => self.on_kick(vm as usize, vcpu as usize, t),
+            Ev::AdaptTick { vm, vcpu, gen } => {
+                self.on_adapt_tick(vm as usize, vcpu as usize, gen, t)
+            }
+            Ev::BootSwitch { vm, vcpu } => self.on_boot_switch(vm as usize, vcpu as usize, t),
+        }
+    }
+
+    /// §5.2.1: the hres switch instant arrived for a vCPU. If it is in
+    /// guest mode, switch inline; otherwise the switch happens at its
+    /// next dispatch (`perform_boot_switch` is idempotent via GuestBoot).
+    fn on_boot_switch(&mut self, vm: usize, vcpu: usize, t: SimTime) {
+        if self.vms[vm].vcpus[vcpu].state() != VcpuRunState::Running {
+            return; // picked up on next dispatch
+        }
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        self.interrupt_running(vm, vcpu, t.max(self.pcpus[p.0 as usize].frontier()));
+        self.perform_boot_switch(vm, vcpu);
+        if self.vms[vm].vcpus[vcpu].is_running() {
+            self.resume(vm, vcpu);
+        }
+    }
+
+    /// Run the switch if due: disable the boot-time periodic tick
+    /// ("the periodic scheduler tick is disabled as soon as the switch
+    /// to paratick mode is made", §5.2.1), swap the strategy, declare
+    /// paratick via hypercall, and activate the new mode.
+    fn perform_boot_switch(&mut self, vm: usize, vcpu: usize) {
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let now = self.pcpus[p.0 as usize].frontier();
+        let Some(switch) = self.vms[vm].kernel.try_boot_switch(vcpu, now) else {
+            return;
+        };
+        // Kill the periodic tick's armed deadline.
+        self.apply_timer_action(vm, vcpu, TimerAction::Disable);
+        if switch.mode == TickMode::Paratick {
+            self.sync_exit(vm, vcpu, ExitReason::Hypercall);
+            let hz = self.vms[vm].kernel.hz;
+            match hypercall::service(Hypercall::DeclareTickFreq(hz), self.host_tick_freq) {
+                hypercall::HypercallResult::TickDeclared { period } => {
+                    self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
+                }
+                hypercall::HypercallResult::NeedsRateAdaptation { period } => {
+                    self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
+                    self.vms[vm].ctl[vcpu].rate_adapt = self.rate_adapt_enabled;
+                }
+            }
+        }
+        let now = self.pcpus[p.0 as usize].frontier();
+        let act = self.vms[vm].kernel.cpus[vcpu].tick.on_activate(now);
+        self.apply_timer_action(vm, vcpu, act);
+    }
+
+    /// §4.1: the adaptation cadence fired. If the vCPU is in guest mode,
+    /// a preemption-timer exit lets the host inject the virtual tick at
+    /// the guest's own rate ("the host should program the guest
+    /// preemption timer such that virtual ticks may be injected at the
+    /// correct rate"). One exit per tick — still half of what the guest
+    /// programming its own tick would cost.
+    fn on_adapt_tick(&mut self, vm: usize, vcpu: usize, gen: u64, t: SimTime) {
+        if self.vms[vm].ctl[vcpu].adapt_gen != gen {
+            return;
+        }
+        if self.vms[vm].vcpus[vcpu].state() != VcpuRunState::Running {
+            return; // rescheduled at the next VM entry
+        }
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        self.interrupt_running(vm, vcpu, t.max(self.pcpus[p.0 as usize].frontier()));
+        self.sync_exit(vm, vcpu, ExitReason::PreemptionTimer);
+        let now = self.pcpus[p.0 as usize].frontier();
+        {
+            let v = &mut self.vms[vm].vcpus[vcpu];
+            v.last_tick = now;
+            v.lapic.request(Vector::PARATICK);
+            v.record_injection(true);
+        }
+        self.enter_guest(vm, vcpu);
+        if self.vms[vm].vcpus[vcpu].is_running() {
+            self.schedule_adapt_tick(vm, vcpu); // next beat of the cadence
+            self.resume(vm, vcpu);
+        }
+    }
+
+    /// (Re)arm the §4.1 adaptation cadence for a running, adapted vCPU.
+    fn schedule_adapt_tick(&mut self, vm: usize, vcpu: usize) {
+        if !self.vms[vm].ctl[vcpu].rate_adapt {
+            return;
+        }
+        let Some(period) = self.vms[vm].vcpus[vcpu].declared_tick_period else {
+            return;
+        };
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let now = self.pcpus[p.0 as usize].frontier();
+        let due = (self.vms[vm].vcpus[vcpu].last_tick + period).max(now + SimDuration::from_nanos(1));
+        self.vms[vm].ctl[vcpu].adapt_gen += 1;
+        let gen = self.vms[vm].ctl[vcpu].adapt_gen;
+        self.queue.push(
+            due.max(self.now),
+            Ev::AdaptTick {
+                vm: vm as u32,
+                vcpu: vcpu as u32,
+                gen,
+            },
+        );
+    }
+
+    /// Deliver a reschedule IPI to a (possibly running) vCPU: the
+    /// full-dynticks "restart the tick, you are contended now" path.
+    fn on_kick(&mut self, vm: usize, vcpu: usize, t: SimTime) {
+        match self.vms[vm].vcpus[vcpu].state() {
+            VcpuRunState::Running => {
+                let p = self.vms[vm].vcpus[vcpu].affinity;
+                self.interrupt_running(vm, vcpu, t.max(self.pcpus[p.0 as usize].frontier()));
+                self.sync_exit(vm, vcpu, ExitReason::ExternalInterrupt);
+                self.vms[vm].vcpus[vcpu].lapic.request(Vector::RESCHEDULE);
+                self.enter_guest(vm, vcpu);
+                if self.vms[vm].vcpus[vcpu].is_running() {
+                    self.resume(vm, vcpu);
+                }
+            }
+            VcpuRunState::Halted => {
+                self.vms[vm].vcpus[vcpu].lapic.request(Vector::RESCHEDULE);
+                if self.vms[vm].vcpus[vcpu].state() == VcpuRunState::Halted {
+                    self.wake_vcpu(vm, vcpu, false);
+                }
+            }
+            VcpuRunState::Runnable => {
+                self.vms[vm].vcpus[vcpu].lapic.request(Vector::RESCHEDULE);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Host scheduler plumbing
+    // ----------------------------------------------------------------
+
+    /// Dispatch the next runnable vCPU on `p`, if the pCPU is free.
+    fn try_dispatch(&mut self, p: PcpuId) {
+        if self.pcpu_mode[p.0 as usize] != PcpuMode::Idle {
+            return;
+        }
+        match self.sched.pick_next(p) {
+            SchedDecision::Idle => {}
+            SchedDecision::Run(id) => {
+                let t = self.pcpus[p.0 as usize].frontier().max(self.now);
+                self.account_gap(p, t);
+                self.pcpu_mode[p.0 as usize] = PcpuMode::Guest {
+                    vm: id.vm,
+                    vcpu: id.vcpu,
+                };
+                self.slice_start[p.0 as usize] = t;
+                self.enable_host_tick(p);
+                let (vm, vcpu) = (id.vm as usize, id.vcpu as usize);
+                if self.trace.enabled() {
+                    let vid = self.vms[vm].vcpus[vcpu].id;
+                    self.trace.record_with(t, || format!("{vid} dispatch on pcpu{}", p.0));
+                }
+                self.vms[vm].vcpus[vcpu].set_running(t);
+                self.first_activation(vm, vcpu);
+                self.enter_guest(vm, vcpu);
+                if self.vms[vm].vcpus[vcpu].is_running() {
+                    self.schedule_adapt_tick(vm, vcpu);
+                    self.resume(vm, vcpu);
+                }
+            }
+        }
+    }
+
+    /// Account the unattributed gap `[frontier, t)` on an idle pCPU.
+    fn account_gap(&mut self, p: PcpuId, t: SimTime) {
+        let pc = &mut self.pcpus[p.0 as usize];
+        if t > pc.frontier() {
+            pc.account_until(CycleCategory::Idle, t);
+        }
+    }
+
+    fn enable_host_tick(&mut self, p: PcpuId) {
+        let i = p.0 as usize;
+        if self.host_tick_on[i] {
+            return;
+        }
+        self.host_tick_on[i] = true;
+        self.host_tick_gen[i] += 1;
+        let f = self.pcpus[i].frontier();
+        let next = f.round_down(self.host_hz_period) + self.host_hz_period;
+        let gen = self.host_tick_gen[i];
+        self.queue.push(next.max(self.now), Ev::HostTick { pcpu: p.0, gen });
+    }
+
+    fn disable_host_tick(&mut self, p: PcpuId) {
+        let i = p.0 as usize;
+        if self.host_tick_on[i] {
+            self.host_tick_on[i] = false;
+            self.host_tick_gen[i] += 1;
+        }
+    }
+
+    /// First-dispatch boot work. Immediate-boot guests activate their
+    /// configured mode right away; staged-boot guests (§5.2.1) arm the
+    /// boot-time periodic tick and schedule the hres switch. On every
+    /// later dispatch, a pending switch is applied lazily.
+    fn first_activation(&mut self, vm: usize, vcpu: usize) {
+        if self.vms[vm].ctl[vcpu].activated {
+            // A switch that fired while this vCPU was off-CPU applies
+            // at dispatch.
+            if !self.vms[vm].kernel.cpus[vcpu].boot.is_switched() {
+                let p = self.vms[vm].vcpus[vcpu].affinity;
+                let now = self.pcpus[p.0 as usize].frontier();
+                if now >= self.vms[vm].hres_at && self.vms[vm].hres_at > SimTime::ZERO {
+                    self.perform_boot_switch(vm, vcpu);
+                }
+            }
+            return;
+        }
+        self.vms[vm].ctl[vcpu].activated = true;
+        let hres_at = self.vms[vm].hres_at;
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let now = self.pcpus[p.0 as usize].frontier();
+        if hres_at > SimTime::ZERO && now < hres_at {
+            // Staged boot: periodic until hres; switch scheduled.
+            let act = self.vms[vm].kernel.cpus[vcpu].tick.on_activate(now);
+            self.apply_timer_action(vm, vcpu, act);
+            self.queue.push(
+                hres_at.max(self.now),
+                Ev::BootSwitch {
+                    vm: vm as u32,
+                    vcpu: vcpu as u32,
+                },
+            );
+            return;
+        }
+        if hres_at > SimTime::ZERO {
+            // Dispatched for the first time after the switch instant.
+            self.perform_boot_switch(vm, vcpu);
+            return;
+        }
+        if self.vms[vm].mode == TickMode::Paratick {
+            self.sync_exit(vm, vcpu, ExitReason::Hypercall);
+            let hz = self.vms[vm].kernel.hz;
+            match hypercall::service(Hypercall::DeclareTickFreq(hz), self.host_tick_freq) {
+                hypercall::HypercallResult::TickDeclared { period } => {
+                    self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
+                }
+                hypercall::HypercallResult::NeedsRateAdaptation { period } => {
+                    self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
+                    self.vms[vm].ctl[vcpu].rate_adapt = self.rate_adapt_enabled;
+                }
+            }
+        }
+        let now = self.pcpus[p.0 as usize].frontier();
+        let act = self.vms[vm].kernel.cpus[vcpu].tick.on_activate(now);
+        self.apply_timer_action(vm, vcpu, act);
+    }
+
+    // ----------------------------------------------------------------
+    // VM entry / exit machinery
+    // ----------------------------------------------------------------
+
+    /// A synchronous VM exit taken by a *running* vCPU: record it,
+    /// charge the direct cost on the pCPU, add the indirect cost to the
+    /// vCPU's pollution debt.
+    fn sync_exit(&mut self, vm: usize, vcpu: usize, reason: ExitReason) {
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        if self.trace.enabled() {
+            let id = self.vms[vm].vcpus[vcpu].id;
+            let at = self.pcpus[p.0 as usize].frontier();
+            self.trace.record_with(at, || format!("{id} exit {reason}"));
+        }
+        self.vms[vm].vcpus[vcpu].record_exit(reason);
+        self.pcpus[p.0 as usize]
+            .account(CycleCategory::ExitHandling, self.cost.direct_duration(reason));
+        self.vms[vm].ctl[vcpu].pollution += self.cost.indirect_duration(reason);
+    }
+
+    /// The VM-entry sequence: paratick host hook (Figure 2), interrupt
+    /// injection, guest-side interrupt handling. Loops until no vectors
+    /// remain pending.
+    fn enter_guest(&mut self, vm: usize, vcpu: usize) {
+        for _round in 0..64 {
+            let decision = {
+                let v = &self.vms[vm].vcpus[vcpu];
+                let now = self.pcpus[v.affinity.0 as usize].frontier();
+                self.paratick_host.on_vm_entry(
+                    now,
+                    v.last_tick,
+                    v.declared_tick_period,
+                    v.lapic.is_pending(Vector::LOCAL_TIMER),
+                )
+            };
+            let p = self.vms[vm].vcpus[vcpu].affinity;
+            match decision {
+                InjectDecision::PendingTimerActsAsTick => {
+                    let now = self.pcpus[p.0 as usize].frontier();
+                    self.vms[vm].vcpus[vcpu].last_tick = now;
+                }
+                InjectDecision::InjectVirtualTick => {
+                    let now = self.pcpus[p.0 as usize].frontier();
+                    self.pcpus[p.0 as usize]
+                        .account(CycleCategory::ExitHandling, self.cost.injection_duration());
+                    let v = &mut self.vms[vm].vcpus[vcpu];
+                    v.last_tick = now;
+                    v.lapic.request(Vector::PARATICK);
+                    v.record_injection(true);
+                }
+                InjectDecision::Nothing => {}
+            }
+            if !self.vms[vm].vcpus[vcpu].lapic.has_pending() {
+                return;
+            }
+            // Injection work for the pending batch.
+            self.pcpus[p.0 as usize]
+                .account(CycleCategory::ExitHandling, self.cost.injection_duration());
+            if decision != InjectDecision::InjectVirtualTick {
+                self.vms[vm].vcpus[vcpu].record_injection(false);
+            }
+            self.process_pending_irqs(vm, vcpu);
+            // Full dynticks: a contended run queue on a tickless busy
+            // CPU restarts the tick (tick_nohz_full_kick).
+            if !self.vms[vm].kernel.is_idle(vcpu)
+                && self.vms[vm].kernel.sched.is_contended(vcpu)
+            {
+                let now = self.pcpus[p.0 as usize].frontier();
+                let act = self.vms[vm].kernel.cpus[vcpu].tick.ensure_tick(now);
+                self.apply_timer_action(vm, vcpu, act);
+            }
+            if !self.vms[vm].vcpus[vcpu].lapic.has_pending() {
+                return;
+            }
+        }
+        panic!("enter_guest did not quiesce for {}", self.vms[vm].vcpus[vcpu].id);
+    }
+
+    /// Drain and handle all pending LAPIC vectors in priority order.
+    fn process_pending_irqs(&mut self, vm: usize, vcpu: usize) {
+        while let Some(vec) = self.vms[vm].vcpus[vcpu].lapic.ack_highest() {
+            let p = self.vms[vm].vcpus[vcpu].affinity;
+            self.pcpus[p.0 as usize].account(
+                CycleCategory::GuestOs,
+                self.cost.guest_irq_overhead_duration(),
+            );
+            match vec {
+                Vector::LOCAL_TIMER => self.handle_tick_irq(vm, vcpu),
+                Vector::PARATICK => self.handle_virtual_tick(vm, vcpu),
+                Vector::BLOCK_IO => self.handle_io_irq(vm, vcpu),
+                Vector::RESCHEDULE => { /* the wake already enqueued the thread */ }
+                other => panic!("unexpected vector {other:?}"),
+            }
+            // End-of-interrupt: traps unless the hardware virtualizes
+            // the APIC (paper-era machines do not).
+            if !self.apicv {
+                self.sync_exit(vm, vcpu, ExitReason::EoiWrite);
+            }
+        }
+    }
+
+    /// The guest's LAPIC-timer vector fired (physical tick / deferred
+    /// wakeup timer).
+    fn handle_tick_irq(&mut self, vm: usize, vcpu: usize) {
+        let idle = self.vms[vm].kernel.is_idle(vcpu);
+        let contended = self.vms[vm].kernel.sched.is_contended(vcpu);
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let now = self.pcpus[p.0 as usize].frontier();
+        let out = self.vms[vm].kernel.cpus[vcpu]
+            .tick
+            .on_tick_irq(now, idle, contended);
+        if out.run_handler {
+            self.run_tick_body(vm, vcpu);
+        }
+        self.apply_timer_action(vm, vcpu, out.timer);
+    }
+
+    /// A host-injected virtual tick (vector 235).
+    fn handle_virtual_tick(&mut self, vm: usize, vcpu: usize) {
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let now = self.pcpus[p.0 as usize].frontier();
+        match self.vms[vm].kernel.cpus[vcpu].tick.on_virtual_tick(now) {
+            VirtualTickOutcome::Handle => self.run_tick_body(vm, vcpu),
+            VirtualTickOutcome::Reject => {}
+        }
+    }
+
+    /// The guest tick handler body: jiffies / timer wheel / RCU / guest
+    /// scheduler round-robin.
+    fn run_tick_body(&mut self, vm: usize, vcpu: usize) {
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        self.pcpus[p.0 as usize].account(
+            CycleCategory::GuestOs,
+            self.cost.guest_tick_handler_duration(),
+        );
+        let now = self.pcpus[p.0 as usize].frontier();
+        let fired = self.vms[vm].kernel.run_tick_body(vcpu, now);
+        for soft in fired {
+            match soft {
+                SoftTimer::WakeThread(tid) => {
+                    if self.vms[vm].threads[tid.0 as usize].status == ThreadStatus::Sleeping {
+                        self.wake_thread(vm, tid, Some(vcpu));
+                    }
+                }
+                SoftTimer::Housekeeping => {
+                    self.pcpus[p.0 as usize].account(
+                        CycleCategory::GuestOs,
+                        self.cost.guest_irq_overhead_duration(),
+                    );
+                }
+            }
+        }
+        // Guest-scheduler preemption: round-robin contended run queues
+        // at tick granularity (jiffy RR).
+        if !self.vms[vm].kernel.is_idle(vcpu) && self.vms[vm].kernel.sched.is_contended(vcpu) {
+            let prev = self.vms[vm].kernel.sched.yield_current(vcpu);
+            let next = self.vms[vm].kernel.sched.pick_next(vcpu).expect("contended rq");
+            self.vms[vm].threads[prev.0 as usize].status = ThreadStatus::Ready;
+            self.vms[vm].threads[next.0 as usize].status = ThreadStatus::Running;
+            self.pcpus[p.0 as usize]
+                .account(CycleCategory::GuestOs, self.cost.ctx_switch_duration());
+        }
+    }
+
+    /// Block-device completion vector: wake every thread whose I/O is
+    /// ready.
+    fn handle_io_irq(&mut self, vm: usize, vcpu: usize) {
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        while let Some(tid) = self.vms[vm].io_ready.pop_front() {
+            self.pcpus[p.0 as usize]
+                .account(CycleCategory::GuestOs, self.cost.io_irq_duration());
+            self.wake_thread(vm, ThreadId(tid), Some(vcpu));
+        }
+    }
+
+    /// Apply a tick-strategy timer action. `Program`/`Disable` are
+    /// `TSC_DEADLINE` writes: each is a synchronous VM exit.
+    fn apply_timer_action(&mut self, vm: usize, vcpu: usize, action: TimerAction) {
+        match action {
+            TimerAction::None => {}
+            TimerAction::Program(when) => {
+                self.sync_exit(vm, vcpu, ExitReason::MsrWriteTscDeadline);
+                let p = self.vms[vm].vcpus[vcpu].affinity;
+                let now = self.pcpus[p.0 as usize].frontier();
+                let tsc = self.vms[vm].vcpus[vcpu].guest_tsc;
+                let effect = self.vms[vm].vcpus[vcpu].deadline.arm_at(&tsc, now, when);
+                self.vms[vm].ctl[vcpu].timer_gen += 1;
+                let gen = self.vms[vm].ctl[vcpu].timer_gen;
+                match effect {
+                    DeadlineWriteEffect::Armed(t) => {
+                        self.queue.push(
+                            t.max(self.now),
+                            Ev::GuestTimer {
+                                vm: vm as u32,
+                                vcpu: vcpu as u32,
+                                gen,
+                            },
+                        );
+                    }
+                    DeadlineWriteEffect::FiresImmediately => {
+                        self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
+                    }
+                    DeadlineWriteEffect::Disarmed => unreachable!("arm_at never disarms"),
+                }
+            }
+            TimerAction::Disable => {
+                if !self.vms[vm].vcpus[vcpu].deadline.is_armed() {
+                    return; // nothing armed: the guest skips the write
+                }
+                self.sync_exit(vm, vcpu, ExitReason::MsrWriteTscDeadline);
+                let p = self.vms[vm].vcpus[vcpu].affinity;
+                let now = self.pcpus[p.0 as usize].frontier();
+                let tsc = self.vms[vm].vcpus[vcpu].guest_tsc;
+                self.vms[vm].vcpus[vcpu].deadline.disarm(&tsc, now);
+                self.vms[vm].ctl[vcpu].timer_gen += 1;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Running guest threads
+    // ----------------------------------------------------------------
+
+    /// Resume guest execution on a running vCPU: continue the current
+    /// thread's segment, pick a new thread, or go idle.
+    fn resume(&mut self, vm: usize, vcpu: usize) {
+        debug_assert!(self.vms[vm].vcpus[vcpu].is_running());
+        if self.vms[vm].kernel.is_idle(vcpu) {
+            if self.vms[vm].kernel.sched.rq(vcpu).is_idle() {
+                // Spurious wakeup: nothing to run; go straight back.
+                self.guest_idle(vm, vcpu);
+                return;
+            }
+            // Idle exit (Figure 1c / 3d).
+            let p = self.vms[vm].vcpus[vcpu].affinity;
+            let now = self.pcpus[p.0 as usize].frontier();
+            let contended = self.vms[vm].kernel.sched.rq(vcpu).waiting() >= 2;
+            let act = self.vms[vm].kernel.cpus[vcpu].tick.on_idle_exit(now, contended);
+            self.apply_timer_action(vm, vcpu, act);
+            self.vms[vm].kernel.set_idle(vcpu, false);
+        }
+        if self.vms[vm].kernel.sched.rq(vcpu).current().is_none() {
+            match self.vms[vm].kernel.sched.pick_next(vcpu) {
+                Some(t) => {
+                    self.vms[vm].threads[t.0 as usize].status = ThreadStatus::Running;
+                    let p = self.vms[vm].vcpus[vcpu].affinity;
+                    self.pcpus[p.0 as usize]
+                        .account(CycleCategory::GuestOs, self.cost.ctx_switch_duration());
+                }
+                None => {
+                    self.guest_idle(vm, vcpu);
+                    return;
+                }
+            }
+        }
+        let tid = self.vms[vm].kernel.sched.rq(vcpu).current().unwrap();
+        if self.vms[vm].threads[tid.0 as usize].seg_remaining.is_zero() {
+            self.fetch_actions(vm, vcpu);
+        } else {
+            self.schedule_stop(vm, vcpu);
+        }
+    }
+
+    /// Schedule the stop event for the current segment (remaining work
+    /// plus outstanding pollution debt).
+    fn schedule_stop(&mut self, vm: usize, vcpu: usize) {
+        let tid = self.vms[vm]
+            .kernel
+            .sched
+            .rq(vcpu)
+            .current()
+            .expect("schedule_stop without a current thread");
+        let rem = self.vms[vm].threads[tid.0 as usize].seg_remaining;
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let start = self.pcpus[p.0 as usize].frontier();
+        let stop = start + self.vms[vm].ctl[vcpu].pollution + rem;
+        self.vms[vm].ctl[vcpu].stop_gen += 1;
+        let gen = self.vms[vm].ctl[vcpu].stop_gen;
+        self.queue.push(
+            stop.max(self.now),
+            Ev::VcpuStop {
+                vm: vm as u32,
+                vcpu: vcpu as u32,
+                gen,
+            },
+        );
+    }
+
+    /// Account a guest span `[frontier, t)` on the vCPU's pCPU: the
+    /// pollution debt burns first, the rest is thread work.
+    fn account_guest_span(&mut self, vm: usize, vcpu: usize, t: SimTime) {
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let start = self.pcpus[p.0 as usize].frontier();
+        if t <= start {
+            return;
+        }
+        let span = t.since(start);
+        let debt = self.vms[vm].ctl[vcpu].pollution;
+        let polluted = span.min_of(debt);
+        let worked = span - polluted;
+        self.vms[vm].ctl[vcpu].pollution = debt - polluted;
+        if !polluted.is_zero() {
+            self.pcpus[p.0 as usize].account(CycleCategory::Pollution, polluted);
+        }
+        if !worked.is_zero() {
+            self.pcpus[p.0 as usize].account(CycleCategory::GuestWork, worked);
+            if let Some(tid) = self.vms[vm].kernel.sched.rq(vcpu).current() {
+                let ts = &mut self.vms[vm].threads[tid.0 as usize];
+                ts.seg_remaining = ts.seg_remaining.saturating_sub(worked);
+            }
+        }
+    }
+
+    /// Something interrupts a running vCPU at `t`: account the partial
+    /// segment and invalidate the pending stop event.
+    fn interrupt_running(&mut self, vm: usize, vcpu: usize, t: SimTime) {
+        debug_assert!(self.vms[vm].vcpus[vcpu].is_running());
+        self.account_guest_span(vm, vcpu, t);
+        self.vms[vm].ctl[vcpu].stop_gen += 1;
+    }
+
+    /// Pull actions from the current thread's model and execute them
+    /// until the thread computes, blocks or exits.
+    fn fetch_actions(&mut self, vm: usize, vcpu: usize) {
+        loop {
+            let Some(tid) = self.vms[vm].kernel.sched.rq(vcpu).current() else {
+                self.guest_idle(vm, vcpu);
+                return;
+            };
+            let ti = tid.0 as usize;
+            // Pending condvar-wakeup lock re-acquisition comes before
+            // any further program actions.
+            if let Some(lock) = self.vms[vm].threads[ti].reacquire {
+                let p = self.vms[vm].vcpus[vcpu].affinity;
+                if self.vms[vm].locks[lock as usize].holder() == Some(tid) {
+                    // Handed the lock during the wake: done.
+                    self.vms[vm].threads[ti].reacquire = None;
+                } else {
+                    self.pcpus[p.0 as usize]
+                        .account(CycleCategory::GuestOs, self.cost.futex_fast_duration());
+                    match self.vms[vm].locks[lock as usize].lock(tid) {
+                        LockOutcome::Acquired => {
+                            self.vms[vm].threads[ti].reacquire = None;
+                        }
+                        LockOutcome::Blocked => {
+                            self.vms[vm].threads[ti].status = ThreadStatus::BlockedLock;
+                            self.block_current(vm, vcpu);
+                            return;
+                        }
+                    }
+                }
+            }
+            let action = self.vms[vm].threads[ti].model.next(&mut self.rng);
+            let p = self.vms[vm].vcpus[vcpu].affinity;
+            // NO_HZ_FULL context tracking: every kernel entry/exit pays
+            // the RCU user-context accounting tax (§2's "highly specific
+            // workloads" caveat made concrete).
+            if self.vms[vm].mode == TickMode::FullDynticks
+                && !matches!(action, Action::Compute(_) | Action::Done)
+            {
+                self.pcpus[p.0 as usize].account(
+                    CycleCategory::GuestOs,
+                    self.cost.context_tracking_duration(),
+                );
+            }
+            match action {
+                Action::Compute(d) => {
+                    self.vms[vm].threads[ti].seg_remaining = d;
+                    self.schedule_stop(vm, vcpu);
+                    return;
+                }
+                Action::Lock(id) => {
+                    self.pcpus[p.0 as usize]
+                        .account(CycleCategory::GuestOs, self.cost.futex_fast_duration());
+                    match self.vms[vm].locks[id as usize].lock(tid) {
+                        LockOutcome::Acquired => continue,
+                        LockOutcome::Blocked => {
+                            // Adaptive spin, then futex-wait.
+                            let spin = self.cost.spin_before_block_duration();
+                            self.pcpus[p.0 as usize].account(CycleCategory::GuestOs, spin);
+                            let spin_cycles =
+                                self.cost.cpu_freq.duration_to_cycles(spin).get();
+                            for _ in 0..self.ple.exits_for_spin(spin_cycles) {
+                                self.sync_exit(vm, vcpu, ExitReason::PauseLoop);
+                            }
+                            self.vms[vm].threads[ti].status = ThreadStatus::BlockedLock;
+                            self.block_current(vm, vcpu);
+                            return;
+                        }
+                    }
+                }
+                Action::Unlock(id) => {
+                    self.pcpus[p.0 as usize]
+                        .account(CycleCategory::GuestOs, self.cost.futex_fast_duration());
+                    if let Some(next) = self.vms[vm].locks[id as usize].unlock(tid) {
+                        self.wake_thread(vm, next, Some(vcpu));
+                    }
+                    continue;
+                }
+                Action::Barrier(id) => {
+                    self.pcpus[p.0 as usize]
+                        .account(CycleCategory::GuestOs, self.cost.futex_fast_duration());
+                    match self.vms[vm].barriers[id as usize].arrive(tid) {
+                        BarrierOutcome::Waiting => {
+                            self.vms[vm].threads[ti].status = ThreadStatus::BlockedBarrier;
+                            self.block_current(vm, vcpu);
+                            return;
+                        }
+                        BarrierOutcome::Released(woken) => {
+                            for w in woken {
+                                self.wake_thread(vm, w, Some(vcpu));
+                            }
+                            continue;
+                        }
+                    }
+                }
+                Action::CondWait { cond, lock } => {
+                    self.pcpus[p.0 as usize]
+                        .account(CycleCategory::GuestOs, self.cost.futex_fast_duration());
+                    let c = cond as usize;
+                    if self.vms[vm].condvars.len() <= c {
+                        self.vms[vm].condvars.resize_with(c + 1, GuestCondvar::new);
+                    }
+                    self.vms[vm].condvars[c].wait(tid);
+                    self.vms[vm].threads[ti].reacquire = Some(lock);
+                    self.vms[vm].threads[ti].status = ThreadStatus::BlockedCond;
+                    // Atomically release the lock as part of the wait.
+                    if let Some(next) = self.vms[vm].locks[lock as usize].unlock(tid) {
+                        self.wake_thread(vm, next, Some(vcpu));
+                    }
+                    self.block_current(vm, vcpu);
+                    return;
+                }
+                Action::CondNotify { cond, all } => {
+                    self.pcpus[p.0 as usize]
+                        .account(CycleCategory::GuestOs, self.cost.futex_fast_duration());
+                    let c = cond as usize;
+                    if self.vms[vm].condvars.len() <= c {
+                        self.vms[vm].condvars.resize_with(c + 1, GuestCondvar::new);
+                    }
+                    let woken: Vec<ThreadId> = if all {
+                        self.vms[vm].condvars[c].notify_all()
+                    } else {
+                        self.vms[vm].condvars[c].notify_one().into_iter().collect()
+                    };
+                    for w in woken {
+                        self.wake_thread(vm, w, Some(vcpu));
+                    }
+                    continue;
+                }
+                Action::Io { op, offset, bytes } => {
+                    self.pcpus[p.0 as usize]
+                        .account(CycleCategory::GuestOs, self.cost.io_submit_duration());
+                    self.sync_exit(vm, vcpu, ExitReason::IoKick);
+                    let now = self.pcpus[p.0 as usize].frontier();
+                    let done =
+                        self.vms[vm]
+                            .device
+                            .submit(now, IoRequest { op, offset, bytes }, &mut self.rng);
+                    self.queue.push(
+                        done.max(self.now),
+                        Ev::IoDone {
+                            vm: vm as u32,
+                            thread: tid.0,
+                        },
+                    );
+                    self.vms[vm].threads[ti].status = ThreadStatus::BlockedIo;
+                    self.block_current(vm, vcpu);
+                    return;
+                }
+                Action::Sleep(d) => {
+                    let now = self.pcpus[p.0 as usize].frontier();
+                    self.vms[vm]
+                        .kernel
+                        .add_soft_timer(vcpu, now, d, SoftTimer::WakeThread(tid));
+                    self.vms[vm].threads[ti].status = ThreadStatus::Sleeping;
+                    self.block_current(vm, vcpu);
+                    return;
+                }
+                Action::Done => {
+                    self.vms[vm].threads[ti].status = ThreadStatus::Done;
+                    self.vms[vm].live_threads -= 1;
+                    if self.vms[vm].live_threads == 0 {
+                        let now = self.pcpus[p.0 as usize].frontier();
+                        self.vms[vm].finished_at = Some(now);
+                    }
+                    self.block_current(vm, vcpu);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The current thread left the CPU: pick another or enter idle.
+    fn block_current(&mut self, vm: usize, vcpu: usize) {
+        // Kernel housekeeping (dentry churn, net, cgroups) queues RCU
+        // callbacks at a low background *time* rate; RCU pressure is
+        // what keeps the tick on at idle entry (Figure 1b "tick
+        // needed?"). ~60 ms mean inter-arrival per VM.
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let now = self.pcpus[p.0 as usize].frontier();
+        if self.rcu_background && now >= self.vms[vm].next_rcu_at {
+            let j = self.vms[vm].kernel.jiffies(now);
+            self.vms[vm].kernel.rcu.queue_callback(vcpu, j);
+            let gap = SimDuration::from_nanos(self.rng.exponential(60e6) as u64);
+            self.vms[vm].next_rcu_at = now + gap;
+        }
+        let _ = self.vms[vm].kernel.sched.block_current(vcpu);
+        match self.vms[vm].kernel.sched.pick_next(vcpu) {
+            Some(next) => {
+                self.vms[vm].threads[next.0 as usize].status = ThreadStatus::Running;
+                let p = self.vms[vm].vcpus[vcpu].affinity;
+                self.pcpus[p.0 as usize]
+                    .account(CycleCategory::GuestOs, self.cost.ctx_switch_duration());
+                self.fetch_actions(vm, vcpu);
+            }
+            None => self.guest_idle(vm, vcpu),
+        }
+    }
+
+    /// The guest idle path: newly-idle balancing, then the idle-entry
+    /// tick decision and HLT.
+    fn guest_idle(&mut self, vm: usize, vcpu: usize) {
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        // CFS newidle_balance: pull a queued thread from the busiest
+        // sibling run queue instead of idling while work waits.
+        if let Some(stolen) = self.vms[vm].kernel.sched.steal_for(vcpu) {
+            if self.vms[vm].kernel.is_idle(vcpu) {
+                let now = self.pcpus[p.0 as usize].frontier();
+                let contended = self.vms[vm].kernel.sched.is_contended(vcpu);
+                let act = self.vms[vm].kernel.cpus[vcpu]
+                    .tick
+                    .on_idle_exit(now, contended);
+                self.apply_timer_action(vm, vcpu, act);
+                self.vms[vm].kernel.set_idle(vcpu, false);
+            }
+            self.vms[vm].threads[stolen.0 as usize].status = ThreadStatus::Running;
+            // Migration: context switch plus cold-cache penalty.
+            self.pcpus[p.0 as usize].account(
+                CycleCategory::GuestOs,
+                self.cost.ctx_switch_duration() * 2,
+            );
+            let rem = self.vms[vm].threads[stolen.0 as usize].seg_remaining;
+            if rem.is_zero() {
+                self.fetch_actions(vm, vcpu);
+            } else {
+                self.schedule_stop(vm, vcpu);
+            }
+            return;
+        }
+        self.pcpus[p.0 as usize]
+            .account(CycleCategory::GuestOs, self.cost.idle_entry_duration());
+        let now = self.pcpus[p.0 as usize].frontier();
+        let armed = self.vms[vm].vcpus[vcpu].deadline.expiry();
+        let ctx = self.vms[vm].kernel.idle_entry_ctx(vcpu, now, armed);
+        let act = self.vms[vm].kernel.cpus[vcpu].tick.on_idle_entry(ctx);
+        self.vms[vm].kernel.set_idle(vcpu, true);
+        self.apply_timer_action(vm, vcpu, act);
+        // A Program() for an already-passed instant raises LOCAL_TIMER
+        // immediately: service it before halting.
+        if self.vms[vm].vcpus[vcpu].lapic.has_pending() {
+            self.enter_guest(vm, vcpu);
+            if self.vms[vm].vcpus[vcpu].is_running() {
+                self.resume(vm, vcpu);
+            }
+            return;
+        }
+        // HLT.
+        self.sync_exit(vm, vcpu, ExitReason::Hlt);
+        // Pollution from idle-entry-side exits (the deferred-timer MSR
+        // write, the HLT itself) dissipates during the idle period —
+        // caches and TLBs refill while nothing runs. Only exits followed
+        // by guest execution slow the workload down.
+        self.vms[vm].ctl[vcpu].pollution = SimDuration::ZERO;
+        let now = self.pcpus[p.0 as usize].frontier();
+        self.vms[vm].vcpus[vcpu].set_halted(now);
+        self.sched.deschedule(p, false);
+        self.pcpu_mode[p.0 as usize] = PcpuMode::Idle;
+        self.try_dispatch(p);
+        if self.pcpu_mode[p.0 as usize] == PcpuMode::Idle {
+            self.disable_host_tick(p);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Wakeups
+    // ----------------------------------------------------------------
+
+    /// Wake a guest thread. `waker_vcpu` is the vCPU in whose guest
+    /// context the wake originates.
+    fn wake_thread(&mut self, vm: usize, tid: ThreadId, waker_vcpu: Option<usize>) {
+        debug_assert_ne!(
+            self.vms[vm].threads[tid.0 as usize].status,
+            ThreadStatus::Done
+        );
+        self.vms[vm].threads[tid.0 as usize].status = ThreadStatus::Ready;
+        let placement = self.vms[vm].kernel.sched.wake(tid);
+        let target = placement.cpu;
+        if !placement.needs_kick || waker_vcpu == Some(target) {
+            // Target busy (thread queued), or woken onto the CPU doing
+            // the waking: picked up at the next scheduling point. One
+            // exception: a full-dynticks CPU running tickless with a
+            // solo task would never time-slice — Linux kicks it with an
+            // IPI to restart the tick.
+            if self.vms[vm].mode == TickMode::FullDynticks
+                && waker_vcpu != Some(target)
+                && self.vms[vm].vcpus[target].state() == VcpuRunState::Running
+            {
+                if let Some(w) = waker_vcpu {
+                    self.sync_exit(vm, w, ExitReason::ApicIpi);
+                }
+                let p = self.vms[vm].vcpus[target].affinity;
+                let at = self.pcpus[p.0 as usize].frontier().max(self.now);
+                self.queue.push(
+                    at,
+                    Ev::Kick {
+                        vm: vm as u32,
+                        vcpu: target as u32,
+                    },
+                );
+            }
+            return;
+        }
+        // The target vCPU idles: kick it.
+        let cross = {
+            let t_sock = self.pcpus[self.vms[vm].vcpus[target].affinity.0 as usize].socket;
+            match waker_vcpu {
+                Some(w) => self.pcpus[self.vms[vm].vcpus[w].affinity.0 as usize].socket != t_sock,
+                None => false,
+            }
+        };
+        if let Some(w) = waker_vcpu {
+            debug_assert!(self.vms[vm].vcpus[w].is_running(), "IPI from non-running vCPU");
+            // Guest-initiated kick: the APIC ICR write traps.
+            self.sync_exit(vm, w, ExitReason::ApicIpi);
+            self.vms[vm].vcpus[target].lapic.request(Vector::RESCHEDULE);
+        }
+        if self.vms[vm].vcpus[target].state() == VcpuRunState::Halted {
+            self.wake_vcpu(vm, target, cross);
+        }
+    }
+
+    /// Wake a halted vCPU: halt-poll accounting, wakeup latency, host
+    /// scheduler enqueue, dispatch if its pCPU is free.
+    fn wake_vcpu(&mut self, vm: usize, vcpu: usize, cross_socket: bool) {
+        debug_assert_eq!(self.vms[vm].vcpus[vcpu].state(), VcpuRunState::Halted);
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let t = self.pcpus[p.0 as usize].frontier().max(self.now);
+        // Halt polling is decided retroactively at wake time: if the
+        // wake landed inside the poll window, the vCPU never blocked.
+        let polled_hit = if self.halt_poll_enabled {
+            let halted_at = self.vms[vm].vcpus[vcpu]
+                .halted_since()
+                .expect("halted vCPU without halt timestamp");
+            let hp = &mut self.vms[vm].halt_poll[vcpu];
+            matches!(hp.on_halt(halted_at, Some(t)), PollOutcome::Success { .. })
+        } else {
+            false
+        };
+        if self.pcpu_mode[p.0 as usize] == PcpuMode::Idle {
+            self.account_gap(p, t);
+            if polled_hit {
+                // The pCPU was busy-polling instead of idle: charge one
+                // poll window and skip the scheduler wakeup.
+                let w = self.vms[vm].halt_poll[vcpu].window();
+                self.pcpus[p.0 as usize].account(CycleCategory::HostOs, w);
+            } else {
+                self.pcpus[p.0 as usize].account(
+                    CycleCategory::HostOs,
+                    self.cost.wakeup_latency_for(cross_socket),
+                );
+            }
+        }
+        let now = self.pcpus[p.0 as usize].frontier().max(self.now);
+        if self.trace.enabled() {
+            let id = self.vms[vm].vcpus[vcpu].id;
+            self.trace.record_with(now, || format!("{id} wake"));
+        }
+        if let Some(since) = self.vms[vm].vcpus[vcpu].halted_since() {
+            self.vms[vm]
+                .t_idle_hist
+                .record(now.saturating_since(since).as_nanos());
+        }
+        self.vms[vm].vcpus[vcpu].wake(now);
+        self.sched.enqueue(VcpuId::new(vm as u32, vcpu as u32), p);
+        self.try_dispatch(p);
+    }
+
+    // ----------------------------------------------------------------
+    // Event handlers
+    // ----------------------------------------------------------------
+
+    fn on_vcpu_stop(&mut self, vm: usize, vcpu: usize, gen: u64, t: SimTime) {
+        if self.vms[vm].ctl[vcpu].stop_gen != gen {
+            return; // stale
+        }
+        debug_assert!(self.vms[vm].vcpus[vcpu].is_running());
+        self.account_guest_span(vm, vcpu, t);
+        let tid = self.vms[vm]
+            .kernel
+            .sched
+            .rq(vcpu)
+            .current()
+            .expect("stop without a thread");
+        debug_assert!(self.vms[vm].threads[tid.0 as usize].seg_remaining.is_zero());
+        self.fetch_actions(vm, vcpu);
+    }
+
+    fn on_guest_timer(&mut self, vm: usize, vcpu: usize, gen: u64, t: SimTime) {
+        if self.vms[vm].ctl[vcpu].timer_gen != gen {
+            return; // re-armed or disarmed since
+        }
+        self.vms[vm].vcpus[vcpu].deadline.expire();
+        match self.vms[vm].vcpus[vcpu].state() {
+            VcpuRunState::Running => {
+                // Preemption-timer exit on the vCPU itself.
+                let p = self.vms[vm].vcpus[vcpu].affinity;
+                self.interrupt_running(vm, vcpu, t.max(self.pcpus[p.0 as usize].frontier()));
+                self.sync_exit(vm, vcpu, ExitReason::PreemptionTimer);
+                self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
+                self.enter_guest(vm, vcpu);
+                if self.vms[vm].vcpus[vcpu].is_running() {
+                    self.resume(vm, vcpu);
+                }
+            }
+            VcpuRunState::Halted | VcpuRunState::Runnable => {
+                // Host hrtimer fires on the vCPU's home pCPU, possibly
+                // interrupting whoever runs there (§3.1: "the running
+                // vCPU is suspended whenever a tick interrupt arrives
+                // for a descheduled vCPU").
+                self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
+                let p = self.vms[vm].vcpus[vcpu].affinity;
+                let resume = self.host_touch_begin(p, t);
+                self.pcpus[p.0 as usize]
+                    .account(CycleCategory::HostOs, self.cost.host_tick_duration() / 2);
+                if self.vms[vm].vcpus[vcpu].state() == VcpuRunState::Halted {
+                    self.wake_vcpu(vm, vcpu, false);
+                }
+                self.host_touch_end(p, resume);
+            }
+        }
+    }
+
+    fn on_host_tick(&mut self, p: PcpuId, gen: u64, t: SimTime) {
+        let i = p.0 as usize;
+        if self.host_tick_gen[i] != gen || !self.host_tick_on[i] {
+            return;
+        }
+        match self.pcpu_mode[i] {
+            PcpuMode::Idle => {
+                self.disable_host_tick(p);
+                return;
+            }
+            PcpuMode::Guest { vm, vcpu } => {
+                let (vm, vcpu) = (vm as usize, vcpu as usize);
+                self.interrupt_running(vm, vcpu, t.max(self.pcpus[i].frontier()));
+                self.sync_exit(vm, vcpu, ExitReason::ExternalInterrupt);
+                self.pcpus[i].account(CycleCategory::HostOs, self.cost.host_tick_duration());
+                let now = self.pcpus[i].frontier();
+                if self.sched.is_contended(p)
+                    && now.since(self.slice_start[i]) >= self.sched.slice()
+                {
+                    // Host CFS slice expiry: rotate.
+                    self.vms[vm].vcpus[vcpu].set_preempted(now);
+                    self.sched.deschedule(p, true);
+                    self.pcpu_mode[i] = PcpuMode::Idle;
+                    self.try_dispatch(p);
+                } else {
+                    // Re-enter the same vCPU: the paratick hook sees
+                    // this entry (the "free" tick-injection point).
+                    self.enter_guest(vm, vcpu);
+                    if self.vms[vm].vcpus[vcpu].is_running() {
+                        self.resume(vm, vcpu);
+                    }
+                }
+            }
+        }
+        if self.host_tick_on[i] {
+            let next = t.round_down(self.host_hz_period) + self.host_hz_period;
+            let gen = self.host_tick_gen[i];
+            self.queue.push(next.max(self.now), Ev::HostTick { pcpu: p.0, gen });
+        }
+    }
+
+    fn on_io_done(&mut self, vm: usize, thread: u32, t: SimTime) {
+        debug_assert_eq!(
+            self.vms[vm].threads[thread as usize].status,
+            ThreadStatus::BlockedIo
+        );
+        self.vms[vm].io_ready.push_back(thread);
+        // The completion interrupt targets the thread's home vCPU.
+        let target = self.vms[vm].kernel.sched.prev_cpu(ThreadId(thread));
+        match self.vms[vm].vcpus[target].state() {
+            VcpuRunState::Running => {
+                let p = self.vms[vm].vcpus[target].affinity;
+                self.interrupt_running(vm, target, t.max(self.pcpus[p.0 as usize].frontier()));
+                self.sync_exit(vm, target, ExitReason::ExternalInterrupt);
+                self.vms[vm].vcpus[target].lapic.request(Vector::BLOCK_IO);
+                self.enter_guest(vm, target);
+                if self.vms[vm].vcpus[target].is_running() {
+                    self.resume(vm, target);
+                }
+            }
+            VcpuRunState::Halted => {
+                self.vms[vm].vcpus[target].lapic.request(Vector::BLOCK_IO);
+                let p = self.vms[vm].vcpus[target].affinity;
+                let resume = self.host_touch_begin(p, t);
+                self.pcpus[p.0 as usize]
+                    .account(CycleCategory::HostOs, self.cost.host_tick_duration() / 2);
+                if self.vms[vm].vcpus[target].state() == VcpuRunState::Halted {
+                    self.wake_vcpu(vm, target, false);
+                }
+                self.host_touch_end(p, resume);
+            }
+            VcpuRunState::Runnable => {
+                // Delivered at the next VM entry.
+                self.vms[vm].vcpus[target].lapic.request(Vector::BLOCK_IO);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Host-side interruption of a pCPU
+    // ----------------------------------------------------------------
+
+    /// The host must do work on `p` at `t` (hrtimer, device irq). If a
+    /// vCPU runs there it takes an external-interrupt exit. Returns the
+    /// interrupted vCPU for [`Self::host_touch_end`].
+    fn host_touch_begin(&mut self, p: PcpuId, t: SimTime) -> Option<(usize, usize)> {
+        let i = p.0 as usize;
+        match self.pcpu_mode[i] {
+            PcpuMode::Idle => {
+                self.account_gap(p, t.max(self.pcpus[i].frontier()));
+                None
+            }
+            PcpuMode::Guest { vm, vcpu } => {
+                let (vm, vcpu) = (vm as usize, vcpu as usize);
+                self.interrupt_running(vm, vcpu, t.max(self.pcpus[i].frontier()));
+                self.sync_exit(vm, vcpu, ExitReason::ExternalInterrupt);
+                Some((vm, vcpu))
+            }
+        }
+    }
+
+    fn host_touch_end(&mut self, p: PcpuId, resume: Option<(usize, usize)>) {
+        match resume {
+            Some((vm, vcpu)) => {
+                if self.vms[vm].vcpus[vcpu].is_running() {
+                    self.enter_guest(vm, vcpu);
+                    if self.vms[vm].vcpus[vcpu].is_running() {
+                        self.resume(vm, vcpu);
+                    }
+                }
+            }
+            None => self.try_dispatch(p),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Finalization
+    // ----------------------------------------------------------------
+
+    fn finalize(mut self) -> RunMetrics {
+        let end = match self.run_until {
+            RunUntil::Time(t) => t,
+            RunUntil::AllWorkloadsDone => self
+                .vms
+                .iter()
+                .filter_map(|v| v.finished_at)
+                .max()
+                .unwrap_or(self.now),
+        };
+        // Flush accounting to the end time.
+        for i in 0..self.pcpus.len() {
+            if self.pcpus[i].frontier() >= end {
+                continue;
+            }
+            match self.pcpu_mode[i] {
+                PcpuMode::Idle => self.pcpus[i].account_until(CycleCategory::Idle, end),
+                PcpuMode::Guest { vm, vcpu } => {
+                    self.account_guest_span(vm as usize, vcpu as usize, end);
+                    if self.pcpus[i].frontier() < end {
+                        self.pcpus[i].account_until(CycleCategory::GuestWork, end);
+                    }
+                }
+            }
+        }
+        let freq = self.cost.cpu_freq;
+        let per_vm: Vec<VmMetrics> = self
+            .vms
+            .iter()
+            .map(|vm| {
+                let mut m = VmMetrics::collect(&vm.name, vm.mode, &vm.vcpus, vm.finished_at);
+                m.idle_periods_hist = vm.t_idle_hist.clone();
+                for cl in &vm.kernel.cpus {
+                    if let paratick_guest::TickSched::Paratick(p) = &cl.tick {
+                        m.paratick_timer_reuse += p.timer_reuse_hits;
+                        m.paratick_timers_programmed += p.timers_programmed;
+                    }
+                }
+                m
+            })
+            .collect();
+        let system = SystemStats::collect(
+            self.vms.iter().flat_map(|v| v.vcpus.iter()),
+            self.pcpus.iter(),
+        );
+        RunMetrics {
+            duration: end,
+            freq,
+            per_vm,
+            system,
+            events_dispatched: self.queue.dispatched(),
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Paired vanilla-vs-paratick experiments.
+//!
+//! The paper's protocol (§6): run each configuration repeatedly "until
+//! their results stabilized. The displayed results are therefore the
+//! average of 3 to 15 iterations." An [`Experiment`] does the same: it
+//! re-runs a scenario builder under both tick modes with varied seeds
+//! until the coefficient of variation of the headline metrics drops
+//! under a threshold (or the iteration cap is hit), then reports mean
+//! deltas for the three §6 metrics.
+
+use crate::config::Scenario;
+use crate::engine::Engine;
+use crate::metrics::RunMetrics;
+use paratick_guest::TickMode;
+use paratick_sim::stats::Summary;
+use paratick_vmm::accounting::delta;
+use serde::{Deserialize, Serialize};
+
+/// Scenario factory: mode + iteration seed → scenario.
+pub type ScenarioBuilder = Box<dyn Fn(TickMode, u64) -> Scenario + Send + Sync>;
+
+/// A paired experiment definition.
+pub struct Experiment {
+    pub name: String,
+    pub baseline: TickMode,
+    pub treatment: TickMode,
+    pub min_iterations: u32,
+    pub max_iterations: u32,
+    /// Stop early once every metric's CV is below this.
+    pub cv_target: f64,
+    builder: ScenarioBuilder,
+}
+
+/// Summary of one mode's repeated runs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ModeSummary {
+    pub exits: Summary,
+    pub timer_exits: Summary,
+    pub busy_cycles: Summary,
+    pub exec_time_secs: Summary,
+    pub iterations: u32,
+}
+
+impl ModeSummary {
+    fn record(&mut self, m: &RunMetrics) {
+        self.exits.record(m.total_exits() as f64);
+        self.timer_exits.record(m.timer_exits() as f64);
+        self.busy_cycles.record(m.busy_cycles().get() as f64);
+        self.exec_time_secs.record(m.execution_time().as_secs_f64());
+        self.iterations += 1;
+    }
+
+    fn stable(&self, cv_target: f64) -> bool {
+        [&self.exits, &self.busy_cycles, &self.exec_time_secs]
+            .iter()
+            .all(|s| {
+                let cv = s.cv();
+                cv.is_nan() || cv < cv_target
+            })
+    }
+}
+
+/// The outcome of a paired experiment: the three §6 metrics as
+/// percentage deltas (treatment vs baseline).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Comparison {
+    pub name: String,
+    pub baseline: ModeSummary,
+    pub treatment: ModeSummary,
+    /// Percent change in total VM exits (negative = fewer).
+    pub exits_pct: f64,
+    /// Percent change in timer-related VM exits.
+    pub timer_exits_pct: f64,
+    /// Throughput improvement in percent: cycles freed relative to the
+    /// treatment's consumption (positive = better).
+    pub throughput_pct: f64,
+    /// Percent change in execution time (negative = faster).
+    pub exec_time_pct: f64,
+}
+
+impl Experiment {
+    pub fn new(
+        name: impl Into<String>,
+        builder: impl Fn(TickMode, u64) -> Scenario + Send + Sync + 'static,
+    ) -> Self {
+        Experiment {
+            name: name.into(),
+            baseline: TickMode::DynticksIdle,
+            treatment: TickMode::Paratick,
+            min_iterations: 3,
+            max_iterations: 15,
+            cv_target: 0.05,
+            builder: Box::new(builder),
+        }
+    }
+
+    pub fn modes(mut self, baseline: TickMode, treatment: TickMode) -> Self {
+        self.baseline = baseline;
+        self.treatment = treatment;
+        self
+    }
+
+    pub fn iterations(mut self, min: u32, max: u32) -> Self {
+        assert!(min >= 1 && max >= min);
+        self.min_iterations = min;
+        self.max_iterations = max;
+        self
+    }
+
+    /// Run the paired experiment.
+    pub fn run(&self) -> Comparison {
+        let mut base = ModeSummary::default();
+        let mut treat = ModeSummary::default();
+        for i in 0..self.max_iterations {
+            let seed = 0xE1E7_0000 + u64::from(i);
+            base.record(&Engine::run((self.builder)(self.baseline, seed)));
+            treat.record(&Engine::run((self.builder)(self.treatment, seed)));
+            if i + 1 >= self.min_iterations
+                && base.stable(self.cv_target)
+                && treat.stable(self.cv_target)
+            {
+                break;
+            }
+        }
+        Comparison::from_summaries(&self.name, base, treat)
+    }
+}
+
+impl Comparison {
+    pub fn from_summaries(name: &str, baseline: ModeSummary, treatment: ModeSummary) -> Self {
+        let exits_pct = delta::percent(baseline.exits.mean(), treatment.exits.mean());
+        let timer_exits_pct =
+            delta::percent(baseline.timer_exits.mean(), treatment.timer_exits.mean());
+        let throughput_pct = delta::throughput_gain(
+            baseline.busy_cycles.mean(),
+            treatment.busy_cycles.mean(),
+        );
+        let exec_time_pct = delta::percent(
+            baseline.exec_time_secs.mean(),
+            treatment.exec_time_secs.mean(),
+        );
+        Comparison {
+            name: name.to_string(),
+            baseline,
+            treatment,
+            exits_pct,
+            timer_exits_pct,
+            throughput_pct,
+            exec_time_pct,
+        }
+    }
+}
+
+/// Average a set of comparisons (the paper's "aggregated results"
+/// tables average the per-benchmark relative improvements).
+pub fn aggregate(name: &str, comparisons: &[Comparison]) -> Comparison {
+    assert!(!comparisons.is_empty(), "aggregate of nothing");
+    let mean = |f: fn(&Comparison) -> f64| {
+        comparisons.iter().map(f).sum::<f64>() / comparisons.len() as f64
+    };
+    Comparison {
+        name: name.to_string(),
+        baseline: ModeSummary::default(),
+        treatment: ModeSummary::default(),
+        exits_pct: mean(|c| c.exits_pct),
+        timer_exits_pct: mean(|c| c.timer_exits_pct),
+        throughput_pct: mean(|c| c.throughput_pct),
+        exec_time_pct: mean(|c| c.exec_time_pct),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HostConfig, VmConfig};
+    use paratick_workloads::parsec;
+
+    #[test]
+    fn experiment_runs_and_reduces_exits() {
+        let profile = *parsec::profile("swaptions").unwrap();
+        let exp = Experiment::new("swaptions-seq", move |mode, seed| {
+            Scenario::new(HostConfig::small(2))
+                .vm(
+                    VmConfig::with_vcpus(1).mode(mode),
+                    parsec::workload(&profile, 1, 0.02),
+                )
+                .seed(seed)
+        })
+        .iterations(2, 3);
+        let c = exp.run();
+        assert!(c.baseline.iterations >= 2);
+        assert!(
+            c.exits_pct < 0.0,
+            "paratick must reduce exits, got {:+.1}%",
+            c.exits_pct
+        );
+        assert!(
+            c.timer_exits_pct < -50.0,
+            "timer exits should drop sharply, got {:+.1}%",
+            c.timer_exits_pct
+        );
+    }
+
+    #[test]
+    fn aggregate_averages() {
+        let mk = |e: f64| Comparison {
+            name: "x".into(),
+            baseline: ModeSummary::default(),
+            treatment: ModeSummary::default(),
+            exits_pct: e,
+            timer_exits_pct: e,
+            throughput_pct: 2.0 * e.abs(),
+            exec_time_pct: e / 2.0,
+        };
+        let agg = aggregate("avg", &[mk(-40.0), mk(-60.0)]);
+        assert_eq!(agg.exits_pct, -50.0);
+        assert_eq!(agg.throughput_pct, 100.0);
+        assert_eq!(agg.exec_time_pct, -25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregate of nothing")]
+    fn aggregate_empty_panics() {
+        aggregate("x", &[]);
+    }
+}

@@ -1,0 +1,68 @@
+//! # paratick — virtual scheduler ticks, reproduced
+//!
+//! Library reproduction of *Paratick: Reducing Timer Overhead in Virtual
+//! Machines* (Schildermans, Aerts, Shan, Ding — ICPP 2021) as a
+//! deterministic full-system simulation.
+//!
+//! The crate assembles the substrate crates into a runnable system and
+//! provides the experiment-facing API:
+//!
+//! * [`config`] — scenario builder: host shape (the paper's 4-socket /
+//!   80-CPU server by default), VM shapes (small/medium/large), tick
+//!   modes, cost model.
+//! * [`engine`] — the discrete-event system simulator.
+//! * [`metrics`] — the three metrics of §6: VM exits, busy CPU cycles
+//!   (system throughput) and execution time.
+//! * [`experiment`] — paired vanilla-vs-paratick runs with the paper's
+//!   repeat-until-stable protocol, producing comparisons.
+//! * [`analytic`] — the closed-form exit-count model of §3.1–§3.3
+//!   (Table 1 and the tick-vs-tickless crossover rule).
+//! * [`report`] — text tables matching the paper's presentation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use paratick::prelude::*;
+//!
+//! // A 1-vCPU VM running a tiny sequential PARSEC-like workload,
+//! // dynticks vs paratick.
+//! let profile = paratick_workloads::parsec::profile("swaptions").unwrap();
+//! let build = |mode| {
+//!     Scenario::new(HostConfig::small(2))
+//!         .vm(
+//!             VmConfig::with_vcpus(1).mode(mode),
+//!             paratick_workloads::parsec::workload(profile, 1, 0.01),
+//!         )
+//!         .seed(7)
+//! };
+//! let vanilla = Engine::run(build(TickMode::DynticksIdle));
+//! let para = Engine::run(build(TickMode::Paratick));
+//! assert!(para.total_exits() < vanilla.total_exits());
+//! ```
+
+pub mod analytic;
+pub mod config;
+pub mod engine;
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+
+pub use config::{HostConfig, RunUntil, Scenario, VmConfig};
+pub use engine::Engine;
+pub use experiment::{Comparison, Experiment};
+pub use metrics::{RunMetrics, VmMetrics};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::analytic;
+    pub use crate::config::{HostConfig, RunUntil, Scenario, VmConfig};
+    pub use crate::engine::Engine;
+    pub use crate::experiment::{Comparison, Experiment};
+    pub use crate::metrics::{RunMetrics, VmMetrics};
+    pub use crate::report;
+    pub use paratick_guest::TickMode;
+    pub use paratick_hw::DeviceKind;
+    pub use paratick_sim::{Freq, SimDuration, SimTime};
+    pub use paratick_vmm::{CostModel, ExitReason};
+    pub use paratick_workloads::VmWorkload;
+}

@@ -1,0 +1,181 @@
+//! Run metrics: the three quantities the paper reports, per VM and
+//! system-wide.
+
+use paratick_guest::TickMode;
+use paratick_sim::{Cycles, Freq, Histogram, SimDuration, SimTime};
+use paratick_vmm::{ExitCounts, KvmVcpu, SystemStats};
+use serde::{Deserialize, Serialize};
+
+/// Per-VM metrics for one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VmMetrics {
+    pub name: String,
+    pub mode: TickMode,
+    /// Exit counters summed over the VM's vCPUs.
+    pub exits: ExitCounts,
+    /// When the VM's workload finished (None for idle VMs / horizon runs
+    /// where it never does).
+    pub finished_at: Option<SimTime>,
+    pub injections: u64,
+    pub virtual_ticks: u64,
+    pub wakeups: u64,
+    pub idle_periods: u64,
+    pub halted_time: SimDuration,
+    /// Distribution of idle-period lengths (the paper's `T_idle`):
+    /// §3.3's crossover analysis is about exactly this quantity.
+    pub idle_periods_hist: Histogram,
+    /// Paratick guests: idle entries where the §4.1 keep-armed heuristic
+    /// reused an already-armed sooner timer (a saved VM exit each).
+    pub paratick_timer_reuse: u64,
+    /// Paratick guests: idle entries that actually programmed a wakeup
+    /// timer.
+    pub paratick_timers_programmed: u64,
+}
+
+impl VmMetrics {
+    pub fn collect(
+        name: &str,
+        mode: TickMode,
+        vcpus: &[KvmVcpu],
+        finished_at: Option<SimTime>,
+    ) -> Self {
+        let mut m = VmMetrics {
+            name: name.to_string(),
+            mode,
+            exits: ExitCounts::new(),
+            finished_at,
+            injections: 0,
+            virtual_ticks: 0,
+            wakeups: 0,
+            idle_periods: 0,
+            halted_time: SimDuration::ZERO,
+            idle_periods_hist: Histogram::new(),
+            paratick_timer_reuse: 0,
+            paratick_timers_programmed: 0,
+        };
+        for v in vcpus {
+            m.exits.merge(&v.stats.exits);
+            m.injections += v.stats.injections;
+            m.virtual_ticks += v.stats.virtual_ticks;
+            m.wakeups += v.stats.wakeups;
+            m.idle_periods += v.stats.idle_periods;
+            m.halted_time += v.stats.halted_time;
+        }
+        m
+    }
+
+    /// Mean idle period — the paper's `T_idle`.
+    pub fn mean_idle_period(&self) -> Option<SimDuration> {
+        (self.idle_periods > 0).then(|| self.halted_time / self.idle_periods)
+    }
+
+    /// Median idle period.
+    pub fn p50_idle_period(&self) -> Option<SimDuration> {
+        self.idle_periods_hist.p50().map(SimDuration::from_nanos)
+    }
+
+    /// 99th-percentile idle period.
+    pub fn p99_idle_period(&self) -> Option<SimDuration> {
+        self.idle_periods_hist.p99().map(SimDuration::from_nanos)
+    }
+
+    /// Workload execution time (None if it never finished).
+    pub fn execution_time(&self) -> Option<SimDuration> {
+        self.finished_at.map(|t| t.since(SimTime::ZERO))
+    }
+}
+
+/// Metrics for one whole simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Simulated end time of the run.
+    pub duration: SimTime,
+    /// pCPU clock used for cycle conversions.
+    pub freq: Freq,
+    pub per_vm: Vec<VmMetrics>,
+    pub system: SystemStats,
+    /// Number of DES events processed (engine diagnostics).
+    pub events_dispatched: u64,
+}
+
+impl RunMetrics {
+    /// Total VM exits (the paper's first metric).
+    pub fn total_exits(&self) -> u64 {
+        self.system.exits.total()
+    }
+
+    /// Timer-related VM exits.
+    pub fn timer_exits(&self) -> u64 {
+        self.system.exits.timer_related()
+    }
+
+    /// Busy CPU cycles (the paper's throughput proxy, §6.1).
+    pub fn busy_cycles(&self) -> Cycles {
+        self.system.busy_cycles(self.freq)
+    }
+
+    /// Wall-clock execution time of the slowest VM's workload, falling
+    /// back to the horizon for steady-state runs (idle VMs "finish" at
+    /// t=0 and are ignored).
+    pub fn execution_time(&self) -> SimDuration {
+        self.per_vm
+            .iter()
+            .filter_map(|v| v.execution_time())
+            .filter(|d| !d.is_zero())
+            .max()
+            .unwrap_or_else(|| self.duration.since(SimTime::ZERO))
+    }
+
+    /// Fraction of busy time that is virtualization overhead.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.system.overhead_fraction()
+    }
+
+    pub fn vm(&self, name: &str) -> Option<&VmMetrics> {
+        self.per_vm.iter().find(|v| v.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paratick_sim::SimTime;
+    use paratick_vmm::{PcpuId, VcpuId};
+
+    #[test]
+    fn vm_metrics_aggregation() {
+        let freq = Freq::ghz(2);
+        let mut a = KvmVcpu::new(VcpuId::new(0, 0), PcpuId(0), freq, SimTime::ZERO);
+        let mut b = KvmVcpu::new(VcpuId::new(0, 1), PcpuId(1), freq, SimTime::ZERO);
+        a.set_running(SimTime::ZERO);
+        a.record_exit(paratick_vmm::ExitReason::Hlt);
+        a.record_injection(true);
+        b.set_running(SimTime::ZERO);
+        b.set_halted(SimTime::from_millis(1));
+        b.wake(SimTime::from_millis(5));
+        let m = VmMetrics::collect(
+            "test",
+            TickMode::Paratick,
+            &[a, b],
+            Some(SimTime::from_millis(10)),
+        );
+        assert_eq!(m.exits.total(), 1);
+        assert_eq!(m.virtual_ticks, 1);
+        assert_eq!(m.wakeups, 1);
+        assert_eq!(m.mean_idle_period(), Some(SimDuration::from_millis(4)));
+        assert_eq!(m.execution_time(), Some(SimDuration::from_millis(10)));
+    }
+
+    #[test]
+    fn run_metrics_fallback_duration() {
+        let rm = RunMetrics {
+            duration: SimTime::from_secs(10),
+            freq: Freq::ghz(2),
+            per_vm: vec![],
+            system: SystemStats::default(),
+            events_dispatched: 0,
+        };
+        assert_eq!(rm.execution_time(), SimDuration::from_secs(10));
+        assert_eq!(rm.total_exits(), 0);
+    }
+}

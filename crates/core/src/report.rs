@@ -1,0 +1,141 @@
+//! Text-table rendering in the paper's presentation style.
+
+use crate::experiment::Comparison;
+
+/// Format a percentage the way the paper prints deltas: signed integer
+/// percent ("-50%", "+7%").
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        return "n/a".to_string();
+    }
+    format!("{:+.0}%", x)
+}
+
+/// Format a percentage with one decimal for finer-grained tables.
+pub fn pct1(x: f64) -> String {
+    if x.is_nan() {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", x)
+}
+
+/// Render a simple aligned table. `header` and every row must have the
+/// same arity.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    for r in rows {
+        assert_eq!(r.len(), cols, "row arity mismatch");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {:<w$} |", c, w = w));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<w$}|", "", w = w + 2));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+    }
+    out
+}
+
+/// One row of a paper-style comparison table: name + the three metrics.
+pub fn comparison_row(c: &Comparison) -> Vec<String> {
+    vec![
+        c.name.clone(),
+        pct(c.exits_pct),
+        pct(c.throughput_pct),
+        pct(c.exec_time_pct),
+    ]
+}
+
+/// Render comparisons as the paper's aggregate tables (Tables 2-4).
+pub fn comparison_table(comparisons: &[Comparison]) -> String {
+    let rows: Vec<Vec<String>> = comparisons.iter().map(comparison_row).collect();
+    table(
+        &["workload", "VM exits", "System throughput", "Execution time"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ModeSummary;
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(-50.4), "-50%");
+        assert_eq!(pct(7.4), "+7%");
+        assert_eq!(pct(0.0), "+0%");
+        assert_eq!(pct(f64::NAN), "n/a");
+        assert_eq!(pct1(-1.25), "-1.2%");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["a", "long header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer cell".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].contains("long header"));
+        assert!(lines[3].contains("longer cell"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_arity_checked() {
+        table(&["a", "b"], &[vec!["only one".into()]]);
+    }
+
+    #[test]
+    fn pct_handles_infinities() {
+        assert_eq!(pct(f64::INFINITY), "+inf%");
+        assert_eq!(pct(f64::NEG_INFINITY), "-inf%");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = table(&["a", "b"], &[]);
+        assert_eq!(t.lines().count(), 2, "header + separator");
+    }
+
+    #[test]
+    fn comparison_rendering() {
+        let c = Comparison {
+            name: "seq".into(),
+            baseline: ModeSummary::default(),
+            treatment: ModeSummary::default(),
+            exits_pct: -50.0,
+            timer_exits_pct: -80.0,
+            throughput_pct: 7.0,
+            exec_time_pct: -2.0,
+        };
+        let t = comparison_table(&[c]);
+        assert!(t.contains("-50%"));
+        assert!(t.contains("+7%"));
+        assert!(t.contains("-2%"));
+    }
+}

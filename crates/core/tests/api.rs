@@ -1,0 +1,135 @@
+//! Public-API tests of the core crate: metrics serialization, the
+//! experiment runner's stability protocol, analytic/simulated
+//! agreement.
+
+use paratick::analytic::{self, VmShape};
+use paratick::experiment::Experiment;
+use paratick::prelude::*;
+use paratick_workloads::{parsec, VmWorkload};
+
+#[test]
+fn run_metrics_serialize_to_json_and_back() {
+    let profile = parsec::profile("canneal").unwrap();
+    let m = Engine::run(
+        Scenario::new(HostConfig::small(2))
+            .vm(
+                VmConfig::with_vcpus(2).mode(TickMode::Paratick),
+                parsec::workload(profile, 2, 0.01),
+            )
+            .seed(1),
+    );
+    let json = serde_json::to_string_pretty(&m).expect("serialize");
+    assert!(json.contains("exits"));
+    let back: RunMetrics = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.total_exits(), m.total_exits());
+    assert_eq!(back.execution_time(), m.execution_time());
+    assert_eq!(back.per_vm.len(), 1);
+    assert_eq!(back.per_vm[0].mode, TickMode::Paratick);
+}
+
+#[test]
+fn experiment_stability_protocol_respects_bounds() {
+    let profile = *parsec::profile("swaptions").unwrap();
+    let exp = Experiment::new("bounds", move |mode, seed| {
+        Scenario::new(HostConfig::small(1))
+            .vm(
+                VmConfig::with_vcpus(1).mode(mode),
+                parsec::workload(&profile, 1, 0.005),
+            )
+            .seed(seed)
+    })
+    .iterations(2, 4);
+    let c = exp.run();
+    assert!(c.baseline.iterations >= 2);
+    assert!(c.baseline.iterations <= 4);
+    assert_eq!(c.baseline.iterations, c.treatment.iterations);
+}
+
+#[test]
+fn analytic_and_simulation_agree_on_w1_periodic() {
+    // The strongest cross-validation in the repo: the closed-form count
+    // for an idle periodic-tick VM matches the full simulator exactly.
+    let mut s = Scenario::new(HostConfig {
+        sockets: 1,
+        pcpus_per_socket: 16,
+        ..Default::default()
+    })
+    .until(RunUntil::Time(SimTime::from_secs(2)))
+    .seed(3);
+    s = s.vm(
+        VmConfig::with_vcpus(16).mode(TickMode::Periodic).spanning(1),
+        VmWorkload::idle("w1"),
+    );
+    let m = Engine::run(s);
+    // Published-table accounting: 1 timer exit per vCPU per tick.
+    let expected = 16 * 250 * 2;
+    assert_eq!(m.timer_exits(), expected);
+    // And the idle dynticks VM takes none (±boot).
+    let mut s2 = Scenario::new(HostConfig {
+        sockets: 1,
+        pcpus_per_socket: 16,
+        ..Default::default()
+    })
+    .until(RunUntil::Time(SimTime::from_secs(2)))
+    .seed(3);
+    s2 = s2.vm(
+        VmConfig::with_vcpus(16)
+            .mode(TickMode::DynticksIdle)
+            .spanning(1),
+        VmWorkload::idle("w1"),
+    );
+    let m2 = Engine::run(s2);
+    assert!(m2.timer_exits() < 40);
+}
+
+#[test]
+fn analytic_formulas_cover_table1_scenarios() {
+    // With the formulas as printed (factor 2), W1 and W2 periodic.
+    let w1 = [VmShape::idle(16, 250)];
+    assert_eq!(analytic::formula_periodic_exits(10.0, &w1), 80_000.0);
+    let w2 = [VmShape::idle(16, 250); 4];
+    assert_eq!(analytic::formula_periodic_exits(10.0, &w2), 320_000.0);
+    // Tickless on idle VMs: zero regardless of the factor.
+    assert_eq!(analytic::formula_tickless_exits(10.0, &w2), 0.0);
+}
+
+#[test]
+fn report_renders_full_comparison_pipeline() {
+    use paratick::experiment::aggregate;
+    let profile = *parsec::profile("canneal").unwrap();
+    let exp = Experiment::new("canneal", move |mode, seed| {
+        Scenario::new(HostConfig::small(2))
+            .vm(
+                VmConfig::with_vcpus(2).mode(mode),
+                parsec::workload(&profile, 2, 0.01),
+            )
+            .seed(seed)
+    })
+    .iterations(2, 2);
+    let c = exp.run();
+    let table = paratick::report::comparison_table(std::slice::from_ref(&c));
+    assert!(table.contains("canneal"));
+    assert!(table.contains('%'));
+    let agg = aggregate("avg", &[c]);
+    assert!(agg.exits_pct.is_finite());
+}
+
+#[test]
+fn t_idle_percentiles_populated() {
+    let profile = parsec::profile("streamcluster").unwrap();
+    let m = Engine::run(
+        Scenario::new(HostConfig::small(4))
+            .vm(
+                VmConfig::with_vcpus(4).mode(TickMode::DynticksIdle),
+                parsec::workload(profile, 4, 0.02),
+            )
+            .seed(5),
+    );
+    let vm = &m.per_vm[0];
+    let p50 = vm.p50_idle_period().expect("idle periods recorded");
+    let p99 = vm.p99_idle_period().unwrap();
+    assert!(p50 <= p99);
+    assert!(p50 > SimDuration::ZERO);
+    // Barrier workload: microsecond-scale idle periods (the §3.3 regime).
+    assert!(p50 < SimDuration::from_millis(4), "p50 {p50}");
+}

@@ -1,0 +1,129 @@
+//! Guest boot sequence for tick management (paper §5.2.1).
+//!
+//! "High-resolution timers, upon which both tickless and paratick mode
+//! rely, only become available partway through the boot process. Before
+//! this time, the system uses a regular periodic scheduler tick. [...]
+//! The periodic scheduler tick is disabled as soon as the switch to
+//! paratick mode is made. Any virtual ticks arriving before the switch
+//! to paratick mode are rejected."
+//!
+//! The boot model: every CPU runs a plain periodic tick until the
+//! (configurable) instant high-resolution timers come up; then each CPU
+//! switches to its configured mode, and — for paratick — vCPU 0 issues
+//! the tick-frequency declaration hypercall (§4.1).
+
+use crate::tick::TickMode;
+use paratick_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What the engine must do when a CPU completes its mode switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BootSwitch {
+    /// Issue the paratick declaration hypercall (only once per VM, from
+    /// the boot CPU).
+    pub declare_hypercall: bool,
+    /// The mode now in force.
+    pub mode: TickMode,
+}
+
+/// Per-CPU boot state.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GuestBoot {
+    /// When high-resolution timers become available on this CPU.
+    hres_at: SimTime,
+    /// Target mode after the switch.
+    mode: TickMode,
+    /// Is this the boot CPU (issues the VM-wide hypercall)?
+    boot_cpu: bool,
+    switched: bool,
+}
+
+impl GuestBoot {
+    pub fn new(hres_at: SimTime, mode: TickMode, boot_cpu: bool) -> Self {
+        GuestBoot {
+            hres_at,
+            mode,
+            boot_cpu,
+            switched: false,
+        }
+    }
+
+    /// A guest that boots "instantly" (steady-state experiments).
+    pub fn immediate(mode: TickMode, boot_cpu: bool) -> Self {
+        Self::new(SimTime::ZERO, mode, boot_cpu)
+    }
+
+    pub fn is_switched(&self) -> bool {
+        self.switched
+    }
+
+    pub fn mode(&self) -> TickMode {
+        self.mode
+    }
+
+    /// Pre-switch, the CPU runs a plain periodic tick.
+    pub fn effective_mode(&self) -> TickMode {
+        if self.switched {
+            self.mode
+        } else {
+            TickMode::Periodic
+        }
+    }
+
+    /// Poll the boot state at `now`; returns the switch action exactly
+    /// once, at or after `hres_at`.
+    pub fn poll(&mut self, now: SimTime) -> Option<BootSwitch> {
+        if self.switched || now < self.hres_at {
+            return None;
+        }
+        self.switched = true;
+        Some(BootSwitch {
+            declare_hypercall: self.boot_cpu && self.mode == TickMode::Paratick,
+            mode: self.mode,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_until_hres() {
+        let mut b = GuestBoot::new(SimTime::from_millis(100), TickMode::Paratick, true);
+        assert_eq!(b.effective_mode(), TickMode::Periodic);
+        assert_eq!(b.poll(SimTime::from_millis(50)), None);
+        assert!(!b.is_switched());
+    }
+
+    #[test]
+    fn switch_happens_once() {
+        let mut b = GuestBoot::new(SimTime::from_millis(100), TickMode::Paratick, true);
+        let s = b.poll(SimTime::from_millis(100)).unwrap();
+        assert_eq!(s.mode, TickMode::Paratick);
+        assert!(s.declare_hypercall);
+        assert_eq!(b.effective_mode(), TickMode::Paratick);
+        assert_eq!(b.poll(SimTime::from_millis(200)), None, "only once");
+    }
+
+    #[test]
+    fn non_boot_cpu_does_not_declare() {
+        let mut b = GuestBoot::new(SimTime::ZERO, TickMode::Paratick, false);
+        let s = b.poll(SimTime::ZERO).unwrap();
+        assert!(!s.declare_hypercall);
+    }
+
+    #[test]
+    fn dynticks_never_declares() {
+        let mut b = GuestBoot::immediate(TickMode::DynticksIdle, true);
+        let s = b.poll(SimTime::ZERO).unwrap();
+        assert!(!s.declare_hypercall);
+        assert_eq!(s.mode, TickMode::DynticksIdle);
+    }
+
+    #[test]
+    fn immediate_boot() {
+        let mut b = GuestBoot::immediate(TickMode::Paratick, true);
+        assert!(b.poll(SimTime::ZERO).is_some());
+    }
+}

@@ -1,0 +1,312 @@
+//! The assembled guest kernel: per-CPU tick scheduling, timer wheels,
+//! RCU and the thread scheduler for one VM.
+//!
+//! `GuestKernel` is the container the system engine drives. It owns one
+//! [`CpuLocal`] per vCPU (mirroring Linux per-CPU data) and answers the
+//! queries the tick strategies need:
+//!
+//! * *is the tick required?* — RCU pressure ([`GuestKernel::tick_required`]);
+//! * *when is the next soft event?* — earliest of the CPU's timer-wheel
+//!   fire and the next RCU event ([`GuestKernel::next_soft_event`]);
+//! * *run the tick body* — advance jiffies, expire wheel timers, invoke
+//!   ready RCU callbacks ([`GuestKernel::run_tick_body`]).
+
+use crate::boot::GuestBoot;
+use crate::rcu::Rcu;
+use crate::sched::{GuestSched, ThreadId};
+use crate::tick::{IdleEntryCtx, TickMode, TickSched};
+use crate::timer_wheel::{TimerHandle, TimerWheel};
+use paratick_sim::{Freq, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Payload of a guest soft timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SoftTimer {
+    /// A sleeping thread's wakeup (nanosleep, poll timeout, ...).
+    WakeThread(ThreadId),
+    /// Kernel housekeeping work (writeback, watchdog, vmstat, ...).
+    Housekeeping,
+}
+
+/// Per-CPU guest kernel state.
+#[derive(Clone, Debug)]
+pub struct CpuLocal {
+    pub tick: TickSched,
+    pub wheel: TimerWheel<SoftTimer>,
+    pub boot: GuestBoot,
+    /// Is this CPU in the idle loop?
+    pub idle: bool,
+    /// Jiffies processed by this CPU's tick path.
+    pub jiffies_seen: u64,
+}
+
+/// The guest kernel of one VM.
+#[derive(Clone, Debug)]
+pub struct GuestKernel {
+    pub hz: Freq,
+    period: SimDuration,
+    mode: TickMode,
+    pub cpus: Vec<CpuLocal>,
+    pub rcu: Rcu,
+    pub sched: GuestSched,
+}
+
+impl GuestKernel {
+    pub fn new(num_cpus: usize, num_threads: usize, hz: Freq, mode: TickMode) -> Self {
+        Self::with_boot(num_cpus, num_threads, hz, mode, SimTime::ZERO)
+    }
+
+    /// Build a kernel whose CPUs run a classic periodic tick until
+    /// high-resolution timers arrive at `hres_at` (§5.2.1), then switch
+    /// to `mode`.
+    pub fn with_boot(
+        num_cpus: usize,
+        num_threads: usize,
+        hz: Freq,
+        mode: TickMode,
+        hres_at: SimTime,
+    ) -> Self {
+        assert!(num_cpus > 0, "guest needs at least one CPU");
+        let period = hz.period();
+        let staged = hres_at > SimTime::ZERO;
+        let cpus = (0..num_cpus)
+            .map(|i| CpuLocal {
+                tick: if staged {
+                    TickSched::for_cpu(TickMode::Periodic, period, i)
+                } else {
+                    TickSched::for_cpu(mode, period, i)
+                },
+                wheel: TimerWheel::new(),
+                boot: GuestBoot::new(hres_at, mode, i == 0),
+                idle: false,
+                jiffies_seen: 0,
+            })
+            .collect();
+        GuestKernel {
+            hz,
+            period,
+            mode,
+            cpus,
+            rcu: Rcu::new(num_cpus, Rcu::DEFAULT_GRACE_JIFFIES),
+            sched: GuestSched::new(num_cpus, num_threads),
+        }
+    }
+
+    pub fn mode(&self) -> TickMode {
+        self.mode
+    }
+
+    /// The tick period (one jiffy).
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Convert an instant to guest jiffies.
+    pub fn jiffies(&self, now: SimTime) -> u64 {
+        SimDuration::from_nanos(now.as_nanos()) / self.period
+    }
+
+    /// Convert a jiffy count to the instant of its boundary.
+    pub fn jiffy_time(&self, jiffies: u64) -> SimTime {
+        SimTime::ZERO + self.period * jiffies
+    }
+
+    /// Does anything on `cpu` require the tick to stay enabled?
+    /// (Figure 1b "tick needed?": RCU in our model.)
+    pub fn tick_required(&self, cpu: usize) -> bool {
+        self.rcu.needs_tick(cpu)
+    }
+
+    /// The next soft event on `cpu`: the earlier of the timer wheel's
+    /// next fire and the next RCU event, as an absolute instant.
+    pub fn next_soft_event(&self, cpu: usize) -> Option<SimTime> {
+        let wheel_next = self.cpus[cpu].wheel.next_fire();
+        let rcu_next = self.rcu.next_event(cpu);
+        match (wheel_next, rcu_next) {
+            (None, None) => None,
+            (a, b) => {
+                let j = a.unwrap_or(u64::MAX).min(b.unwrap_or(u64::MAX));
+                Some(self.jiffy_time(j))
+            }
+        }
+    }
+
+    /// Build the idle-entry context for `cpu` (inputs to Fig. 1b/3c).
+    pub fn idle_entry_ctx(&self, cpu: usize, now: SimTime, armed: Option<SimTime>) -> IdleEntryCtx {
+        IdleEntryCtx {
+            now,
+            tick_required: self.tick_required(cpu),
+            next_event: self.next_soft_event(cpu),
+            armed,
+        }
+    }
+
+    /// The tick handler body: catch the CPU's jiffy view up to `now`,
+    /// expire due soft timers, invoke ready RCU callbacks. Returns the
+    /// fired soft timers (the engine wakes the named threads).
+    pub fn run_tick_body(&mut self, cpu: usize, now: SimTime) -> Vec<SoftTimer> {
+        let j = self.jiffies(now);
+        let cl = &mut self.cpus[cpu];
+        cl.jiffies_seen += 1;
+        let fired = cl.wheel.advance(j);
+        self.rcu.advance(cpu, j);
+        fired.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Arm a soft timer on `cpu` expiring `after` from `now`.
+    pub fn add_soft_timer(
+        &mut self,
+        cpu: usize,
+        now: SimTime,
+        after: SimDuration,
+        payload: SoftTimer,
+    ) -> TimerHandle {
+        // Round the expiry *up* to a jiffy boundary: soft timers must
+        // never fire before their requested time.
+        let deadline = now + after;
+        let expires = self
+            .jiffies(deadline.round_up(self.period))
+            .max(self.jiffies(now) + 1);
+        self.cpus[cpu].wheel.insert(expires, payload)
+    }
+
+    pub fn cancel_soft_timer(&mut self, cpu: usize, handle: TimerHandle) -> Option<SoftTimer> {
+        self.cpus[cpu].wheel.cancel(handle)
+    }
+
+    /// Mark the CPU as (not) idle. The engine flips this around HLT.
+    pub fn set_idle(&mut self, cpu: usize, idle: bool) {
+        self.cpus[cpu].idle = idle;
+    }
+
+    pub fn is_idle(&self, cpu: usize) -> bool {
+        self.cpus[cpu].idle
+    }
+
+    /// Perform the §5.2.1 mode switch on `cpu` if its boot clock has
+    /// reached the high-resolution instant. Returns the boot action
+    /// (whether to issue the paratick hypercall) exactly once.
+    pub fn try_boot_switch(&mut self, cpu: usize, now: SimTime) -> Option<crate::boot::BootSwitch> {
+        let period = self.period;
+        let cl = &mut self.cpus[cpu];
+        let switch = cl.boot.poll(now)?;
+        cl.tick = TickSched::for_cpu(switch.mode, period, cpu);
+        Some(switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tick::TimerAction;
+
+    fn kernel(mode: TickMode) -> GuestKernel {
+        GuestKernel::new(2, 4, Freq::hz(250), mode)
+    }
+
+    #[test]
+    fn jiffy_conversions() {
+        let k = kernel(TickMode::DynticksIdle);
+        assert_eq!(k.period(), SimDuration::from_millis(4));
+        assert_eq!(k.jiffies(SimTime::from_millis(9)), 2);
+        assert_eq!(k.jiffy_time(2), SimTime::from_millis(8));
+        assert_eq!(k.jiffies(k.jiffy_time(7)), 7);
+    }
+
+    #[test]
+    fn soft_timer_roundtrip() {
+        let mut k = kernel(TickMode::DynticksIdle);
+        let now = SimTime::from_millis(4);
+        let h = k.add_soft_timer(
+            0,
+            now,
+            SimDuration::from_millis(20),
+            SoftTimer::WakeThread(ThreadId(3)),
+        );
+        assert!(k.cpus[0].wheel.is_pending(h));
+        // Next soft event at jiffy 6 (= 24 ms).
+        assert_eq!(k.next_soft_event(0), Some(SimTime::from_millis(24)));
+        assert_eq!(k.next_soft_event(1), None, "per-CPU wheels");
+        let fired = k.run_tick_body(0, SimTime::from_millis(24));
+        assert_eq!(fired, vec![SoftTimer::WakeThread(ThreadId(3))]);
+        assert_eq!(k.next_soft_event(0), None);
+    }
+
+    #[test]
+    fn soft_timer_cancellation() {
+        let mut k = kernel(TickMode::DynticksIdle);
+        let h = k.add_soft_timer(
+            0,
+            SimTime::from_millis(4),
+            SimDuration::from_millis(8),
+            SoftTimer::Housekeeping,
+        );
+        assert_eq!(k.cancel_soft_timer(0, h), Some(SoftTimer::Housekeeping));
+        assert!(k.run_tick_body(0, SimTime::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn rcu_drives_tick_required() {
+        let mut k = kernel(TickMode::DynticksIdle);
+        assert!(!k.tick_required(0));
+        k.rcu.queue_callback(0, k.jiffies(SimTime::from_millis(8)));
+        assert!(k.tick_required(0));
+        assert!(!k.tick_required(1));
+        // next event = (2 + grace 2) jiffies = 16 ms.
+        assert_eq!(k.next_soft_event(0), Some(SimTime::from_millis(16)));
+        // Ticking past the grace period clears it.
+        k.run_tick_body(0, SimTime::from_millis(16));
+        assert!(!k.tick_required(0));
+    }
+
+    #[test]
+    fn next_soft_event_takes_earliest_of_wheel_and_rcu() {
+        let mut k = kernel(TickMode::DynticksIdle);
+        let now = SimTime::from_millis(4);
+        k.add_soft_timer(0, now, SimDuration::from_millis(40), SoftTimer::Housekeeping);
+        k.rcu.queue_callback(0, k.jiffies(now));
+        // RCU event at jiffy 1+2=3 (12 ms) precedes the wheel (44 ms).
+        assert_eq!(k.next_soft_event(0), Some(SimTime::from_millis(12)));
+    }
+
+    #[test]
+    fn idle_ctx_assembly() {
+        let mut k = kernel(TickMode::Paratick);
+        let now = SimTime::from_millis(5);
+        k.add_soft_timer(0, now, SimDuration::from_millis(30), SoftTimer::Housekeeping);
+        let ctx = k.idle_entry_ctx(0, now, Some(SimTime::from_millis(100)));
+        assert!(!ctx.tick_required);
+        assert_eq!(ctx.next_event, Some(SimTime::from_millis(36)));
+        assert_eq!(ctx.armed, Some(SimTime::from_millis(100)));
+        // And the paratick strategy would reprogram: 36 ms < 100 ms.
+        let mut tick = TickSched::new(TickMode::Paratick, k.period());
+        tick.on_activate(now);
+        assert_eq!(
+            tick.on_idle_entry(ctx),
+            TimerAction::Program(SimTime::from_millis(36))
+        );
+    }
+
+    #[test]
+    fn idle_flag() {
+        let mut k = kernel(TickMode::DynticksIdle);
+        assert!(!k.is_idle(0));
+        k.set_idle(0, true);
+        assert!(k.is_idle(0));
+        k.set_idle(0, false);
+        assert!(!k.is_idle(0));
+    }
+
+    #[test]
+    fn tick_body_counts_jiffies() {
+        let mut k = kernel(TickMode::Periodic);
+        k.run_tick_body(0, SimTime::from_millis(4));
+        k.run_tick_body(0, SimTime::from_millis(8));
+        assert_eq!(k.cpus[0].jiffies_seen, 2);
+        assert_eq!(k.cpus[1].jiffies_seen, 0);
+    }
+}

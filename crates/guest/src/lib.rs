@@ -1,0 +1,39 @@
+//! # paratick-guest — guest kernel model
+//!
+//! The Linux-guest half of the paratick reproduction. Everything the
+//! paper's guest-side patch touches is modelled here:
+//!
+//! * [`tick`] — the three tick-scheduling strategies: classic periodic,
+//!   dynticks-idle (Figure 1 of the paper) and paratick (Figure 3). The
+//!   strategies are pure per-CPU decision machines; each `Program` /
+//!   `Disable` they emit is one `TSC_DEADLINE` write — a VM exit.
+//! * [`timer_wheel`] — the Linux non-cascading hierarchical timer wheel
+//!   holding soft timers; its `next_fire` answers "when is the next soft
+//!   interrupt?" at idle entry.
+//! * [`rcu`] — RCU callback pressure, the main in-kernel veto on
+//!   stopping the tick.
+//! * [`sched`] — per-vCPU run queues with CFS-style wake placement.
+//! * [`sync`] — blocking mutex / condvar / barrier state machines, the
+//!   source of the rapid idle transitions §3.2 analyses.
+//! * [`boot`] — the boot sequence: periodic tick until high-resolution
+//!   timers arrive, then the mode switch (and paratick's declaration
+//!   hypercall, §5.2.1).
+//! * [`kernel`] — the assembled per-VM [`kernel::GuestKernel`].
+
+pub mod boot;
+pub mod kernel;
+pub mod rcu;
+pub mod sched;
+pub mod sync;
+pub mod tick;
+pub mod timer_wheel;
+
+pub use boot::{BootSwitch, GuestBoot};
+pub use kernel::{CpuLocal, GuestKernel, SoftTimer};
+pub use rcu::Rcu;
+pub use sched::{GuestSched, Placement, RunQueue, ThreadId};
+pub use sync::{BarrierOutcome, GuestBarrier, GuestCondvar, GuestMutex, LockOutcome};
+pub use tick::{
+    IdleEntryCtx, TickIrqOutcome, TickMode, TickSched, TimerAction, VirtualTickOutcome,
+};
+pub use timer_wheel::{TimerHandle, TimerWheel};

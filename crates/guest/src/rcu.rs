@@ -1,0 +1,127 @@
+//! RCU (read-copy-update) callback engine model.
+//!
+//! RCU matters to this study for one reason: it is the main in-kernel
+//! consumer that can *veto* stopping the tick. `tick_nohz_idle_enter`
+//! asks `rcu_needs_cpu()`; if callbacks are queued and the grace period
+//! machinery still needs this CPU, the tick stays on (Fig. 1b "tick
+//! needed?"), or a wakeup must be arranged at the next RCU event.
+//!
+//! The model: callbacks are queued per CPU; a queued callback becomes
+//! invocable one grace period after it is queued (we approximate the
+//! grace period as a configurable number of jiffies — real grace periods
+//! are a few jiffies on an idle machine). `needs_tick` is true while any
+//! callback on the CPU is not yet invocable; `next_event` reports when
+//! the earliest one becomes invocable.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Per-CPU RCU callback state.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RcuCpu {
+    /// Jiffies at which queued callbacks become invocable (sorted by
+    /// construction: monotone queue times + fixed grace period).
+    ready_at: VecDeque<u64>,
+    pub queued: u64,
+    pub invoked: u64,
+}
+
+/// RCU engine for one VM.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Rcu {
+    cpus: Vec<RcuCpu>,
+    /// Grace period length in jiffies.
+    grace_jiffies: u64,
+}
+
+impl Rcu {
+    /// Linux grace periods on a lightly loaded box are a handful of
+    /// jiffies; 2 is a reasonable model default.
+    pub const DEFAULT_GRACE_JIFFIES: u64 = 2;
+
+    pub fn new(num_cpus: usize, grace_jiffies: u64) -> Self {
+        assert!(grace_jiffies > 0, "zero grace period");
+        Rcu {
+            cpus: vec![RcuCpu::default(); num_cpus],
+            grace_jiffies,
+        }
+    }
+
+    /// `call_rcu` on `cpu` at jiffy `now`.
+    pub fn queue_callback(&mut self, cpu: usize, now_jiffies: u64) {
+        let c = &mut self.cpus[cpu];
+        c.ready_at.push_back(now_jiffies + self.grace_jiffies);
+        c.queued += 1;
+    }
+
+    /// `rcu_needs_cpu`: does this CPU still need ticks for RCU progress?
+    pub fn needs_tick(&self, cpu: usize) -> bool {
+        !self.cpus[cpu].ready_at.is_empty()
+    }
+
+    /// Jiffy of the next RCU event on `cpu` (earliest callback becoming
+    /// invocable), if any.
+    pub fn next_event(&self, cpu: usize) -> Option<u64> {
+        self.cpus[cpu].ready_at.front().copied()
+    }
+
+    /// Invoke all callbacks that became ready by `now_jiffies`; returns
+    /// how many ran. Called from the tick/softirq path.
+    pub fn advance(&mut self, cpu: usize, now_jiffies: u64) -> u64 {
+        let c = &mut self.cpus[cpu];
+        let mut n = 0;
+        while c.ready_at.front().is_some_and(|&r| r <= now_jiffies) {
+            c.ready_at.pop_front();
+            n += 1;
+        }
+        c.invoked += n;
+        n
+    }
+
+    pub fn pending(&self, cpu: usize) -> usize {
+        self.cpus[cpu].ready_at.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn callback_lifecycle() {
+        let mut rcu = Rcu::new(2, 2);
+        assert!(!rcu.needs_tick(0));
+        rcu.queue_callback(0, 10);
+        assert!(rcu.needs_tick(0));
+        assert!(!rcu.needs_tick(1), "per-CPU isolation");
+        assert_eq!(rcu.next_event(0), Some(12));
+        assert_eq!(rcu.advance(0, 11), 0, "grace period not yet over");
+        assert_eq!(rcu.advance(0, 12), 1);
+        assert!(!rcu.needs_tick(0));
+        assert_eq!(rcu.cpus[0].invoked, 1);
+    }
+
+    #[test]
+    fn multiple_callbacks_ordered() {
+        let mut rcu = Rcu::new(1, 3);
+        rcu.queue_callback(0, 10);
+        rcu.queue_callback(0, 11);
+        rcu.queue_callback(0, 20);
+        assert_eq!(rcu.next_event(0), Some(13));
+        assert_eq!(rcu.advance(0, 14), 2);
+        assert_eq!(rcu.next_event(0), Some(23));
+        assert_eq!(rcu.pending(0), 1);
+    }
+
+    #[test]
+    fn advance_on_empty_is_zero() {
+        let mut rcu = Rcu::new(1, 2);
+        assert_eq!(rcu.advance(0, 100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero grace")]
+    fn zero_grace_rejected() {
+        Rcu::new(1, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Barrier over guest threads.
+//!
+//! PARSEC's data-parallel benchmarks (streamcluster, fluidanimate,
+//! bodytrack…) synchronize through barriers; each barrier crossing
+//! blocks all-but-the-last thread and then wakes them all at once — a
+//! wake *burst* that slams several idle vCPUs simultaneously. This burst
+//! pattern is why the paper sees paratick's benefit grow with VM size
+//! (§6.2: "the level of parallelism dictates the amount of thread
+//! contention and therefore the amount of switches between running and
+//! blocked states").
+
+use crate::sched::ThreadId;
+use serde::{Deserialize, Serialize};
+
+/// Result of arriving at a barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BarrierOutcome {
+    /// Not everyone is here: the arriving thread blocks.
+    Waiting,
+    /// The arriving thread was last: the barrier opens. The listed
+    /// threads (everyone *except* the arriver, which never blocked) must
+    /// be woken.
+    Released(Vec<ThreadId>),
+}
+
+/// A reusable (cyclic) barrier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GuestBarrier {
+    parties: usize,
+    waiting: Vec<ThreadId>,
+    /// Completed barrier cycles.
+    pub generations: u64,
+}
+
+impl GuestBarrier {
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier of zero parties");
+        GuestBarrier {
+            parties,
+            waiting: Vec::with_capacity(parties),
+            generations: 0,
+        }
+    }
+
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// `t` arrives at the barrier.
+    pub fn arrive(&mut self, t: ThreadId) -> BarrierOutcome {
+        assert!(!self.waiting.contains(&t), "{t:?}: double arrive");
+        if self.waiting.len() + 1 == self.parties {
+            self.generations += 1;
+            BarrierOutcome::Released(std::mem::take(&mut self.waiting))
+        } else {
+            self.waiting.push(t);
+            BarrierOutcome::Waiting
+        }
+    }
+
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    #[test]
+    fn single_party_never_blocks() {
+        let mut b = GuestBarrier::new(1);
+        assert_eq!(b.arrive(t(0)), BarrierOutcome::Released(vec![]));
+        assert_eq!(b.generations, 1);
+    }
+
+    #[test]
+    fn last_arrival_releases_all_others() {
+        let mut b = GuestBarrier::new(3);
+        assert_eq!(b.arrive(t(0)), BarrierOutcome::Waiting);
+        assert_eq!(b.arrive(t(1)), BarrierOutcome::Waiting);
+        assert_eq!(b.waiting(), 2);
+        match b.arrive(t(2)) {
+            BarrierOutcome::Released(woken) => assert_eq!(woken, vec![t(0), t(1)]),
+            other => panic!("expected release, got {other:?}"),
+        }
+        assert_eq!(b.waiting(), 0);
+    }
+
+    #[test]
+    fn barrier_is_cyclic() {
+        let mut b = GuestBarrier::new(2);
+        b.arrive(t(0));
+        assert!(matches!(b.arrive(t(1)), BarrierOutcome::Released(_)));
+        // Same threads can use it again.
+        assert_eq!(b.arrive(t(1)), BarrierOutcome::Waiting);
+        assert!(matches!(b.arrive(t(0)), BarrierOutcome::Released(_)));
+        assert_eq!(b.generations, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double arrive")]
+    fn double_arrive_panics() {
+        let mut b = GuestBarrier::new(3);
+        b.arrive(t(0));
+        b.arrive(t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parties")]
+    fn zero_parties_rejected() {
+        GuestBarrier::new(0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Condition variable over guest threads.
+//!
+//! Models `pthread_cond_t` at the block/wake level. The associated mutex
+//! interplay (release-before-wait, reacquire-after-wake) is sequenced by
+//! the workload engine; the condvar itself only tracks the wait queue.
+
+use crate::sched::ThreadId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A condition variable wait queue.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GuestCondvar {
+    waiters: VecDeque<ThreadId>,
+    pub waits: u64,
+    pub notifies: u64,
+}
+
+impl GuestCondvar {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The thread blocks on the condvar.
+    pub fn wait(&mut self, t: ThreadId) {
+        assert!(!self.waiters.contains(&t), "{t:?}: double wait");
+        self.waits += 1;
+        self.waiters.push_back(t);
+    }
+
+    /// Wake the oldest waiter, if any.
+    pub fn notify_one(&mut self) -> Option<ThreadId> {
+        self.notifies += 1;
+        self.waiters.pop_front()
+    }
+
+    /// Wake all waiters (in wait order).
+    pub fn notify_all(&mut self) -> Vec<ThreadId> {
+        self.notifies += 1;
+        self.waiters.drain(..).collect()
+    }
+
+    pub fn waiters(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    #[test]
+    fn notify_one_fifo() {
+        let mut cv = GuestCondvar::new();
+        cv.wait(t(0));
+        cv.wait(t(1));
+        assert_eq!(cv.notify_one(), Some(t(0)));
+        assert_eq!(cv.notify_one(), Some(t(1)));
+        assert_eq!(cv.notify_one(), None);
+        assert_eq!(cv.waits, 2);
+        assert_eq!(cv.notifies, 3);
+    }
+
+    #[test]
+    fn notify_all_drains() {
+        let mut cv = GuestCondvar::new();
+        cv.wait(t(2));
+        cv.wait(t(0));
+        cv.wait(t(1));
+        assert_eq!(cv.notify_all(), vec![t(2), t(0), t(1)]);
+        assert_eq!(cv.waiters(), 0);
+        assert!(cv.notify_all().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "double wait")]
+    fn double_wait_panics() {
+        let mut cv = GuestCondvar::new();
+        cv.wait(t(0));
+        cv.wait(t(0));
+    }
+}

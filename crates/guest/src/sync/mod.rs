@@ -1,0 +1,22 @@
+//! Blocking synchronization primitives (futex-backed, as in glibc).
+//!
+//! The paper's core multithreaded claim (§3.2) is that **blocking
+//! synchronization** makes vCPUs oscillate between idle and active
+//! thousands of times per second: "critical sections are often no longer
+//! than a few microseconds. Therefore, synchronizing threads may block
+//! and unblock thousands of times per second."
+//!
+//! These primitives are state machines over [`crate::sched::ThreadId`]s: they decide
+//! *who blocks* and *who gets woken*; the engine turns those decisions
+//! into guest-scheduler and vCPU events. All primitives count their
+//! block/wake traffic so workload calibration can be checked against the
+//! paper's sync-rate assumptions (e.g. W3's 1000 synchronizations per
+//! second per thread).
+
+mod barrier;
+mod condvar;
+mod mutex;
+
+pub use barrier::{BarrierOutcome, GuestBarrier};
+pub use condvar::GuestCondvar;
+pub use mutex::{GuestMutex, LockOutcome};

@@ -1,0 +1,151 @@
+//! Blocking mutex (futex-style).
+//!
+//! Uncontended acquire/release never reaches the kernel (a CAS in user
+//! space). Contended acquire blocks the thread (futex wait) — the event
+//! that idles a vCPU; release hands the lock to the oldest waiter and
+//! reports it so the engine can wake it (futex wake → possibly an IPI to
+//! an idle vCPU → the VM-exit traffic the paper measures).
+
+use crate::sched::ThreadId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Result of a lock attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// Got the lock immediately (user-space fast path).
+    Acquired,
+    /// Lock held: the thread must block until handed the lock.
+    Blocked,
+}
+
+/// A blocking mutex over guest threads.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GuestMutex {
+    holder: Option<ThreadId>,
+    waiters: VecDeque<ThreadId>,
+    pub acquires: u64,
+    pub contended_acquires: u64,
+}
+
+impl GuestMutex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempt to take the lock.
+    pub fn lock(&mut self, t: ThreadId) -> LockOutcome {
+        assert_ne!(self.holder, Some(t), "{t:?}: recursive lock");
+        assert!(!self.waiters.contains(&t), "{t:?}: double lock attempt");
+        self.acquires += 1;
+        if self.holder.is_none() {
+            self.holder = Some(t);
+            LockOutcome::Acquired
+        } else {
+            self.contended_acquires += 1;
+            self.waiters.push_back(t);
+            LockOutcome::Blocked
+        }
+    }
+
+    /// Release the lock. If a waiter exists, ownership passes to it and
+    /// it is returned so the caller can wake it (it starts running *in*
+    /// the critical section, as with futex-handed-off locks).
+    pub fn unlock(&mut self, t: ThreadId) -> Option<ThreadId> {
+        assert_eq!(self.holder, Some(t), "{t:?}: unlock by non-holder");
+        self.holder = self.waiters.pop_front();
+        self.holder
+    }
+
+    pub fn holder(&self) -> Option<ThreadId> {
+        self.holder
+    }
+
+    pub fn waiters(&self) -> usize {
+        self.waiters.len()
+    }
+
+    pub fn is_locked(&self) -> bool {
+        self.holder.is_some()
+    }
+
+    /// Fraction of acquires that had to block.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquires == 0 {
+            0.0
+        } else {
+            self.contended_acquires as f64 / self.acquires as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    #[test]
+    fn uncontended_fast_path() {
+        let mut m = GuestMutex::new();
+        assert_eq!(m.lock(t(0)), LockOutcome::Acquired);
+        assert!(m.is_locked());
+        assert_eq!(m.unlock(t(0)), None);
+        assert!(!m.is_locked());
+        assert_eq!(m.contended_acquires, 0);
+    }
+
+    #[test]
+    fn contended_fifo_handoff() {
+        let mut m = GuestMutex::new();
+        m.lock(t(0));
+        assert_eq!(m.lock(t(1)), LockOutcome::Blocked);
+        assert_eq!(m.lock(t(2)), LockOutcome::Blocked);
+        assert_eq!(m.waiters(), 2);
+        // Handoff: t1 owns the lock the moment t0 releases.
+        assert_eq!(m.unlock(t(0)), Some(t(1)));
+        assert_eq!(m.holder(), Some(t(1)));
+        assert_eq!(m.unlock(t(1)), Some(t(2)));
+        assert_eq!(m.unlock(t(2)), None);
+    }
+
+    #[test]
+    fn contention_ratio() {
+        let mut m = GuestMutex::new();
+        m.lock(t(0));
+        m.lock(t(1));
+        m.unlock(t(0));
+        m.unlock(t(1));
+        assert_eq!(m.acquires, 2);
+        assert_eq!(m.contended_acquires, 1);
+        assert!((m.contention_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(GuestMutex::new().contention_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlock by non-holder")]
+    fn unlock_by_non_holder_panics() {
+        let mut m = GuestMutex::new();
+        m.lock(t(0));
+        m.unlock(t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "recursive lock")]
+    fn recursive_lock_panics() {
+        let mut m = GuestMutex::new();
+        m.lock(t(0));
+        m.lock(t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "double lock attempt")]
+    fn double_wait_panics() {
+        let mut m = GuestMutex::new();
+        m.lock(t(0));
+        m.lock(t(1));
+        m.lock(t(1));
+    }
+}

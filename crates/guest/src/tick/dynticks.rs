@@ -1,0 +1,223 @@
+//! Dynticks-idle (tickless) mode — paper §2 & §3.2, Figure 1.
+//!
+//! Faithful to the Figure-1 decision diagrams:
+//!
+//! * **Tick handler** (Fig. 1a): perform tick work; re-arm the timer for
+//!   the next boundary *unless* the tick has been deferred or disabled
+//!   (then the interrupt was a deferred wakeup timer, not a tick).
+//! * **Idle entry** (Fig. 1b): if a component needs the tick, or the
+//!   next soft-timer/RCU event falls within the next tick period, keep
+//!   the tick and halt. Otherwise defer the timer to the next event, or
+//!   disable it entirely if there is none. Deferring/disabling costs one
+//!   `TSC_DEADLINE` write — a VM exit.
+//! * **Idle exit** (Fig. 1c): if the tick was deferred or disabled,
+//!   re-arm it for the next boundary — another write/exit. This
+//!   enter/exit pair is the overhead that makes tickless kernels perform
+//!   poorly for rapidly-idling workloads (§3.2).
+
+use super::{next_tick_after, IdleEntryCtx, TickIrqOutcome, TimerAction};
+use paratick_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-CPU dynticks state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DynticksTick {
+    pub period: SimDuration,
+    /// The tick is currently deferred or disabled (set at idle entry,
+    /// cleared when the tick is re-armed).
+    tick_stopped: bool,
+    pub ticks_handled: u64,
+    pub stops: u64,
+    pub restarts: u64,
+}
+
+impl DynticksTick {
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "zero tick period");
+        DynticksTick {
+            period,
+            tick_stopped: false,
+            ticks_handled: 0,
+            stops: 0,
+            restarts: 0,
+        }
+    }
+
+    pub fn tick_stopped(&self) -> bool {
+        self.tick_stopped
+    }
+
+    /// Figure 1a.
+    pub fn on_tick_irq(&mut self, now: SimTime) -> TickIrqOutcome {
+        self.ticks_handled += 1;
+        let timer = if self.tick_stopped {
+            // Deferred/disabled: skip the re-programming step.
+            TimerAction::None
+        } else {
+            TimerAction::Program(next_tick_after(now, self.period))
+        };
+        TickIrqOutcome {
+            run_handler: true,
+            timer,
+        }
+    }
+
+    /// Figure 1b.
+    pub fn on_idle_entry(&mut self, ctx: IdleEntryCtx) -> TimerAction {
+        if self.tick_stopped {
+            // Re-entering idle with the tick already stopped (e.g. a
+            // brief wakeup that never restarted it): nothing to do.
+            return TimerAction::None;
+        }
+        if ctx.tick_required {
+            // RCU / irq-work need the tick: keep it.
+            return TimerAction::None;
+        }
+        let next_tick = next_tick_after(ctx.now, self.period);
+        match ctx.next_event {
+            Some(e) if e <= next_tick => {
+                // Next event within the tick period: not worth stopping.
+                TimerAction::None
+            }
+            Some(e) => {
+                // Defer the timer to the event.
+                self.tick_stopped = true;
+                self.stops += 1;
+                TimerAction::Program(e)
+            }
+            None => {
+                // Nothing scheduled: disable the tick entirely.
+                self.tick_stopped = true;
+                self.stops += 1;
+                TimerAction::Disable
+            }
+        }
+    }
+
+    /// Figure 1c.
+    pub fn on_idle_exit(&mut self, now: SimTime) -> TimerAction {
+        if self.tick_stopped {
+            self.tick_stopped = false;
+            self.restarts += 1;
+            TimerAction::Program(next_tick_after(now, self.period))
+        } else {
+            TimerAction::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERIOD: SimDuration = SimDuration::from_millis(4);
+
+    fn ctx(now_ms: u64, required: bool, next_ms: Option<u64>) -> IdleEntryCtx {
+        IdleEntryCtx {
+            now: SimTime::from_millis(now_ms),
+            tick_required: required,
+            next_event: next_ms.map(SimTime::from_millis),
+            armed: Some(next_tick_after(SimTime::from_millis(now_ms), PERIOD)),
+        }
+    }
+
+    #[test]
+    fn busy_tick_rearms() {
+        let mut s = DynticksTick::new(PERIOD);
+        let out = s.on_tick_irq(SimTime::from_millis(4));
+        assert!(out.run_handler);
+        assert_eq!(out.timer, TimerAction::Program(SimTime::from_millis(8)));
+    }
+
+    #[test]
+    fn idle_with_no_events_disables_tick() {
+        let mut s = DynticksTick::new(PERIOD);
+        assert_eq!(s.on_idle_entry(ctx(5, false, None)), TimerAction::Disable);
+        assert!(s.tick_stopped());
+        assert_eq!(s.stops, 1);
+    }
+
+    #[test]
+    fn idle_with_far_event_defers_to_event() {
+        let mut s = DynticksTick::new(PERIOD);
+        // now=5ms, next tick=8ms, event at 50ms: defer to 50ms.
+        assert_eq!(
+            s.on_idle_entry(ctx(5, false, Some(50))),
+            TimerAction::Program(SimTime::from_millis(50))
+        );
+        assert!(s.tick_stopped());
+    }
+
+    #[test]
+    fn idle_with_near_event_keeps_tick() {
+        let mut s = DynticksTick::new(PERIOD);
+        // Event at 7ms, next tick at 8ms: within the period, keep tick.
+        assert_eq!(s.on_idle_entry(ctx(5, false, Some(7))), TimerAction::None);
+        assert!(!s.tick_stopped());
+    }
+
+    #[test]
+    fn rcu_pressure_keeps_tick() {
+        let mut s = DynticksTick::new(PERIOD);
+        assert_eq!(s.on_idle_entry(ctx(5, true, None)), TimerAction::None);
+        assert!(!s.tick_stopped());
+    }
+
+    #[test]
+    fn idle_exit_restarts_stopped_tick() {
+        let mut s = DynticksTick::new(PERIOD);
+        s.on_idle_entry(ctx(5, false, None));
+        let act = s.on_idle_exit(SimTime::from_millis(21));
+        assert_eq!(act, TimerAction::Program(SimTime::from_millis(24)));
+        assert!(!s.tick_stopped());
+        assert_eq!(s.restarts, 1);
+    }
+
+    #[test]
+    fn idle_exit_with_running_tick_is_free() {
+        let mut s = DynticksTick::new(PERIOD);
+        s.on_idle_entry(ctx(5, false, Some(7))); // tick kept
+        assert_eq!(s.on_idle_exit(SimTime::from_millis(6)), TimerAction::None);
+        assert_eq!(s.restarts, 0);
+    }
+
+    #[test]
+    fn deferred_timer_fire_skips_rearm() {
+        let mut s = DynticksTick::new(PERIOD);
+        s.on_idle_entry(ctx(5, false, Some(50)));
+        // The deferred timer fires at 50ms while still idle-ish: the
+        // handler runs but must not re-arm (Fig. 1a "deferred or
+        // disabled?" branch).
+        let out = s.on_tick_irq(SimTime::from_millis(50));
+        assert!(out.run_handler);
+        assert_eq!(out.timer, TimerAction::None);
+    }
+
+    #[test]
+    fn reentering_idle_while_stopped_is_free() {
+        let mut s = DynticksTick::new(PERIOD);
+        s.on_idle_entry(ctx(5, false, None));
+        // A spurious wake that went straight back to idle without the
+        // exit path restarting the tick is not double-charged.
+        assert_eq!(s.on_idle_entry(ctx(6, false, None)), TimerAction::None);
+        assert_eq!(s.stops, 1);
+    }
+
+    #[test]
+    fn full_idle_cycle_costs_two_writes() {
+        // The §3.2 ledger: one write at entry (defer/disable) + one at
+        // exit (restart) = 2 MSR writes per idle period.
+        let mut s = DynticksTick::new(PERIOD);
+        let mut writes = 0;
+        for cycle in 0..10u64 {
+            let now = 10 + cycle * 10;
+            if s.on_idle_entry(ctx(now, false, None)) != TimerAction::None {
+                writes += 1;
+            }
+            if s.on_idle_exit(SimTime::from_millis(now + 5)) != TimerAction::None {
+                writes += 1;
+            }
+        }
+        assert_eq!(writes, 20);
+    }
+}

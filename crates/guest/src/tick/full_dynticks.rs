@@ -1,0 +1,257 @@
+//! Full dynticks ("adaptive ticks", `CONFIG_NO_HZ_FULL`) — the third
+//! tick mode §2 of the paper describes but declines to evaluate:
+//!
+//! > "another mode of operation exists with regard to the scheduler
+//! > tick, namely full dynticks mode. This mode disables the tick on
+//! > CPUs that have at most one runnable task."
+//!
+//! We implement it as an extension so the evaluation can be widened
+//! beyond the paper: the tick is stopped not only when idle but also
+//! when a CPU runs a *single* task. A housekeeping CPU (CPU 0, as in
+//! Linux) always keeps its tick: something must advance jiffies and run
+//! the timekeeping machinery.
+//!
+//! State machine relative to dynticks: the tick handler re-arms only on
+//! the housekeeping CPU or when the run queue is contended; idle
+//! entry/exit follow Figure 1; and when a second task is enqueued on a
+//! tickless busy CPU, the kernel must *restart* the tick (Linux sends an
+//! IPI; the engine delivers it and calls
+//! [`FullDynticksTick::ensure_tick`]).
+
+use super::{next_tick_after, IdleEntryCtx, TickIrqOutcome, TimerAction};
+use paratick_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-CPU full-dynticks state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FullDynticksTick {
+    pub period: SimDuration,
+    /// CPU 0: keeps the tick unconditionally (timekeeping duty).
+    housekeeping: bool,
+    tick_stopped: bool,
+    pub ticks_handled: u64,
+    pub stops: u64,
+    pub restarts: u64,
+}
+
+impl FullDynticksTick {
+    pub fn new(period: SimDuration, housekeeping: bool) -> Self {
+        assert!(!period.is_zero(), "zero tick period");
+        FullDynticksTick {
+            period,
+            housekeeping,
+            tick_stopped: false,
+            ticks_handled: 0,
+            stops: 0,
+            restarts: 0,
+        }
+    }
+
+    pub fn is_housekeeping(&self) -> bool {
+        self.housekeeping
+    }
+
+    pub fn tick_stopped(&self) -> bool {
+        self.tick_stopped
+    }
+
+    /// Tick handler: re-arm only when the tick is still wanted.
+    pub fn on_tick_irq(&mut self, now: SimTime, rq_contended: bool) -> TickIrqOutcome {
+        self.ticks_handled += 1;
+        if self.tick_stopped {
+            // Deferred wakeup timer, not a tick: no re-arm.
+            return TickIrqOutcome {
+                run_handler: true,
+                timer: TimerAction::None,
+            };
+        }
+        if self.housekeeping || rq_contended {
+            TickIrqOutcome {
+                run_handler: true,
+                timer: TimerAction::Program(next_tick_after(now, self.period)),
+            }
+        } else {
+            // Solo task: adaptive-tick entry — stop the tick while busy.
+            self.tick_stopped = true;
+            self.stops += 1;
+            TickIrqOutcome {
+                run_handler: true,
+                timer: TimerAction::None,
+            }
+        }
+    }
+
+    /// Idle entry: identical to dynticks (Figure 1b), except the tick is
+    /// frequently already stopped.
+    pub fn on_idle_entry(&mut self, ctx: IdleEntryCtx) -> TimerAction {
+        if self.tick_stopped {
+            // Already tickless: arrange a wakeup only if events need it
+            // and no sooner timer is armed (paratick-style reuse is NOT
+            // done by Linux here; it reprograms).
+            let wanted = if ctx.tick_required {
+                Some(next_tick_after(ctx.now, self.period))
+            } else {
+                ctx.next_event
+            };
+            return match (wanted, ctx.armed) {
+                (Some(w), Some(a)) if a <= w => TimerAction::None,
+                (Some(w), _) => TimerAction::Program(w),
+                (None, Some(_)) => TimerAction::Disable,
+                (None, None) => TimerAction::None,
+            };
+        }
+        if ctx.tick_required {
+            return TimerAction::None;
+        }
+        let next_tick = next_tick_after(ctx.now, self.period);
+        match ctx.next_event {
+            Some(e) if e <= next_tick => TimerAction::None,
+            Some(e) => {
+                self.tick_stopped = true;
+                self.stops += 1;
+                TimerAction::Program(e)
+            }
+            None => {
+                self.tick_stopped = true;
+                self.stops += 1;
+                TimerAction::Disable
+            }
+        }
+    }
+
+    /// Idle exit: restart the tick only if the CPU will be contended
+    /// (or is the housekeeping CPU); a solo task stays tickless.
+    pub fn on_idle_exit(&mut self, now: SimTime, rq_contended: bool) -> TimerAction {
+        if self.tick_stopped && (self.housekeeping || rq_contended) {
+            self.tick_stopped = false;
+            self.restarts += 1;
+            TimerAction::Program(next_tick_after(now, self.period))
+        } else {
+            TimerAction::None
+        }
+    }
+
+    /// A second task was enqueued on this (busy, tickless) CPU: restart
+    /// the tick so the scheduler can time-slice (Linux's
+    /// `tick_nohz_full_kick`).
+    pub fn ensure_tick(&mut self, now: SimTime) -> TimerAction {
+        if self.tick_stopped {
+            self.tick_stopped = false;
+            self.restarts += 1;
+            TimerAction::Program(next_tick_after(now, self.period))
+        } else {
+            TimerAction::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERIOD: SimDuration = SimDuration::from_millis(4);
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn worker() -> FullDynticksTick {
+        FullDynticksTick::new(PERIOD, false)
+    }
+
+    #[test]
+    fn housekeeping_always_rearms() {
+        let mut s = FullDynticksTick::new(PERIOD, true);
+        let out = s.on_tick_irq(t(4), false);
+        assert_eq!(out.timer, TimerAction::Program(t(8)));
+        assert!(!s.tick_stopped());
+    }
+
+    #[test]
+    fn solo_task_stops_tick_while_busy() {
+        let mut s = worker();
+        let out = s.on_tick_irq(t(4), false);
+        assert!(out.run_handler);
+        assert_eq!(out.timer, TimerAction::None, "adaptive ticks: no re-arm");
+        assert!(s.tick_stopped());
+        assert_eq!(s.stops, 1);
+    }
+
+    #[test]
+    fn contended_rq_keeps_tick() {
+        let mut s = worker();
+        let out = s.on_tick_irq(t(4), true);
+        assert_eq!(out.timer, TimerAction::Program(t(8)));
+        assert!(!s.tick_stopped());
+    }
+
+    #[test]
+    fn ensure_tick_restarts_once() {
+        let mut s = worker();
+        s.on_tick_irq(t(4), false); // stops
+        assert_eq!(s.ensure_tick(t(5)), TimerAction::Program(t(8)));
+        assert!(!s.tick_stopped());
+        assert_eq!(s.ensure_tick(t(5)), TimerAction::None, "idempotent");
+        assert_eq!(s.restarts, 1);
+    }
+
+    #[test]
+    fn idle_exit_solo_stays_tickless() {
+        let mut s = worker();
+        s.on_idle_entry(IdleEntryCtx {
+            now: t(5),
+            tick_required: false,
+            next_event: None,
+            armed: None,
+        });
+        assert!(s.tick_stopped());
+        assert_eq!(s.on_idle_exit(t(9), false), TimerAction::None);
+        assert!(s.tick_stopped(), "solo wakeup stays tickless");
+        assert_eq!(s.on_idle_exit(t(9), true), TimerAction::Program(t(12)));
+        assert!(!s.tick_stopped());
+    }
+
+    #[test]
+    fn idle_entry_when_already_stopped_programs_events_only() {
+        let mut s = worker();
+        s.on_tick_irq(t(4), false); // tickless while busy
+        // Idle with a pending soft event at 50 ms: program it.
+        let act = s.on_idle_entry(IdleEntryCtx {
+            now: t(5),
+            tick_required: false,
+            next_event: Some(t(50)),
+            armed: None,
+        });
+        assert_eq!(act, TimerAction::Program(t(50)));
+        // Sooner timer already armed: reuse.
+        let act = s.on_idle_entry(IdleEntryCtx {
+            now: t(6),
+            tick_required: false,
+            next_event: Some(t(50)),
+            armed: Some(t(30)),
+        });
+        assert_eq!(act, TimerAction::None);
+        // Nothing needed but stale timer armed: disarm (Linux behaviour).
+        let act = s.on_idle_entry(IdleEntryCtx {
+            now: t(7),
+            tick_required: false,
+            next_event: None,
+            armed: Some(t(30)),
+        });
+        assert_eq!(act, TimerAction::Disable);
+    }
+
+    #[test]
+    fn deferred_timer_fire_does_not_rearm() {
+        let mut s = worker();
+        s.on_idle_entry(IdleEntryCtx {
+            now: t(5),
+            tick_required: false,
+            next_event: Some(t(50)),
+            armed: None,
+        });
+        let out = s.on_tick_irq(t(50), false);
+        assert!(out.run_handler);
+        assert_eq!(out.timer, TimerAction::None);
+    }
+}

@@ -1,0 +1,347 @@
+//! Scheduler-tick management strategies.
+//!
+//! One [`TickSched`] instance exists per (v)CPU; it is the decision
+//! engine behind `kernel/time/tick-sched.c` in each of the three modes
+//! the paper studies:
+//!
+//! * [`PeriodicTick`] — the classic fixed-rate tick (§3.1): the tick timer is
+//!   always armed; every tick handler re-arms it.
+//! * [`DynticksTick`] — tickless / "dynticks idle" (§3.2, Figure 1): the tick
+//!   is stopped on idle entry when nothing needs it, deferred to the next
+//!   soft-timer/RCU event otherwise, and re-armed on idle exit.
+//! * [`ParatickTick`] — virtual scheduler ticks (§5.2, Figure 3): the guest
+//!   never arms a tick timer; ticks arrive as host-injected virtual
+//!   interrupts (vector 235). At idle entry a one-shot wakeup timer is
+//!   programmed only when needed and only if sooner than whatever is
+//!   already armed; it is deliberately *not* disabled at idle exit.
+//!
+//! Every [`TimerAction::Program`]/[`TimerAction::Disable`] the strategy
+//! returns is one `TSC_DEADLINE` MSR write — i.e. **one VM exit** when
+//! virtualized. Counting those actions across strategies *is* the
+//! paper's central comparison.
+
+mod dynticks;
+mod full_dynticks;
+mod paratick;
+mod periodic;
+
+pub use dynticks::DynticksTick;
+pub use full_dynticks::FullDynticksTick;
+pub use paratick::ParatickTick;
+pub use periodic::PeriodicTick;
+
+use paratick_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which tick strategy a guest runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TickMode {
+    /// Classic fixed-rate scheduler tick.
+    Periodic,
+    /// Linux default "dynticks idle" (CONFIG_NO_HZ_IDLE).
+    DynticksIdle,
+    /// Adaptive ticks (CONFIG_NO_HZ_FULL): the tick also stops on busy
+    /// CPUs running a single task. Mentioned-but-not-evaluated in the
+    /// paper (§2); implemented here as an extension.
+    FullDynticks,
+    /// The paper's contribution: host-injected virtual ticks.
+    Paratick,
+}
+
+impl TickMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            TickMode::Periodic => "periodic",
+            TickMode::DynticksIdle => "dynticks",
+            TickMode::FullDynticks => "full-dynticks",
+            TickMode::Paratick => "paratick",
+        }
+    }
+}
+
+impl std::fmt::Display for TickMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the strategy wants done to the one-shot tick timer hardware.
+/// `Program` and `Disable` each cost one `TSC_DEADLINE` write (a VM
+/// exit); `None` is free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerAction {
+    None,
+    Program(SimTime),
+    Disable,
+}
+
+/// Outcome of a (physical) tick-timer interrupt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TickIrqOutcome {
+    /// Run the tick handler body (jiffies update, scheduler_tick, ...)?
+    pub run_handler: bool,
+    /// Timer re-arm decision.
+    pub timer: TimerAction,
+}
+
+/// Outcome of a host-injected virtual tick (vector 235).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VirtualTickOutcome {
+    /// Run the tick handler (never re-arms hardware, §5.2.2).
+    Handle,
+    /// Rejected: not in paratick mode, or paratick not yet active
+    /// (before the boot switch, §5.2.1).
+    Reject,
+}
+
+/// Inputs to the idle-entry decision (Fig. 1b / Fig. 3c).
+#[derive(Clone, Copy, Debug)]
+pub struct IdleEntryCtx {
+    pub now: SimTime,
+    /// A kernel component (RCU, irq work) explicitly needs the tick.
+    pub tick_required: bool,
+    /// Next scheduled soft-timer / RCU event, if any.
+    pub next_event: Option<SimTime>,
+    /// Expiry currently armed in the timer hardware, if any.
+    pub armed: Option<SimTime>,
+}
+
+/// The first tick boundary strictly after `now`.
+pub(crate) fn next_tick_after(now: SimTime, period: SimDuration) -> SimTime {
+    now.round_down(period) + period
+}
+
+/// A per-CPU tick scheduling strategy.
+///
+/// ```
+/// use paratick_guest::tick::{TickMode, TickSched, TimerAction, IdleEntryCtx};
+/// use paratick_sim::{SimDuration, SimTime};
+///
+/// let period = SimDuration::from_millis(4);
+/// let mut para = TickSched::new(TickMode::Paratick, period);
+/// para.on_activate(SimTime::ZERO);
+/// // Idle entry with nothing scheduled: paratick touches no hardware.
+/// let ctx = IdleEntryCtx {
+///     now: SimTime::from_millis(5),
+///     tick_required: false,
+///     next_event: None,
+///     armed: None,
+/// };
+/// assert_eq!(para.on_idle_entry(ctx), TimerAction::None);
+/// // ... while dynticks must disable its armed tick (one VM exit).
+/// let mut dyn_ = TickSched::new(TickMode::DynticksIdle, period);
+/// dyn_.on_activate(SimTime::ZERO);
+/// assert_eq!(dyn_.on_idle_entry(ctx), TimerAction::Disable);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum TickSched {
+    Periodic(PeriodicTick),
+    Dynticks(DynticksTick),
+    FullDynticks(FullDynticksTick),
+    Paratick(ParatickTick),
+}
+
+impl TickSched {
+    /// Strategy for the boot CPU (CPU 0; the full-dynticks housekeeper).
+    pub fn new(mode: TickMode, period: SimDuration) -> Self {
+        Self::for_cpu(mode, period, 0)
+    }
+
+    /// Strategy for a specific CPU index.
+    pub fn for_cpu(mode: TickMode, period: SimDuration, cpu: usize) -> Self {
+        match mode {
+            TickMode::Periodic => TickSched::Periodic(PeriodicTick::new(period)),
+            TickMode::DynticksIdle => TickSched::Dynticks(DynticksTick::new(period)),
+            TickMode::FullDynticks => {
+                TickSched::FullDynticks(FullDynticksTick::new(period, cpu == 0))
+            }
+            TickMode::Paratick => TickSched::Paratick(ParatickTick::new(period)),
+        }
+    }
+
+    pub fn mode(&self) -> TickMode {
+        match self {
+            TickSched::Periodic(_) => TickMode::Periodic,
+            TickSched::Dynticks(_) => TickMode::DynticksIdle,
+            TickSched::FullDynticks(_) => TickMode::FullDynticks,
+            TickSched::Paratick(_) => TickMode::Paratick,
+        }
+    }
+
+    pub fn period(&self) -> SimDuration {
+        match self {
+            TickSched::Periodic(s) => s.period,
+            TickSched::Dynticks(s) => s.period,
+            TickSched::FullDynticks(s) => s.period,
+            TickSched::Paratick(s) => s.period,
+        }
+    }
+
+    /// A physical tick-timer interrupt arrived (LAPIC timer vector).
+    /// `rq_contended` is only consulted by full dynticks.
+    pub fn on_tick_irq(
+        &mut self,
+        now: SimTime,
+        cpu_idle: bool,
+        rq_contended: bool,
+    ) -> TickIrqOutcome {
+        match self {
+            TickSched::Periodic(s) => s.on_tick_irq(now),
+            TickSched::Dynticks(s) => s.on_tick_irq(now),
+            TickSched::FullDynticks(s) => s.on_tick_irq(now, rq_contended),
+            TickSched::Paratick(s) => s.on_tick_irq(now, cpu_idle),
+        }
+    }
+
+    /// A virtual tick (vector 235) was injected by the host.
+    pub fn on_virtual_tick(&mut self, _now: SimTime) -> VirtualTickOutcome {
+        match self {
+            TickSched::Paratick(s) => s.on_virtual_tick(),
+            // Non-paratick guests have no handler installed for 235;
+            // a stray injection is ignored as a spurious interrupt.
+            _ => VirtualTickOutcome::Reject,
+        }
+    }
+
+    /// The CPU is about to enter the idle loop.
+    pub fn on_idle_entry(&mut self, ctx: IdleEntryCtx) -> TimerAction {
+        match self {
+            TickSched::Periodic(s) => s.on_idle_entry(ctx),
+            TickSched::Dynticks(s) => s.on_idle_entry(ctx),
+            TickSched::FullDynticks(s) => s.on_idle_entry(ctx),
+            TickSched::Paratick(s) => s.on_idle_entry(ctx),
+        }
+    }
+
+    /// The CPU is leaving the idle loop (a wakeup arrived).
+    /// `rq_contended` is only consulted by full dynticks.
+    pub fn on_idle_exit(&mut self, now: SimTime, rq_contended: bool) -> TimerAction {
+        match self {
+            TickSched::Periodic(s) => s.on_idle_exit(now),
+            TickSched::Dynticks(s) => s.on_idle_exit(now),
+            TickSched::FullDynticks(s) => s.on_idle_exit(now, rq_contended),
+            TickSched::Paratick(s) => s.on_idle_exit(now),
+        }
+    }
+
+    /// The run queue became contended while the CPU runs tickless
+    /// (full dynticks only): restart the tick so the scheduler can
+    /// time-slice.
+    pub fn ensure_tick(&mut self, now: SimTime) -> TimerAction {
+        match self {
+            TickSched::FullDynticks(s) => s.ensure_tick(now),
+            _ => TimerAction::None,
+        }
+    }
+
+    /// Initial timer arming when the CPU switches to high-resolution
+    /// mode at boot: periodic and dynticks arm their first tick;
+    /// paratick arms nothing (and activates virtual-tick handling).
+    pub fn on_activate(&mut self, now: SimTime) -> TimerAction {
+        match self {
+            TickSched::Periodic(s) => TimerAction::Program(next_tick_after(now, s.period)),
+            TickSched::Dynticks(s) => TimerAction::Program(next_tick_after(now, s.period)),
+            TickSched::FullDynticks(s) => TimerAction::Program(next_tick_after(now, s.period)),
+            TickSched::Paratick(s) => {
+                s.activate();
+                TimerAction::None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERIOD: SimDuration = SimDuration::from_millis(4);
+
+    #[test]
+    fn next_tick_boundary() {
+        assert_eq!(
+            next_tick_after(SimTime::from_millis(5), PERIOD),
+            SimTime::from_millis(8)
+        );
+        // Exactly on a boundary: the *next* one.
+        assert_eq!(
+            next_tick_after(SimTime::from_millis(8), PERIOD),
+            SimTime::from_millis(12)
+        );
+        assert_eq!(
+            next_tick_after(SimTime::ZERO, PERIOD),
+            SimTime::from_millis(4)
+        );
+    }
+
+    #[test]
+    fn mode_construction() {
+        for mode in [
+            TickMode::Periodic,
+            TickMode::DynticksIdle,
+            TickMode::FullDynticks,
+            TickMode::Paratick,
+        ] {
+            let s = TickSched::new(mode, PERIOD);
+            assert_eq!(s.mode(), mode);
+            assert_eq!(s.period(), PERIOD);
+        }
+    }
+
+    #[test]
+    fn virtual_tick_rejected_outside_paratick() {
+        for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::FullDynticks] {
+            let mut s = TickSched::new(mode, PERIOD);
+            assert_eq!(
+                s.on_virtual_tick(SimTime::from_millis(10)),
+                VirtualTickOutcome::Reject
+            );
+        }
+    }
+
+    #[test]
+    fn activation_arms_tick_except_paratick() {
+        let now = SimTime::from_millis(3);
+        let mut p = TickSched::new(TickMode::Periodic, PERIOD);
+        assert_eq!(
+            p.on_activate(now),
+            TimerAction::Program(SimTime::from_millis(4))
+        );
+        let mut d = TickSched::new(TickMode::DynticksIdle, PERIOD);
+        assert_eq!(
+            d.on_activate(now),
+            TimerAction::Program(SimTime::from_millis(4))
+        );
+        let mut pt = TickSched::new(TickMode::Paratick, PERIOD);
+        assert_eq!(pt.on_activate(now), TimerAction::None);
+        assert_eq!(pt.on_virtual_tick(now), VirtualTickOutcome::Handle);
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(TickMode::Paratick.to_string(), "paratick");
+        assert_eq!(TickMode::DynticksIdle.to_string(), "dynticks");
+        assert_eq!(TickMode::FullDynticks.to_string(), "full-dynticks");
+        assert_eq!(TickMode::Periodic.to_string(), "periodic");
+    }
+
+    #[test]
+    fn housekeeping_assignment_by_cpu() {
+        let s0 = TickSched::for_cpu(TickMode::FullDynticks, PERIOD, 0);
+        let s1 = TickSched::for_cpu(TickMode::FullDynticks, PERIOD, 3);
+        match (s0, s1) {
+            (TickSched::FullDynticks(a), TickSched::FullDynticks(b)) => {
+                assert!(a.is_housekeeping());
+                assert!(!b.is_housekeeping());
+            }
+            _ => panic!("wrong variants"),
+        }
+    }
+
+    #[test]
+    fn ensure_tick_noop_for_other_modes() {
+        for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::Paratick] {
+            let mut s = TickSched::new(mode, PERIOD);
+            assert_eq!(s.ensure_tick(SimTime::from_millis(5)), TimerAction::None);
+        }
+    }
+}

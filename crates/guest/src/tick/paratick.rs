@@ -1,0 +1,277 @@
+//! Paratick guest-side tick scheduling — paper §5.2, Figure 3.
+//!
+//! The guest never programs a recurring tick. Instead:
+//!
+//! * **Virtual tick handler** (Fig. 3a, §5.2.2): vector-235 interrupts
+//!   run the standard tick work but *never (re)arm a physical timer*.
+//!   Virtual ticks arriving before the boot-time switch to paratick mode
+//!   are rejected (§5.2.1).
+//! * **Physical timer handler** (Fig. 3b, §5.2.3): the one-shot wakeup
+//!   timer programmed at some earlier idle entry fired. If the CPU is
+//!   *still idle*, the interrupt is crucial — treat it as a tick. If the
+//!   CPU is running normally, virtual ticks are already flowing; return
+//!   without doing tick work.
+//! * **Idle entry** (Fig. 3c, §5.2.4): if the tick must be retained
+//!   (RCU/irq-work), program a timer for the next tick boundary;
+//!   otherwise, if a soft-timer/RCU event needs a wakeup, program a
+//!   timer for it — in both cases **only if no sooner timer is already
+//!   armed**, because the timer deliberately survives idle exits.
+//! * **Idle exit** (Fig. 3d, §5.2.5): do nothing. The §4.1 heuristic:
+//!   disabling the timer would cost a VM exit now and a re-program exit
+//!   at the next idle entry; leaving one stale one-shot timer armed
+//!   costs at most one spurious (cheap) interrupt.
+
+use super::{next_tick_after, IdleEntryCtx, TickIrqOutcome, TimerAction, VirtualTickOutcome};
+use paratick_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-CPU paratick state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParatickTick {
+    pub period: SimDuration,
+    /// Set once the boot sequence switches this CPU to paratick mode
+    /// (high-resolution timers available, vector installed, hypercall
+    /// issued). Virtual ticks before that are rejected.
+    active: bool,
+    /// Ablation switch: disable the wakeup timer at idle exit instead of
+    /// leaving it armed. The paper argues (§4.1) this is a bad idea —
+    /// "the overhead induced by a single timer is negligible and it is
+    /// likely that the vCPU will re-enter an idle state before the timer
+    /// has expired" — and we keep it only to measure that claim.
+    pub naive_idle_exit: bool,
+    pub virtual_ticks_handled: u64,
+    pub virtual_ticks_rejected: u64,
+    /// Physical wakeup-timer interrupts treated as ticks (CPU was idle).
+    pub physical_as_tick: u64,
+    /// Physical wakeup-timer interrupts ignored (CPU was busy).
+    pub physical_ignored: u64,
+    /// Idle entries that programmed the wakeup timer.
+    pub timers_programmed: u64,
+    /// Idle entries where a sooner timer was already armed (the §4.1
+    /// "don't disable on exit" heuristic paying off).
+    pub timer_reuse_hits: u64,
+}
+
+impl ParatickTick {
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "zero tick period");
+        ParatickTick {
+            period,
+            active: false,
+            naive_idle_exit: false,
+            virtual_ticks_handled: 0,
+            virtual_ticks_rejected: 0,
+            physical_as_tick: 0,
+            physical_ignored: 0,
+            timers_programmed: 0,
+            timer_reuse_hits: 0,
+        }
+    }
+
+    /// Boot switch into paratick mode (§5.2.1).
+    pub fn activate(&mut self) {
+        self.active = true;
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Figure 3a: virtual tick (vector 235).
+    pub fn on_virtual_tick(&mut self) -> VirtualTickOutcome {
+        if self.active {
+            self.virtual_ticks_handled += 1;
+            VirtualTickOutcome::Handle
+        } else {
+            self.virtual_ticks_rejected += 1;
+            VirtualTickOutcome::Reject
+        }
+    }
+
+    /// Figure 3b: the one-shot physical wakeup timer fired.
+    pub fn on_tick_irq(&mut self, _now: SimTime, cpu_idle: bool) -> TickIrqOutcome {
+        if cpu_idle {
+            // Crucial wakeup: act as a tick. Never re-arm.
+            self.physical_as_tick += 1;
+            TickIrqOutcome {
+                run_handler: true,
+                timer: TimerAction::None,
+            }
+        } else {
+            // Virtual ticks are flowing; nothing to do.
+            self.physical_ignored += 1;
+            TickIrqOutcome {
+                run_handler: false,
+                timer: TimerAction::None,
+            }
+        }
+    }
+
+    /// Figure 3c: idle entry.
+    pub fn on_idle_entry(&mut self, ctx: IdleEntryCtx) -> TimerAction {
+        // What deadline (if any) does this idle period need?
+        let wanted = if ctx.tick_required {
+            // Tick must be retained: emulate it with a one-shot timer at
+            // the next boundary.
+            Some(next_tick_after(ctx.now, self.period))
+        } else {
+            // Wake at the next soft-timer / RCU event, if any.
+            ctx.next_event
+        };
+        let Some(wanted) = wanted else {
+            return TimerAction::None;
+        };
+        // §5.2.4: (re)program only if no timer is running or the new
+        // deadline is sooner than the armed one.
+        match ctx.armed {
+            Some(armed) if armed <= wanted => {
+                self.timer_reuse_hits += 1;
+                TimerAction::None
+            }
+            _ => {
+                self.timers_programmed += 1;
+                TimerAction::Program(wanted)
+            }
+        }
+    }
+
+    /// Figure 3d: idle exit — deliberately nothing (§5.2.5), unless the
+    /// naive-idle-exit ablation is on.
+    pub fn on_idle_exit(&mut self, _now: SimTime) -> TimerAction {
+        if self.naive_idle_exit {
+            // The ablation pays a disarm write here; the engine only
+            // issues it when a timer is actually armed.
+            TimerAction::Disable
+        } else {
+            TimerAction::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERIOD: SimDuration = SimDuration::from_millis(4);
+
+    fn active() -> ParatickTick {
+        let mut s = ParatickTick::new(PERIOD);
+        s.activate();
+        s
+    }
+
+    fn ctx(
+        now_ms: u64,
+        required: bool,
+        next_ms: Option<u64>,
+        armed_ms: Option<u64>,
+    ) -> IdleEntryCtx {
+        IdleEntryCtx {
+            now: SimTime::from_millis(now_ms),
+            tick_required: required,
+            next_event: next_ms.map(SimTime::from_millis),
+            armed: armed_ms.map(SimTime::from_millis),
+        }
+    }
+
+    #[test]
+    fn virtual_ticks_rejected_before_activation() {
+        let mut s = ParatickTick::new(PERIOD);
+        assert_eq!(s.on_virtual_tick(), VirtualTickOutcome::Reject);
+        s.activate();
+        assert_eq!(s.on_virtual_tick(), VirtualTickOutcome::Handle);
+        assert_eq!(s.virtual_ticks_rejected, 1);
+        assert_eq!(s.virtual_ticks_handled, 1);
+    }
+
+    #[test]
+    fn physical_timer_while_idle_acts_as_tick() {
+        let mut s = active();
+        let out = s.on_tick_irq(SimTime::from_millis(10), true);
+        assert!(out.run_handler);
+        assert_eq!(out.timer, TimerAction::None, "never re-arms");
+        assert_eq!(s.physical_as_tick, 1);
+    }
+
+    #[test]
+    fn physical_timer_while_busy_is_ignored() {
+        let mut s = active();
+        let out = s.on_tick_irq(SimTime::from_millis(10), false);
+        assert!(!out.run_handler);
+        assert_eq!(out.timer, TimerAction::None);
+        assert_eq!(s.physical_ignored, 1);
+    }
+
+    #[test]
+    fn idle_entry_nothing_needed_is_free() {
+        let mut s = active();
+        assert_eq!(s.on_idle_entry(ctx(5, false, None, None)), TimerAction::None);
+        assert_eq!(s.timers_programmed, 0);
+    }
+
+    #[test]
+    fn idle_entry_tick_required_programs_next_boundary() {
+        let mut s = active();
+        assert_eq!(
+            s.on_idle_entry(ctx(5, true, None, None)),
+            TimerAction::Program(SimTime::from_millis(8))
+        );
+    }
+
+    #[test]
+    fn idle_entry_event_programs_event_time() {
+        let mut s = active();
+        assert_eq!(
+            s.on_idle_entry(ctx(5, false, Some(50), None)),
+            TimerAction::Program(SimTime::from_millis(50))
+        );
+    }
+
+    #[test]
+    fn sooner_armed_timer_is_reused() {
+        let mut s = active();
+        // A timer armed at 30ms already covers a 50ms event.
+        assert_eq!(
+            s.on_idle_entry(ctx(5, false, Some(50), Some(30))),
+            TimerAction::None
+        );
+        assert_eq!(s.timer_reuse_hits, 1);
+    }
+
+    #[test]
+    fn later_armed_timer_is_reprogrammed() {
+        let mut s = active();
+        // Armed at 50ms but an event at 30ms needs an earlier wakeup.
+        assert_eq!(
+            s.on_idle_entry(ctx(5, false, Some(30), Some(50))),
+            TimerAction::Program(SimTime::from_millis(30))
+        );
+    }
+
+    #[test]
+    fn armed_equal_to_wanted_is_reused() {
+        let mut s = active();
+        assert_eq!(
+            s.on_idle_entry(ctx(5, false, Some(30), Some(30))),
+            TimerAction::None
+        );
+    }
+
+    #[test]
+    fn idle_exit_never_touches_hardware() {
+        let mut s = active();
+        s.on_idle_entry(ctx(5, false, Some(50), None));
+        assert_eq!(s.on_idle_exit(SimTime::from_millis(6)), TimerAction::None);
+    }
+
+    #[test]
+    fn tick_required_with_near_event_picks_boundary() {
+        // When RCU needs the tick, the boundary wins even if an event is
+        // further out; the timer covers both (event checked at tick).
+        let mut s = active();
+        assert_eq!(
+            s.on_idle_entry(ctx(5, true, Some(50), None)),
+            TimerAction::Program(SimTime::from_millis(8))
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Classic periodic tick (paper §3.1).
+//!
+//! The tick timer is armed at a constant rate on every CPU irrespective
+//! of workload: every tick handler re-arms the timer for the next
+//! boundary; idle entry and exit leave it alone. In a VM this costs two
+//! exits per tick per vCPU (one `TSC_DEADLINE` write, one delivery) —
+//! the `2 × t × Σ (n_vCPU × f_tick)` formula of §3.1.
+
+use super::{next_tick_after, IdleEntryCtx, TickIrqOutcome, TimerAction};
+use paratick_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-CPU periodic tick state (stateless beyond the period).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeriodicTick {
+    pub period: SimDuration,
+    pub ticks_handled: u64,
+}
+
+impl PeriodicTick {
+    pub fn new(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "zero tick period");
+        PeriodicTick {
+            period,
+            ticks_handled: 0,
+        }
+    }
+
+    pub fn on_tick_irq(&mut self, now: SimTime) -> TickIrqOutcome {
+        self.ticks_handled += 1;
+        TickIrqOutcome {
+            run_handler: true,
+            timer: TimerAction::Program(next_tick_after(now, self.period)),
+        }
+    }
+
+    pub fn on_idle_entry(&mut self, _ctx: IdleEntryCtx) -> TimerAction {
+        // The tick stays armed; idle CPUs keep ticking (the §3.1 waste).
+        TimerAction::None
+    }
+
+    pub fn on_idle_exit(&mut self, _now: SimTime) -> TimerAction {
+        TimerAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PERIOD: SimDuration = SimDuration::from_millis(4);
+
+    #[test]
+    fn every_tick_rearms() {
+        let mut s = PeriodicTick::new(PERIOD);
+        let out = s.on_tick_irq(SimTime::from_millis(4));
+        assert!(out.run_handler);
+        assert_eq!(out.timer, TimerAction::Program(SimTime::from_millis(8)));
+        let out = s.on_tick_irq(SimTime::from_millis(8));
+        assert_eq!(out.timer, TimerAction::Program(SimTime::from_millis(12)));
+        assert_eq!(s.ticks_handled, 2);
+    }
+
+    #[test]
+    fn idle_transitions_are_free() {
+        let mut s = PeriodicTick::new(PERIOD);
+        let ctx = IdleEntryCtx {
+            now: SimTime::from_millis(5),
+            tick_required: false,
+            next_event: None,
+            armed: Some(SimTime::from_millis(8)),
+        };
+        assert_eq!(s.on_idle_entry(ctx), TimerAction::None);
+        assert_eq!(s.on_idle_exit(SimTime::from_millis(6)), TimerAction::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tick period")]
+    fn zero_period_rejected() {
+        PeriodicTick::new(SimDuration::ZERO);
+    }
+}

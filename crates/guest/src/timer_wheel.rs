@@ -1,0 +1,408 @@
+//! Linux-style hierarchical timer wheel.
+//!
+//! Soft timers in Linux live in the *timer wheel* (paper §2: "the
+//! application timer is added to a dedicated data structure (e.g. the
+//! timer wheel in Linux)"). Since kernel 4.8 the wheel is
+//! **non-cascading**: a timer is filed into a level by its distance from
+//! now, each level has 64 buckets and 8× coarser granularity than the
+//! previous one, and a timer simply fires — possibly up to one level
+//! granularity *late*, never early — when its bucket is visited.
+//!
+//! The wheel operates in **jiffies** (guest tick periods). The paper's
+//! mechanisms query it in two ways:
+//!
+//! * [`TimerWheel::advance`] — called from the (virtual or physical)
+//!   tick handler to expire due timers;
+//! * [`TimerWheel::next_fire`] — called on idle entry to find the next
+//!   soft-timer event, which decides whether the tick can be stopped
+//!   (dynticks, Fig. 1b) or whether a one-shot wakeup timer must be
+//!   programmed (paratick, Fig. 3c).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets per level.
+const LVL_SIZE: u64 = 64;
+/// Each level is 8x coarser than the previous.
+const LVL_CLK_SHIFT: u32 = 3;
+/// Number of levels: covers deltas up to 64 * 8^7 ≈ 134M jiffies
+/// (~6 days at HZ=250), matching Linux's practical range.
+const DEPTH: usize = 8;
+
+fn lvl_shift(level: usize) -> u32 {
+    level as u32 * LVL_CLK_SHIFT
+}
+
+fn lvl_gran(level: usize) -> u64 {
+    1 << lvl_shift(level)
+}
+
+/// Maximum delta representable at `level`.
+fn lvl_max_delta(level: usize) -> u64 {
+    LVL_SIZE << lvl_shift(level)
+}
+
+/// Handle to a queued timer; survives as a safe way to cancel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimerHandle {
+    slot: u32,
+    generation: u32,
+}
+
+#[derive(Clone, Debug)]
+struct TimerEntry<T> {
+    generation: u32,
+    /// Requested expiry, in jiffies.
+    expires: u64,
+    /// Jiffy at which the bucket holding this timer is visited.
+    fire_clk: u64,
+    data: Option<T>, // None = slab slot free or timer cancelled
+}
+
+/// A hierarchical timer wheel over payloads of type `T`.
+#[derive(Clone, Debug)]
+pub struct TimerWheel<T> {
+    /// Bucket lists of slab indices: `buckets[level][slot]`.
+    buckets: Vec<Vec<Vec<u32>>>,
+    slab: Vec<TimerEntry<T>>,
+    free: Vec<u32>,
+    /// Current jiffy (all jiffies <= clk have been processed).
+    clk: u64,
+    live: usize,
+    pub inserted: u64,
+    pub fired: u64,
+    pub cancelled: u64,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    pub fn new() -> Self {
+        TimerWheel {
+            buckets: vec![vec![Vec::new(); LVL_SIZE as usize]; DEPTH],
+            slab: Vec::new(),
+            free: Vec::new(),
+            clk: 0,
+            live: 0,
+            inserted: 0,
+            fired: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// Current jiffy.
+    pub fn clk(&self) -> u64 {
+        self.clk
+    }
+
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// File a timer expiring at `expires` (jiffies). `expires` in the
+    /// past or present is clamped to fire at the next jiffy.
+    pub fn insert(&mut self, expires: u64, data: T) -> TimerHandle {
+        let expires = expires.max(self.clk + 1);
+        let delta = expires - self.clk;
+        // Pick the level: smallest whose range covers the delta *after*
+        // granularity round-up. The bound is 63·granularity (not 64·):
+        // rounding the expiry up by < one granule must not push the
+        // bucket index past the 64-slot window, which would fire a full
+        // wheel revolution early.
+        let mut level = usize::MAX;
+        for l in 0..DEPTH {
+            if delta <= lvl_max_delta(l) - lvl_gran(l) {
+                level = l;
+                break;
+            }
+        }
+        assert!(
+            level < DEPTH,
+            "timer delta {delta} jiffies exceeds wheel capacity"
+        );
+        // Round the expiry up to the level granularity: never early,
+        // late by < granularity (Linux's calc_index contract).
+        let gran = lvl_gran(level);
+        let lc = (expires + gran - 1) >> lvl_shift(level);
+        let fire_clk = lc << lvl_shift(level);
+        debug_assert!(fire_clk >= expires);
+        debug_assert!(fire_clk > self.clk, "bucket already visited");
+        let slot = (lc % LVL_SIZE) as usize;
+
+        let idx = match self.free.pop() {
+            Some(i) => {
+                let e = &mut self.slab[i as usize];
+                e.generation = e.generation.wrapping_add(1);
+                e.expires = expires;
+                e.fire_clk = fire_clk;
+                e.data = Some(data);
+                i
+            }
+            None => {
+                self.slab.push(TimerEntry {
+                    generation: 0,
+                    expires,
+                    fire_clk,
+                    data: Some(data),
+                });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.buckets[level][slot].push(idx);
+        self.live += 1;
+        self.inserted += 1;
+        TimerHandle {
+            slot: idx,
+            generation: self.slab[idx as usize].generation,
+        }
+    }
+
+    /// Cancel a timer. Returns the payload if it had not yet fired.
+    pub fn cancel(&mut self, handle: TimerHandle) -> Option<T> {
+        let e = self.slab.get_mut(handle.slot as usize)?;
+        if e.generation != handle.generation {
+            return None;
+        }
+        let data = e.data.take()?;
+        self.live -= 1;
+        self.cancelled += 1;
+        // The bucket entry becomes a tombstone, reclaimed at visit time.
+        Some(data)
+    }
+
+    /// Is the timer still pending?
+    pub fn is_pending(&self, handle: TimerHandle) -> bool {
+        self.slab
+            .get(handle.slot as usize)
+            .is_some_and(|e| e.generation == handle.generation && e.data.is_some())
+    }
+
+    /// Advance the wheel to jiffy `to`, returning all fired payloads in
+    /// visit order (by fire time, then insertion order).
+    pub fn advance(&mut self, to: u64) -> Vec<(u64, T)> {
+        let mut fired = Vec::new();
+        while self.clk < to {
+            self.clk += 1;
+            let clk = self.clk;
+            for level in 0..DEPTH {
+                if clk & (lvl_gran(level) - 1) != 0 {
+                    break; // higher levels tick even less often
+                }
+                let lc = clk >> lvl_shift(level);
+                let slot = (lc % LVL_SIZE) as usize;
+                let bucket = std::mem::take(&mut self.buckets[level][slot]);
+                for idx in bucket {
+                    let e = &mut self.slab[idx as usize];
+                    match e.data.take() {
+                        Some(data) => {
+                            debug_assert_eq!(
+                                e.fire_clk, clk,
+                                "timer visited at the wrong jiffy"
+                            );
+                            self.live -= 1;
+                            self.fired += 1;
+                            self.free.push(idx);
+                            fired.push((e.expires, data));
+                        }
+                        None => {
+                            // Cancelled tombstone: reclaim the slab slot.
+                            self.free.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+        fired
+    }
+
+    /// The jiffy at which the next pending timer will fire, if any.
+    /// (Exact: the bucket-visit jiffy, accounting for granularity slack.)
+    pub fn next_fire(&self) -> Option<u64> {
+        self.slab
+            .iter()
+            .filter(|e| e.data.is_some())
+            .map(|e| e.fire_clk)
+            .min()
+    }
+
+    /// The earliest *requested* expiry among pending timers (used for
+    /// reporting; `next_fire` is what wakeups must honour).
+    pub fn next_expiry(&self) -> Option<u64> {
+        self.slab
+            .iter()
+            .filter(|e| e.data.is_some())
+            .map(|e| e.expires)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fires_at_exact_jiffy_level0() {
+        let mut w = TimerWheel::new();
+        w.insert(5, "a");
+        w.insert(3, "b");
+        assert_eq!(w.next_fire(), Some(3));
+        let fired = w.advance(3);
+        assert_eq!(fired, vec![(3, "b")]);
+        let fired = w.advance(10);
+        assert_eq!(fired, vec![(5, "a")]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_expiry_clamps_to_next_jiffy() {
+        let mut w = TimerWheel::new();
+        w.advance(100);
+        w.insert(50, "late");
+        assert_eq!(w.next_fire(), Some(101));
+        assert_eq!(w.advance(101).len(), 1);
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut w = TimerWheel::new();
+        let h = w.insert(5, "x");
+        assert!(w.is_pending(h));
+        assert_eq!(w.cancel(h), Some("x"));
+        assert!(!w.is_pending(h));
+        assert!(w.advance(10).is_empty());
+        assert_eq!(w.cancel(h), None, "double cancel");
+        assert_eq!(w.live, 0);
+    }
+
+    #[test]
+    fn handle_generation_prevents_aba() {
+        let mut w = TimerWheel::new();
+        let h1 = w.insert(5, "x");
+        w.advance(10); // fires, slot reclaimed
+        let h2 = w.insert(20, "y");
+        // Old handle must not cancel the new timer even though the slab
+        // slot is reused.
+        assert_eq!(h1.slot, h2.slot, "test premise: slot reused");
+        assert_eq!(w.cancel(h1), None);
+        assert!(w.is_pending(h2));
+    }
+
+    #[test]
+    fn long_delta_fires_late_but_bounded() {
+        let mut w = TimerWheel::new();
+        // Delta 100 lands in level 1 (granularity 8).
+        w.insert(100, "x");
+        let fire = w.next_fire().unwrap();
+        assert!(fire >= 100);
+        assert!(fire < 100 + 8, "slack bounded by level granularity");
+        let fired = w.advance(fire);
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn very_long_delta_uses_high_level() {
+        let mut w = TimerWheel::new();
+        let expiry = 1_000_000; // ~level 4 (gran 4096)
+        w.insert(expiry, "x");
+        let fire = w.next_fire().unwrap();
+        assert!(fire >= expiry);
+        assert!(fire < expiry + 4096 * 8);
+        assert_eq!(w.advance(fire).len(), 1);
+    }
+
+    #[test]
+    fn many_timers_same_jiffy_fifo() {
+        let mut w = TimerWheel::new();
+        for i in 0..10 {
+            w.insert(5, i);
+        }
+        let fired = w.advance(5);
+        let payloads: Vec<i32> = fired.into_iter().map(|(_, d)| d).collect();
+        assert_eq!(payloads, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters() {
+        let mut w = TimerWheel::new();
+        let h = w.insert(3, 1);
+        w.insert(4, 2);
+        w.cancel(h);
+        w.advance(10);
+        assert_eq!(w.inserted, 2);
+        assert_eq!(w.cancelled, 1);
+        assert_eq!(w.fired, 1);
+    }
+
+    #[test]
+    fn slab_reuse_bounded_memory() {
+        let mut w = TimerWheel::new();
+        for round in 0..100u64 {
+            for i in 0..10 {
+                w.insert(round * 10 + i + 1, i);
+            }
+            w.advance((round + 1) * 10);
+        }
+        assert!(w.slab.len() <= 32, "slab grew to {}", w.slab.len());
+    }
+
+    proptest! {
+        /// Every inserted timer fires exactly once, never early, and
+        /// within its level's granularity slack.
+        #[test]
+        fn prop_never_early_bounded_late(
+            expiries in proptest::collection::vec(1u64..100_000, 1..100),
+        ) {
+            let mut w = TimerWheel::new();
+            for (i, &e) in expiries.iter().enumerate() {
+                w.insert(e, i);
+            }
+            let horizon = 100_000 + lvl_max_delta(DEPTH - 1);
+            let mut fired_at = std::collections::HashMap::new();
+            // Advance in irregular chunks to exercise partial advances.
+            let mut clk = 0u64;
+            let mut step = 1u64;
+            while clk < horizon && !w.is_empty() {
+                clk = (clk + step).min(horizon);
+                step = step % 977 + 13;
+                for (expiry, id) in w.advance(clk) {
+                    prop_assert!(fired_at.insert(id, (expiry, w.clk())).is_none(),
+                        "timer fired twice");
+                }
+            }
+            prop_assert_eq!(fired_at.len(), expiries.len(), "all timers fired");
+            for (id, &e) in expiries.iter().enumerate() {
+                let &(recorded_expiry, _) = fired_at.get(&id).unwrap();
+                prop_assert_eq!(recorded_expiry, e);
+            }
+        }
+
+        /// next_fire is a faithful lower bound: advancing to just before
+        /// it fires nothing; advancing to it fires at least one timer.
+        #[test]
+        fn prop_next_fire_tight(
+            expiries in proptest::collection::vec(1u64..10_000, 1..50),
+        ) {
+            let mut w = TimerWheel::new();
+            for (i, &e) in expiries.iter().enumerate() {
+                w.insert(e, i);
+            }
+            while let Some(nf) = w.next_fire() {
+                if nf > w.clk() + 1 {
+                    prop_assert!(w.advance(nf - 1).is_empty(),
+                        "fired before next_fire");
+                }
+                prop_assert!(!w.advance(nf).is_empty(),
+                    "nothing fired at next_fire");
+            }
+            prop_assert!(w.is_empty());
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Public-API edge cases for the guest kernel models.
+
+use paratick_guest::{
+    kernel::SoftTimer, BarrierOutcome, GuestBarrier, GuestCondvar, GuestKernel, GuestMutex,
+    GuestSched, LockOutcome, ThreadId, TickMode, TickSched, TimerAction, TimerWheel,
+    VirtualTickOutcome,
+};
+use paratick_sim::{Freq, SimDuration, SimTime};
+
+fn t(n: u32) -> ThreadId {
+    ThreadId(n)
+}
+
+#[test]
+fn wheel_cancel_inside_pending_bucket_then_advance() {
+    let mut w = TimerWheel::new();
+    let handles: Vec<_> = (0..64u64).map(|i| w.insert(100 + i % 8, i)).collect();
+    // Cancel every other timer while they are still bucketed.
+    for h in handles.iter().step_by(2) {
+        assert!(w.cancel(*h).is_some());
+    }
+    let fired = w.advance(200);
+    assert_eq!(fired.len(), 32);
+    assert!(fired.iter().all(|(_, v)| v % 2 == 1));
+    assert!(w.is_empty());
+}
+
+#[test]
+fn wheel_interleaved_insert_during_advance_cycles() {
+    // A self-rearming timer (the periodic-tick pattern) runs for 1000
+    // jiffies without drift.
+    let mut w = TimerWheel::new();
+    w.insert(1, ());
+    let mut fired_at = Vec::new();
+    for j in 1..=1000u64 {
+        for (expires, ()) in w.advance(j) {
+            fired_at.push(expires);
+            w.insert(j + 1, ());
+        }
+    }
+    assert_eq!(fired_at.len(), 1000);
+    assert!(fired_at.windows(2).all(|p| p[1] == p[0] + 1), "no drift");
+}
+
+#[test]
+fn sched_steal_prefers_busiest_victim() {
+    let mut s = GuestSched::new(3, 6);
+    // cpu0: 1 waiting; cpu1: 3 waiting; cpu2: idle thief.
+    s.enqueue_on(t(0), 0);
+    s.pick_next(0);
+    s.enqueue_on(t(1), 0);
+    s.enqueue_on(t(2), 1);
+    s.pick_next(1);
+    s.enqueue_on(t(3), 1);
+    s.enqueue_on(t(4), 1);
+    s.enqueue_on(t(5), 1);
+    let stolen = s.steal_for(2).expect("work available");
+    assert_eq!(stolen, t(3), "FIFO from the busiest queue");
+    assert_eq!(s.prev_cpu(stolen), 2, "migration recorded");
+    assert_eq!(s.rq(2).current(), Some(stolen));
+    assert_eq!(s.rq(1).waiting(), 2);
+}
+
+#[test]
+fn sched_steal_returns_none_when_nothing_waits() {
+    let mut s = GuestSched::new(2, 2);
+    s.enqueue_on(t(0), 0);
+    s.pick_next(0); // running, not waiting
+    assert_eq!(s.steal_for(1), None);
+}
+
+#[test]
+fn mutex_condvar_interplay() {
+    // The classic producer/consumer handshake at the state-machine level.
+    let mut m = GuestMutex::new();
+    let mut cv = GuestCondvar::new();
+    assert_eq!(m.lock(t(0)), LockOutcome::Acquired); // consumer takes lock
+    // Consumer waits: releases the lock, queues on the condvar.
+    cv.wait(t(0));
+    assert_eq!(m.unlock(t(0)), None);
+    // Producer: lock, produce, notify, unlock.
+    assert_eq!(m.lock(t(1)), LockOutcome::Acquired);
+    let woken = cv.notify_one();
+    assert_eq!(woken, Some(t(0)));
+    // Woken consumer re-acquires: contends with the producer.
+    assert_eq!(m.lock(t(0)), LockOutcome::Blocked);
+    assert_eq!(m.unlock(t(1)), Some(t(0)), "handoff to the consumer");
+    assert_eq!(m.holder(), Some(t(0)));
+}
+
+#[test]
+fn barrier_generations_count_cycles() {
+    let mut b = GuestBarrier::new(2);
+    for round in 1..=5u64 {
+        assert_eq!(b.arrive(t(0)), BarrierOutcome::Waiting);
+        assert!(matches!(b.arrive(t(1)), BarrierOutcome::Released(_)));
+        assert_eq!(b.generations, round);
+    }
+}
+
+#[test]
+fn kernel_per_cpu_wheels_and_shared_rcu() {
+    let mut k = GuestKernel::new(4, 4, Freq::hz(250), TickMode::Paratick);
+    let now = SimTime::from_millis(4);
+    for cpu in 0..4 {
+        k.add_soft_timer(
+            cpu,
+            now,
+            SimDuration::from_millis((cpu as u64 + 1) * 8),
+            SoftTimer::Housekeeping,
+        );
+    }
+    // Each CPU sees only its own wheel.
+    assert_eq!(k.next_soft_event(0), Some(SimTime::from_millis(12)));
+    assert_eq!(k.next_soft_event(3), Some(SimTime::from_millis(36)));
+    // Ticking CPU 0 does not fire CPU 3's timer.
+    let fired = k.run_tick_body(0, SimTime::from_millis(40));
+    assert_eq!(fired.len(), 1);
+    assert_eq!(k.next_soft_event(3), Some(SimTime::from_millis(36)));
+}
+
+#[test]
+fn tick_strategy_write_counts_over_identical_episode() {
+    // The quantitative essence of the paper in one deterministic
+    // episode: N idle entry/exit cycles with no pending events.
+    let period = SimDuration::from_millis(4);
+    let mut writes = std::collections::HashMap::new();
+    for mode in [
+        TickMode::Periodic,
+        TickMode::DynticksIdle,
+        TickMode::Paratick,
+    ] {
+        let mut s = TickSched::new(mode, period);
+        let mut count = 0u32;
+        let mut armed: Option<SimTime> = None;
+        let mut note = |a: TimerAction, armed: &mut Option<SimTime>| match a {
+            TimerAction::None => {}
+            TimerAction::Program(x) => {
+                count += 1;
+                *armed = Some(x);
+            }
+            TimerAction::Disable => {
+                count += 1;
+                *armed = None;
+            }
+        };
+        let a = s.on_activate(SimTime::from_millis(100));
+        note(a, &mut armed);
+        for i in 0..10u64 {
+            let now = SimTime::from_millis(101 + i * 10);
+            let ctx = paratick_guest::IdleEntryCtx {
+                now,
+                tick_required: false,
+                next_event: None,
+                armed,
+            };
+            note(s.on_idle_entry(ctx), &mut armed);
+            note(
+                s.on_idle_exit(now + SimDuration::from_millis(5), false),
+                &mut armed,
+            );
+        }
+        writes.insert(mode, count);
+    }
+    // Periodic: 1 boot arm only. Dynticks: boot + 2 per cycle.
+    // Paratick: zero.
+    assert_eq!(writes[&TickMode::Periodic], 1);
+    assert_eq!(writes[&TickMode::DynticksIdle], 21);
+    assert_eq!(writes[&TickMode::Paratick], 0);
+}
+
+#[test]
+fn paratick_strategy_counters() {
+    let period = SimDuration::from_millis(4);
+    let mut s = TickSched::new(TickMode::Paratick, period);
+    s.on_activate(SimTime::ZERO);
+    for _ in 0..5 {
+        assert_eq!(
+            s.on_virtual_tick(SimTime::from_millis(4)),
+            VirtualTickOutcome::Handle
+        );
+    }
+    if let TickSched::Paratick(p) = &s {
+        assert_eq!(p.virtual_ticks_handled, 5);
+        assert!(p.is_active());
+    } else {
+        panic!("wrong variant");
+    }
+}

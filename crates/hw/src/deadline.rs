@@ -1,0 +1,228 @@
+//! `TSC_DEADLINE` MSR semantics.
+//!
+//! With the LAPIC timer in TSC-deadline mode, software arms a one-shot
+//! timer by writing an absolute TSC value to `IA32_TSC_DEADLINE`
+//! (MSR 0x6E0). Architectural contract (Intel SDM vol. 3, 11.5.4.1):
+//!
+//! * writing **0 disarms** the timer;
+//! * writing a value **≤ the current TSC fires immediately** (the
+//!   interrupt is generated right away);
+//! * writing a future value arms the timer for that instant, replacing
+//!   any previously armed deadline (the timer is one-shot);
+//! * the MSR resets to 0 when the interrupt fires.
+//!
+//! In a VM, **every write to this MSR causes a VM exit** — the hypervisor
+//! must intercept it because the physical deadline register is shared
+//! with the host and other guests (paper §3). That interception is the
+//! overhead paratick removes; this module only models the architectural
+//! behaviour, the trapping lives in `paratick-vmm`.
+
+use crate::tsc::Tsc;
+use paratick_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Effect of a `TSC_DEADLINE` write, as seen by the entity emulating it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlineWriteEffect {
+    /// Wrote zero: timer disarmed.
+    Disarmed,
+    /// Deadline already passed: interrupt fires immediately.
+    FiresImmediately,
+    /// Armed for the given simulated instant.
+    Armed(SimTime),
+}
+
+/// State of a TSC-deadline timer (one per vCPU / CPU).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TscDeadline {
+    /// Raw MSR value (TSC ticks); 0 means disarmed.
+    msr: u64,
+    /// Cached simulated expiry for the current arm, if in the future.
+    expiry: Option<SimTime>,
+    /// Writes observed (each one is a VM exit when virtualized).
+    pub write_count: u64,
+}
+
+impl TscDeadline {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emulate a write of `value` at time `now` against timebase `tsc`.
+    pub fn write(&mut self, tsc: &Tsc, now: SimTime, value: u64) -> DeadlineWriteEffect {
+        self.write_count += 1;
+        self.msr = value;
+        if value == 0 {
+            self.expiry = None;
+            return DeadlineWriteEffect::Disarmed;
+        }
+        match tsc.time_of(now, value) {
+            None => {
+                // Past deadline: fires immediately; MSR clears.
+                self.msr = 0;
+                self.expiry = None;
+                DeadlineWriteEffect::FiresImmediately
+            }
+            Some(t) => {
+                self.expiry = Some(t);
+                DeadlineWriteEffect::Armed(t)
+            }
+        }
+    }
+
+    /// Convenience: arm for an absolute simulated instant.
+    pub fn arm_at(&mut self, tsc: &Tsc, now: SimTime, when: SimTime) -> DeadlineWriteEffect {
+        if when <= now {
+            // Architecturally: write a past TSC value.
+            let past = tsc.read(now).max(1);
+            return self.write(tsc, now, past);
+        }
+        let ticks = tsc.read(now) + tsc.ticks_in(when.since(now));
+        self.write(tsc, now, ticks.max(1))
+    }
+
+    /// Disarm (write 0).
+    pub fn disarm(&mut self, tsc: &Tsc, now: SimTime) -> DeadlineWriteEffect {
+        self.write(tsc, now, 0)
+    }
+
+    /// Is a deadline currently armed?
+    pub fn is_armed(&self) -> bool {
+        self.expiry.is_some()
+    }
+
+    /// The armed expiry instant, if any.
+    pub fn expiry(&self) -> Option<SimTime> {
+        self.expiry
+    }
+
+    /// The interrupt fired, possibly delivered late (e.g. the expiry
+    /// instant fell inside another handler's execution): MSR clears to
+    /// zero, timer disarms. Unlike [`TscDeadline::fire`], no exact-time
+    /// check — only that an expiry was actually armed.
+    pub fn expire(&mut self) {
+        debug_assert!(self.expiry.is_some(), "expire() on a disarmed deadline");
+        self.msr = 0;
+        self.expiry = None;
+    }
+
+    /// The interrupt fired: MSR clears to zero, timer disarms. Callers
+    /// must only invoke this at the armed expiry instant.
+    pub fn fire(&mut self, now: SimTime) {
+        debug_assert_eq!(
+            self.expiry,
+            Some(now),
+            "TSC deadline fired at the wrong instant"
+        );
+        self.msr = 0;
+        self.expiry = None;
+    }
+
+    /// Raw MSR read (for completeness; reads do not trap with modern
+    /// VMCS configurations and are free).
+    pub fn read_msr(&self) -> u64 {
+        self.msr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paratick_sim::{Freq, SimDuration};
+
+    fn setup() -> (Tsc, TscDeadline) {
+        (Tsc::new(Freq::ghz(1)), TscDeadline::new())
+    }
+
+    #[test]
+    fn write_zero_disarms() {
+        let (tsc, mut dl) = setup();
+        let now = SimTime::from_micros(10);
+        dl.arm_at(&tsc, now, now + SimDuration::from_millis(1));
+        assert!(dl.is_armed());
+        assert_eq!(dl.disarm(&tsc, now), DeadlineWriteEffect::Disarmed);
+        assert!(!dl.is_armed());
+        assert_eq!(dl.read_msr(), 0);
+    }
+
+    #[test]
+    fn past_deadline_fires_immediately() {
+        let (tsc, mut dl) = setup();
+        let now = SimTime::from_micros(10);
+        let past_ticks = tsc.read(now) - 5;
+        assert_eq!(
+            dl.write(&tsc, now, past_ticks),
+            DeadlineWriteEffect::FiresImmediately
+        );
+        assert!(!dl.is_armed(), "MSR clears after immediate fire");
+        assert_eq!(dl.read_msr(), 0);
+    }
+
+    #[test]
+    fn equal_deadline_fires_immediately() {
+        let (tsc, mut dl) = setup();
+        let now = SimTime::from_micros(10);
+        assert_eq!(
+            dl.write(&tsc, now, tsc.read(now)),
+            DeadlineWriteEffect::FiresImmediately
+        );
+    }
+
+    #[test]
+    fn future_deadline_arms() {
+        let (tsc, mut dl) = setup();
+        let now = SimTime::from_micros(10);
+        let when = now + SimDuration::from_millis(4);
+        match dl.arm_at(&tsc, now, when) {
+            DeadlineWriteEffect::Armed(t) => assert_eq!(t, when),
+            other => panic!("expected Armed, got {other:?}"),
+        }
+        assert_eq!(dl.expiry(), Some(when));
+    }
+
+    #[test]
+    fn rearm_replaces_previous() {
+        let (tsc, mut dl) = setup();
+        let now = SimTime::from_micros(10);
+        let first = now + SimDuration::from_millis(4);
+        let second = now + SimDuration::from_millis(1);
+        dl.arm_at(&tsc, now, first);
+        dl.arm_at(&tsc, now, second);
+        assert_eq!(dl.expiry(), Some(second), "one-shot: last write wins");
+    }
+
+    #[test]
+    fn fire_clears() {
+        let (tsc, mut dl) = setup();
+        let now = SimTime::from_micros(10);
+        let when = now + SimDuration::from_millis(4);
+        dl.arm_at(&tsc, now, when);
+        dl.fire(when);
+        assert!(!dl.is_armed());
+        assert_eq!(dl.read_msr(), 0);
+    }
+
+    #[test]
+    fn write_count_tracks_all_writes() {
+        let (tsc, mut dl) = setup();
+        let now = SimTime::from_micros(10);
+        dl.arm_at(&tsc, now, now + SimDuration::from_millis(1));
+        dl.disarm(&tsc, now);
+        dl.arm_at(&tsc, now, now); // past -> immediate, still a write
+        assert_eq!(dl.write_count, 3);
+    }
+
+    #[test]
+    fn arm_at_now_or_past_is_immediate() {
+        let (tsc, mut dl) = setup();
+        let now = SimTime::from_micros(10);
+        assert_eq!(
+            dl.arm_at(&tsc, now, now),
+            DeadlineWriteEffect::FiresImmediately
+        );
+        assert_eq!(
+            dl.arm_at(&tsc, now, SimTime::from_micros(5)),
+            DeadlineWriteEffect::FiresImmediately
+        );
+    }
+}

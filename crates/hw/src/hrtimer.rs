@@ -1,0 +1,172 @@
+//! Host high-resolution timer slots.
+//!
+//! When a vCPU with an armed guest deadline is descheduled or halted, the
+//! VMX preemption timer cannot run (it only counts in guest mode), so KVM
+//! transfers the deadline to a host **hrtimer**. This module models one
+//! such timer slot: armed / fired / cancelled, with a generation counter
+//! so that stale expiry events (already superseded by a re-arm or cancel)
+//! can be recognized and dropped — the standard pattern for binding pure
+//! timer state to a lazy-cancellation event queue.
+
+use paratick_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Externally visible state of an [`HrTimer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HrTimerState {
+    Idle,
+    Armed { expiry: SimTime },
+}
+
+/// One host high-resolution timer slot.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HrTimer {
+    state: HrTimerState,
+    /// Bumped on every arm/cancel; an expiry event carrying an older
+    /// generation is stale.
+    generation: u64,
+    pub arm_count: u64,
+    pub fire_count: u64,
+    pub cancel_count: u64,
+}
+
+impl Default for HrTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HrTimer {
+    pub fn new() -> Self {
+        HrTimer {
+            state: HrTimerState::Idle,
+            generation: 0,
+            arm_count: 0,
+            fire_count: 0,
+            cancel_count: 0,
+        }
+    }
+
+    /// Arm (or re-arm) for `expiry`. Returns the new generation to tag
+    /// the scheduled event with.
+    pub fn arm(&mut self, expiry: SimTime) -> u64 {
+        self.generation += 1;
+        self.arm_count += 1;
+        self.state = HrTimerState::Armed { expiry };
+        self.generation
+    }
+
+    /// Cancel if armed. Returns true if a pending expiry was cancelled.
+    pub fn cancel(&mut self) -> bool {
+        if matches!(self.state, HrTimerState::Armed { .. }) {
+            self.generation += 1;
+            self.cancel_count += 1;
+            self.state = HrTimerState::Idle;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// An expiry event with generation `gen` arrived at `now`. Returns
+    /// `true` if it is current (the timer really fires), `false` if it is
+    /// stale and must be ignored.
+    pub fn try_fire(&mut self, now: SimTime, gen: u64) -> bool {
+        match self.state {
+            HrTimerState::Armed { expiry } if gen == self.generation => {
+                debug_assert_eq!(expiry, now, "hrtimer fired at the wrong instant");
+                self.state = HrTimerState::Idle;
+                self.fire_count += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub fn state(&self) -> HrTimerState {
+        self.state
+    }
+
+    pub fn expiry(&self) -> Option<SimTime> {
+        match self.state {
+            HrTimerState::Armed { expiry } => Some(expiry),
+            HrTimerState::Idle => None,
+        }
+    }
+
+    pub fn is_armed(&self) -> bool {
+        matches!(self.state, HrTimerState::Armed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paratick_sim::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn arm_fire_cycle() {
+        let mut h = HrTimer::new();
+        assert!(!h.is_armed());
+        let gen = h.arm(t(5));
+        assert_eq!(h.expiry(), Some(t(5)));
+        assert!(h.try_fire(t(5), gen));
+        assert!(!h.is_armed());
+        assert_eq!(h.fire_count, 1);
+    }
+
+    #[test]
+    fn stale_generation_ignored_after_rearm() {
+        let mut h = HrTimer::new();
+        let gen1 = h.arm(t(5));
+        let gen2 = h.arm(t(10));
+        assert!(!h.try_fire(t(5), gen1), "superseded expiry is stale");
+        assert!(h.is_armed());
+        assert!(h.try_fire(t(10), gen2));
+    }
+
+    #[test]
+    fn cancel_invalidates() {
+        let mut h = HrTimer::new();
+        let gen = h.arm(t(5));
+        assert!(h.cancel());
+        assert!(!h.try_fire(t(5), gen));
+        assert_eq!(h.cancel_count, 1);
+        assert_eq!(h.fire_count, 0);
+        assert!(!h.cancel(), "cancel when idle is a no-op");
+    }
+
+    #[test]
+    fn double_fire_impossible() {
+        let mut h = HrTimer::new();
+        let gen = h.arm(t(5));
+        assert!(h.try_fire(t(5), gen));
+        assert!(!h.try_fire(t(5), gen), "second fire with same gen rejected");
+    }
+
+    #[test]
+    fn counters() {
+        let mut h = HrTimer::new();
+        for i in 1..=3 {
+            let gen = h.arm(t(i));
+            h.try_fire(t(i), gen);
+        }
+        h.arm(t(10));
+        h.cancel();
+        assert_eq!(h.arm_count, 4);
+        assert_eq!(h.fire_count, 3);
+        assert_eq!(h.cancel_count, 1);
+    }
+
+    #[test]
+    fn rearm_moves_expiry() {
+        let mut h = HrTimer::new();
+        h.arm(t(5));
+        h.arm(SimTime::from_millis(2));
+        assert_eq!(h.expiry(), Some(SimTime::ZERO + SimDuration::from_millis(2)));
+    }
+}

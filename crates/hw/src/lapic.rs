@@ -1,0 +1,243 @@
+//! Local APIC interrupt-state model.
+//!
+//! We model the part of the LAPIC that interrupt delivery depends on: the
+//! interrupt request register (IRR) — a 256-bit pending-vector bitmap —
+//! with fixed-priority selection (highest vector number wins, vectors
+//! 0–31 reserved for exceptions). Delivery/EOI flow:
+//!
+//! 1. a source (timer, IPI, device via the hypervisor) sets a vector in
+//!    the IRR;
+//! 2. when interrupts are deliverable, the highest pending vector is
+//!    acknowledged (moves out of IRR, runs its handler);
+//! 3. the handler signals EOI (implicit in this model).
+//!
+//! The paratick guest installs a handler for **vector 235** (paper §5.1);
+//! the local timer uses the conventional Linux `LOCAL_TIMER_VECTOR`
+//! (0xEC = 236). Keeping the real numbers makes the traces and tests read
+//! like the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// An interrupt vector number (0-255; 32+ usable for interrupts).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Vector(pub u8);
+
+impl Vector {
+    /// Linux's local APIC timer vector (0xEC).
+    pub const LOCAL_TIMER: Vector = Vector(236);
+    /// The paratick virtual scheduler tick vector (paper §5.1).
+    pub const PARATICK: Vector = Vector(235);
+    /// Linux reschedule IPI vector (0xFD).
+    pub const RESCHEDULE: Vector = Vector(253);
+    /// Generic "call function" IPI vector (0xFB).
+    pub const CALL_FUNCTION: Vector = Vector(251);
+    /// A representative block-device completion vector.
+    pub const BLOCK_IO: Vector = Vector(65);
+    /// A representative network-device completion vector.
+    pub const NET_IO: Vector = Vector(66);
+
+    pub fn is_valid_interrupt(self) -> bool {
+        self.0 >= 32
+    }
+}
+
+/// Pending-interrupt state of one (v)CPU's local APIC.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Lapic {
+    /// 256-bit IRR as four words.
+    irr: [u64; 4],
+    /// Total interrupts ever requested (for accounting).
+    pub requested: u64,
+    /// Total interrupts acknowledged.
+    pub acked: u64,
+}
+
+impl Lapic {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request delivery of `v`. Setting an already-pending vector
+    /// coalesces (as in hardware). Returns `true` if newly pending.
+    pub fn request(&mut self, v: Vector) -> bool {
+        assert!(
+            v.is_valid_interrupt(),
+            "vector {} is reserved for exceptions",
+            v.0
+        );
+        self.requested += 1;
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        let was = self.irr[w] & (1 << b) != 0;
+        self.irr[w] |= 1 << b;
+        !was
+    }
+
+    /// Highest-priority pending vector, if any (does not acknowledge).
+    pub fn highest_pending(&self) -> Option<Vector> {
+        for w in (0..4).rev() {
+            if self.irr[w] != 0 {
+                let b = 63 - self.irr[w].leading_zeros() as usize;
+                return Some(Vector((w * 64 + b) as u8));
+            }
+        }
+        None
+    }
+
+    /// Is the specific vector pending?
+    pub fn is_pending(&self, v: Vector) -> bool {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        self.irr[w] & (1 << b) != 0
+    }
+
+    /// Any interrupt pending?
+    pub fn has_pending(&self) -> bool {
+        self.irr.iter().any(|&w| w != 0)
+    }
+
+    /// Acknowledge (begin servicing) the highest pending vector.
+    pub fn ack_highest(&mut self) -> Option<Vector> {
+        let v = self.highest_pending()?;
+        self.clear(v);
+        self.acked += 1;
+        Some(v)
+    }
+
+    /// Acknowledge a specific pending vector. Returns false if it was not
+    /// pending.
+    pub fn ack(&mut self, v: Vector) -> bool {
+        if self.is_pending(v) {
+            self.clear(v);
+            self.acked += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop a pending vector without counting it as serviced (used when a
+    /// guest rejects early virtual ticks during boot, paper §5.2.1).
+    pub fn reject(&mut self, v: Vector) -> bool {
+        if self.is_pending(v) {
+            self.clear(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn clear(&mut self, v: Vector) {
+        let (w, b) = (v.0 as usize / 64, v.0 as usize % 64);
+        self.irr[w] &= !(1 << b);
+    }
+
+    /// Number of distinct vectors currently pending.
+    pub fn pending_count(&self) -> u32 {
+        self.irr.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_and_ack() {
+        let mut apic = Lapic::new();
+        assert!(!apic.has_pending());
+        assert!(apic.request(Vector::LOCAL_TIMER));
+        assert!(apic.has_pending());
+        assert!(apic.is_pending(Vector::LOCAL_TIMER));
+        assert_eq!(apic.ack_highest(), Some(Vector::LOCAL_TIMER));
+        assert!(!apic.has_pending());
+    }
+
+    #[test]
+    fn coalescing() {
+        let mut apic = Lapic::new();
+        assert!(apic.request(Vector::PARATICK));
+        assert!(!apic.request(Vector::PARATICK), "second request coalesces");
+        assert_eq!(apic.pending_count(), 1);
+        assert_eq!(apic.requested, 2);
+        apic.ack_highest();
+        assert_eq!(apic.acked, 1);
+        assert!(!apic.has_pending());
+    }
+
+    #[test]
+    fn priority_order_highest_vector_first() {
+        let mut apic = Lapic::new();
+        apic.request(Vector::BLOCK_IO); // 65
+        apic.request(Vector::RESCHEDULE); // 253
+        apic.request(Vector::LOCAL_TIMER); // 236
+        assert_eq!(apic.ack_highest(), Some(Vector::RESCHEDULE));
+        assert_eq!(apic.ack_highest(), Some(Vector::LOCAL_TIMER));
+        assert_eq!(apic.ack_highest(), Some(Vector::BLOCK_IO));
+        assert_eq!(apic.ack_highest(), None);
+    }
+
+    #[test]
+    fn timer_outranks_paratick_vector() {
+        // 236 > 235: a real local-timer interrupt is serviced before a
+        // queued virtual tick, matching the host-side heuristic in §5.1.
+        let mut apic = Lapic::new();
+        apic.request(Vector::PARATICK);
+        apic.request(Vector::LOCAL_TIMER);
+        assert_eq!(apic.ack_highest(), Some(Vector::LOCAL_TIMER));
+    }
+
+    #[test]
+    fn ack_specific() {
+        let mut apic = Lapic::new();
+        apic.request(Vector::BLOCK_IO);
+        apic.request(Vector::NET_IO);
+        assert!(apic.ack(Vector::BLOCK_IO));
+        assert!(!apic.ack(Vector::BLOCK_IO), "double ack fails");
+        assert!(apic.is_pending(Vector::NET_IO));
+    }
+
+    #[test]
+    fn reject_does_not_count_as_serviced() {
+        let mut apic = Lapic::new();
+        apic.request(Vector::PARATICK);
+        assert!(apic.reject(Vector::PARATICK));
+        assert_eq!(apic.acked, 0);
+        assert!(!apic.reject(Vector::PARATICK));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for exceptions")]
+    fn exception_vectors_rejected() {
+        Lapic::new().request(Vector(14));
+    }
+
+    proptest! {
+        /// ack_highest always returns vectors in strictly decreasing
+        /// order when nothing new is requested.
+        #[test]
+        fn prop_ack_order_decreasing(vecs in proptest::collection::hash_set(32u8..=255, 1..50)) {
+            let mut apic = Lapic::new();
+            for &v in &vecs {
+                apic.request(Vector(v));
+            }
+            let mut last: Option<u8> = None;
+            while let Some(Vector(v)) = apic.ack_highest() {
+                if let Some(l) = last {
+                    prop_assert!(v < l);
+                }
+                last = Some(v);
+            }
+            prop_assert_eq!(apic.acked as usize, vecs.len());
+        }
+
+        /// pending_count matches requests minus acks for distinct vectors.
+        #[test]
+        fn prop_pending_count(vecs in proptest::collection::hash_set(32u8..=255, 0..64)) {
+            let mut apic = Lapic::new();
+            for &v in &vecs {
+                apic.request(Vector(v));
+            }
+            prop_assert_eq!(apic.pending_count() as usize, vecs.len());
+        }
+    }
+}

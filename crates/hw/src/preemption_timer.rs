@@ -1,0 +1,199 @@
+//! VMX preemption timer model.
+//!
+//! The VMX preemption timer is a down-counter in the VMCS that ticks at
+//! `TSC rate >> shift` (the shift is a model-specific constant read from
+//! `IA32_VMX_MISC`, typically 5). When it reaches zero while the guest
+//! runs, the CPU takes a **preemption-timer VM exit** — considerably
+//! cheaper than intercepting a LAPIC timer interrupt, because no
+//! interrupt-window dance is needed.
+//!
+//! KVM uses it to deliver guest `TSC_DEADLINE` expirations (paper §3):
+//! when the guest writes the deadline MSR (trapped), KVM converts the
+//! remaining time into preemption-timer units and programs the VMCS
+//! field on VM entry. The timer only counts while the vCPU is in guest
+//! mode; if the vCPU is descheduled, KVM falls back to a host hrtimer.
+
+use paratick_sim::{Freq, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-vCPU VMX preemption timer state.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PreemptionTimer {
+    /// TSC-to-timer shift from IA32_VMX_MISC (typically 5: timer ticks at
+    /// tsc_freq / 32).
+    shift: u32,
+    tsc_freq: Freq,
+    /// Remaining timer units when last saved (vCPU not running), or the
+    /// absolute expiry instant while running.
+    state: PtState,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+enum PtState {
+    Disarmed,
+    /// vCPU in guest mode; counts down to this instant.
+    RunningUntil(SimTime),
+    /// vCPU not in guest mode; this many timer units remain.
+    SavedUnits(u64),
+}
+
+impl PreemptionTimer {
+    pub fn new(tsc_freq: Freq, shift: u32) -> Self {
+        assert!(shift < 32, "implausible VMX_MISC shift {shift}");
+        PreemptionTimer {
+            shift,
+            tsc_freq,
+            state: PtState::Disarmed,
+        }
+    }
+
+    /// Timer tick frequency (TSC >> shift).
+    pub fn timer_freq(&self) -> Freq {
+        Freq::hz((self.tsc_freq.as_hz() >> self.shift).max(1))
+    }
+
+    /// Convert a duration to timer units, rounding up (never fire early).
+    pub fn units_for(&self, d: SimDuration) -> u64 {
+        let f = self.timer_freq();
+        let units = (d.as_nanos() as u128 * f.as_hz() as u128).div_ceil(1_000_000_000);
+        u64::try_from(units).unwrap_or(u64::MAX).max(1)
+    }
+
+    /// Program the timer on VM entry for a deadline `d` from `now`; the
+    /// vCPU is entering guest mode so the countdown is live.
+    pub fn arm_on_entry(&mut self, now: SimTime, d: SimDuration) {
+        let units = self.units_for(d);
+        let span = self.units_to_duration(units);
+        self.state = PtState::RunningUntil(now + span);
+    }
+
+    /// The vCPU exited guest mode at `now`: freeze the countdown.
+    pub fn save_on_exit(&mut self, now: SimTime) {
+        if let PtState::RunningUntil(t) = self.state {
+            let remaining = t.saturating_since(now);
+            if remaining.is_zero() {
+                // Expired exactly at exit; treated as pending.
+                self.state = PtState::SavedUnits(0);
+            } else {
+                self.state = PtState::SavedUnits(self.units_for(remaining));
+            }
+        }
+    }
+
+    /// The vCPU re-entered guest mode at `now`: resume the countdown.
+    pub fn resume_on_entry(&mut self, now: SimTime) {
+        if let PtState::SavedUnits(u) = self.state {
+            let span = self.units_to_duration(u);
+            self.state = PtState::RunningUntil(now + span);
+        }
+    }
+
+    pub fn disarm(&mut self) {
+        self.state = PtState::Disarmed;
+    }
+
+    /// Expiry instant if the vCPU keeps running.
+    pub fn expiry(&self) -> Option<SimTime> {
+        match self.state {
+            PtState::RunningUntil(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn is_armed(&self) -> bool {
+        self.state != PtState::Disarmed
+    }
+
+    /// The timer reached zero in guest mode (preemption-timer VM exit).
+    pub fn fire(&mut self, now: SimTime) {
+        debug_assert_eq!(
+            self.expiry(),
+            Some(now),
+            "preemption timer fired at the wrong instant"
+        );
+        self.state = PtState::Disarmed;
+    }
+
+    fn units_to_duration(&self, units: u64) -> SimDuration {
+        let f = self.timer_freq();
+        let ns = (units as u128 * 1_000_000_000).div_ceil(f.as_hz() as u128);
+        SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt() -> PreemptionTimer {
+        PreemptionTimer::new(Freq::ghz(2), 5)
+    }
+
+    #[test]
+    fn timer_freq_shifted() {
+        assert_eq!(pt().timer_freq().as_hz(), 2_000_000_000 >> 5);
+    }
+
+    #[test]
+    fn arm_and_expire() {
+        let mut t = pt();
+        let now = SimTime::from_micros(100);
+        t.arm_on_entry(now, SimDuration::from_millis(4));
+        let e = t.expiry().unwrap();
+        // Granularity: expiry within one timer tick above the deadline.
+        let tick_ns = 1_000_000_000 / t.timer_freq().as_hz() + 1;
+        assert!(e >= now + SimDuration::from_millis(4));
+        assert!(e <= now + SimDuration::from_millis(4) + SimDuration::from_nanos(tick_ns));
+        t.fire(e);
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn units_round_up_never_early() {
+        let t = pt();
+        // One ns still takes at least one unit.
+        assert!(t.units_for(SimDuration::from_nanos(1)) >= 1);
+        let d = SimDuration::from_micros(10);
+        let units = t.units_for(d);
+        assert!(t.units_to_duration(units) >= d);
+    }
+
+    #[test]
+    fn save_resume_preserves_remaining() {
+        let mut t = pt();
+        let start = SimTime::from_millis(1);
+        t.arm_on_entry(start, SimDuration::from_millis(4));
+        // Exit after 1 ms: 3 ms remain.
+        let exit = start + SimDuration::from_millis(1);
+        t.save_on_exit(exit);
+        assert!(t.is_armed());
+        assert_eq!(t.expiry(), None, "frozen while not in guest mode");
+        // Re-enter 10 ms later: deadline extends by the off-CPU gap.
+        let reenter = exit + SimDuration::from_millis(10);
+        t.resume_on_entry(reenter);
+        let e = t.expiry().unwrap();
+        assert!(e >= reenter + SimDuration::from_millis(3));
+        assert!(e <= reenter + SimDuration::from_millis(3) + SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn save_at_exact_expiry_is_pending() {
+        let mut t = pt();
+        let start = SimTime::from_millis(1);
+        t.arm_on_entry(start, SimDuration::from_millis(2));
+        let e = t.expiry().unwrap();
+        t.save_on_exit(e);
+        t.resume_on_entry(e + SimDuration::from_millis(5));
+        // Zero units left: expires immediately on re-entry.
+        assert_eq!(t.expiry(), Some(e + SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    fn disarm() {
+        let mut t = pt();
+        t.arm_on_entry(SimTime::ZERO, SimDuration::from_millis(1));
+        t.disarm();
+        assert!(!t.is_armed());
+        assert_eq!(t.expiry(), None);
+    }
+}

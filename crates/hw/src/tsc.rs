@@ -1,0 +1,142 @@
+//! Time stamp counter (TSC) model.
+//!
+//! Modern x86 exposes an *invariant* TSC: a per-package counter running at
+//! a constant rate regardless of power states, readable from user space
+//! with `rdtsc` without trapping. Linux builds both its clocksource and
+//! its high-resolution timer deadlines on it (paper §3: "Linux uses the
+//! per-CPU time stamp counter (TSC), which is the most accurate timer
+//! hardware available for programming timers").
+//!
+//! The model is a pure linear map between [`SimTime`] and TSC ticks with
+//! an optional per-VM offset — KVM gives each guest a TSC offset so that
+//! the guest sees time starting near zero at its own boot.
+
+use paratick_sim::{Cycles, Freq, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An invariant TSC: constant `freq`, optional guest offset.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Tsc {
+    freq: Freq,
+    /// Value the counter read at simulated time zero (the "TSC offset"
+    /// in VMCS terms, already folded in).
+    offset: u64,
+}
+
+impl Tsc {
+    /// Host TSC: starts at zero at simulated boot.
+    pub fn new(freq: Freq) -> Self {
+        Tsc { freq, offset: 0 }
+    }
+
+    /// Guest TSC: reads zero at `guest_boot` (KVM writes a negative VMCS
+    /// TSC offset so the guest counter appears to start at its boot).
+    pub fn for_guest(freq: Freq, guest_boot: SimTime) -> Self {
+        let host = Tsc::new(freq);
+        let boot_ticks = host.read(guest_boot);
+        Tsc {
+            freq,
+            offset: 0u64.wrapping_sub(boot_ticks),
+        }
+    }
+
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// `rdtsc` at simulated instant `now`.
+    #[inline]
+    pub fn read(&self, now: SimTime) -> u64 {
+        let base = self
+            .freq
+            .duration_to_cycles(SimDuration::from_nanos(now.as_nanos()))
+            .get();
+        base.wrapping_add(self.offset)
+    }
+
+    /// Instant at which the counter will reach `ticks` (for deadline
+    /// comparisons). Returns `None` if `ticks` is already in the past at
+    /// `now`.
+    pub fn time_of(&self, now: SimTime, ticks: u64) -> Option<SimTime> {
+        let cur = self.read(now);
+        if ticks <= cur {
+            return None;
+        }
+        let delta = Cycles::new(ticks.wrapping_sub(cur));
+        Some(now + self.freq.cycles_to_duration(delta))
+    }
+
+    /// Ticks corresponding to a span of simulated time.
+    #[inline]
+    pub fn ticks_in(&self, d: SimDuration) -> u64 {
+        self.freq.duration_to_cycles(d).get()
+    }
+
+    /// Counter value that a deadline `d` in the future corresponds to.
+    #[inline]
+    pub fn deadline_after(&self, now: SimTime, d: SimDuration) -> u64 {
+        self.read(now).wrapping_add(self.ticks_in(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_monotone_and_linear() {
+        let tsc = Tsc::new(Freq::ghz(2));
+        assert_eq!(tsc.read(SimTime::ZERO), 0);
+        assert_eq!(tsc.read(SimTime::from_nanos(10)), 20);
+        assert_eq!(tsc.read(SimTime::from_micros(1)), 2_000);
+        assert!(tsc.read(SimTime::from_secs(1)) > tsc.read(SimTime::from_millis(999)));
+    }
+
+    #[test]
+    fn guest_offset_zeroes_at_boot() {
+        let boot = SimTime::from_millis(123);
+        let tsc = Tsc::for_guest(Freq::ghz(3), boot);
+        assert_eq!(tsc.read(boot), 0);
+        assert_eq!(tsc.read(boot + SimDuration::from_nanos(10)), 30);
+    }
+
+    #[test]
+    fn time_of_future_deadline() {
+        let tsc = Tsc::new(Freq::ghz(1)); // 1 tick per ns
+        let now = SimTime::from_micros(5);
+        let deadline_ticks = tsc.read(now) + 1_000;
+        assert_eq!(
+            tsc.time_of(now, deadline_ticks),
+            Some(now + SimDuration::from_micros(1))
+        );
+    }
+
+    #[test]
+    fn time_of_past_deadline_is_none() {
+        let tsc = Tsc::new(Freq::ghz(1));
+        let now = SimTime::from_micros(5);
+        assert_eq!(tsc.time_of(now, tsc.read(now)), None);
+        assert_eq!(tsc.time_of(now, tsc.read(now) - 1), None);
+    }
+
+    #[test]
+    fn deadline_after_roundtrip() {
+        let tsc = Tsc::new(Freq::hz(2_500_000_000));
+        let now = SimTime::from_millis(7);
+        let d = SimDuration::from_millis(4);
+        let ticks = tsc.deadline_after(now, d);
+        let when = tsc.time_of(now, ticks).unwrap();
+        // Round-trips exactly at a 2.5 GHz clock and ms-aligned spans.
+        assert_eq!(when, now + d);
+    }
+
+    #[test]
+    fn guest_tsc_wrapping_is_well_defined() {
+        // A guest booted late enough that offset subtraction wraps.
+        let boot = SimTime::from_secs(100);
+        let tsc = Tsc::for_guest(Freq::ghz(2), boot);
+        assert_eq!(tsc.read(boot), 0);
+        let later = boot + SimDuration::from_secs(1);
+        assert_eq!(tsc.read(later), 2_000_000_000);
+    }
+}

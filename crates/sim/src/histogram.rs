@@ -1,0 +1,293 @@
+//! Log-bucketed histogram with percentile queries.
+//!
+//! HdrHistogram-style layout: values are bucketed by their power-of-two
+//! magnitude, with `2^sub_bits` linear sub-buckets per magnitude. This
+//! gives a bounded relative error (~1/2^sub_bits) across many orders of
+//! magnitude — exactly what latency distributions need — in a few KiB.
+
+use serde::{Deserialize, Serialize};
+
+const SUB_BITS: u32 = 5; // 32 sub-buckets => <= ~3.1% relative error
+const SUB_COUNT: usize = 1 << SUB_BITS;
+const MAGNITUDES: usize = 64;
+
+/// Fixed-size log-bucketed histogram over `u64` values (typically
+/// nanoseconds).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>, // MAGNITUDES * SUB_COUNT
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; MAGNITUDES * SUB_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn index_of(value: u64) -> usize {
+        if value < SUB_COUNT as u64 {
+            // Values below the sub-bucket count are exact.
+            return value as usize;
+        }
+        let mag = 63 - value.leading_zeros(); // >= SUB_BITS here
+        let shift = mag - SUB_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_COUNT - 1);
+        ((mag - SUB_BITS + 1) as usize) * SUB_COUNT + sub
+    }
+
+    /// Representative (lower-bound) value for a bucket index.
+    fn value_of(index: usize) -> u64 {
+        let block = index / SUB_COUNT;
+        let sub = (index % SUB_COUNT) as u64;
+        if block == 0 {
+            sub
+        } else {
+            let shift = (block - 1) as u32;
+            ((SUB_COUNT as u64) + sub) << shift
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::index_of(value);
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0,1]` (bucket lower bound, clamped to the
+    /// observed min/max so tiny histograms behave intuitively).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::value_of(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 0 {
+            return write!(f, "Histogram(empty)");
+        }
+        write!(
+            f,
+            "Histogram(n={}, mean={:.1}, p50={}, p99={}, max={})",
+            self.count,
+            self.mean(),
+            self.p50().unwrap(),
+            self.p99().unwrap(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert!(h.mean().is_nan());
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(31));
+        assert_eq!(h.quantile(0.0), Some(0));
+        // Exact representation below SUB_COUNT.
+        assert_eq!(h.quantile(1.0), Some(31));
+    }
+
+    #[test]
+    fn mean_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(90);
+        assert_eq!(h.mean(), 40.0);
+    }
+
+    #[test]
+    fn quantiles_bounded_relative_error() {
+        let mut h = Histogram::new();
+        // A value far up the range.
+        let v = 1_234_567_890u64;
+        h.record_n(v, 100);
+        let q = h.quantile(0.5).unwrap();
+        let rel = (q as f64 - v as f64).abs() / v as f64;
+        assert!(rel <= 0.04, "relative error {rel}");
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(777, 5);
+        for _ in 0..5 {
+            b.record(777);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(100));
+        assert_eq!(a.max(), Some(1_000_000));
+    }
+
+    #[test]
+    fn quantile_ordering() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 13);
+        }
+        let p10 = h.quantile(0.1).unwrap();
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p10 <= p50 && p50 <= p99);
+    }
+
+    #[test]
+    fn debug_format() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let s = format!("{h:?}");
+        assert!(s.contains("n=1"));
+        assert_eq!(format!("{:?}", Histogram::new()), "Histogram(empty)");
+    }
+
+    proptest! {
+        /// The bucket a value lands in always has a representative value
+        /// within ~3.2% below the true value (monotone log bucketing).
+        #[test]
+        fn prop_bucket_relative_error(v in 1u64..u64::MAX / 2) {
+            let idx = Histogram::index_of(v);
+            let rep = Histogram::value_of(idx);
+            prop_assert!(rep <= v, "representative exceeds value");
+            let rel = (v - rep) as f64 / v as f64;
+            prop_assert!(rel <= 1.0 / 32.0 + 1e-9, "rel err {rel} for {v}");
+        }
+
+        /// index_of is monotone non-decreasing.
+        #[test]
+        fn prop_index_monotone(a in 0u64..u64::MAX/2, b in 0u64..u64::MAX/2) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Histogram::index_of(lo) <= Histogram::index_of(hi));
+        }
+
+        /// Quantile never exceeds max nor goes below min.
+        #[test]
+        fn prop_quantile_within_bounds(
+            values in proptest::collection::vec(0u64..1_000_000_000, 1..100),
+            q in 0.0f64..1.0,
+        ) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let qv = h.quantile(q).unwrap();
+            prop_assert!(qv >= h.min().unwrap());
+            prop_assert!(qv <= h.max().unwrap());
+        }
+    }
+}

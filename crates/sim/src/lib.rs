@@ -1,0 +1,42 @@
+//! # paratick-sim — discrete-event simulation engine
+//!
+//! Foundation crate for the paratick reproduction. It provides the
+//! domain-neutral machinery every other crate builds on:
+//!
+//! * [`time`] — nanosecond-resolution simulated time ([`SimTime`],
+//!   [`SimDuration`]), CPU cycle counts ([`Cycles`]) and frequencies
+//!   ([`Freq`]) with exact conversions between the two domains.
+//! * [`queue`] — a cancellable, deterministic event queue
+//!   ([`EventQueue`]). Events with equal timestamps dispatch in FIFO
+//!   order, which makes whole-system simulations reproducible bit-for-bit
+//!   from a seed.
+//! * [`rng`] — a small, fast, seedable PRNG ([`SimRng`], xoshiro256++)
+//!   with the distributions the workload models need (uniform,
+//!   exponential, normal, lognormal, Pareto). No external entropy is ever
+//!   consulted.
+//! * [`stats`] — counters, online mean/variance summaries and rate
+//!   meters used for metric collection.
+//! * [`histogram`] — log-bucketed latency histograms with percentile
+//!   queries (HdrHistogram-style, power-of-two buckets with linear
+//!   sub-buckets).
+//! * [`trace`] — a bounded ring buffer of recent simulation events for
+//!   post-mortem debugging of divergent runs.
+//!
+//! The engine is intentionally *not* generic over a "process" model: the
+//! paratick system simulator (in the `paratick` core crate) uses the
+//! classic event-scheduling world view, where components compute their
+//! next interesting instant and (re)schedule a single cancellable event.
+
+pub mod histogram;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use histogram::Histogram;
+pub use queue::{EventQueue, EventToken};
+pub use rng::SimRng;
+pub use stats::{Counter, RateMeter, Summary};
+pub use time::{Cycles, Freq, SimDuration, SimTime};
+pub use trace::{TraceBuffer, TraceRecord};

@@ -1,0 +1,344 @@
+//! Cancellable, deterministic event queue.
+//!
+//! The queue is a binary min-heap ordered by `(time, sequence)`. The
+//! sequence number is assigned at push time, so events scheduled for the
+//! same instant dispatch in push order (FIFO). This makes simulations
+//! deterministic: the only ordering inputs are the times and the program
+//! order of `push` calls.
+//!
+//! Cancellation is *lazy*: [`EventQueue::cancel`] marks the token and the
+//! entry is discarded when it reaches the top of the heap. This is the
+//! standard technique for DES engines where components continually
+//! reschedule their "next interesting instant" — cancelled entries are
+//! cheap tombstones rather than O(n) removals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, used to cancel it.
+///
+/// Tokens are unique per queue for the lifetime of the queue (a `u64`
+/// sequence cannot realistically wrap).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventToken(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A cancellable event queue over event payloads of type `E`.
+///
+/// ```
+/// use paratick_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// let tok = q.push(SimTime::from_micros(5), "cancel me");
+/// q.push(SimTime::from_micros(1), "first");
+/// q.push(SimTime::from_micros(9), "last");
+/// q.cancel(tok);
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(1), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(9), "last")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of queued-but-not-yet-dispatched events.
+    live: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    /// Time of the most recently popped event; pops are monotone.
+    last_popped: SimTime,
+    popped_count: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+            popped_count: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            live: HashSet::with_capacity(cap),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+            popped_count: 0,
+        }
+    }
+
+    /// Schedule `event` at `time`. Returns a token that can later cancel
+    /// it.
+    ///
+    /// Panics if `time` is before the most recently popped event: a
+    /// component trying to schedule into the simulated past is a logic
+    /// bug that would otherwise silently corrupt causality.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventToken {
+        assert!(
+            time >= self.last_popped,
+            "event scheduled in the past: {time} < {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { time, seq, event });
+        EventToken(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the token
+    /// was live (not yet dispatched and not already cancelled).
+    ///
+    /// Cancelling an already-dispatched token is a silent no-op returning
+    /// `false`, so callers can keep stale tokens around safely.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if self.live.remove(&token.0) {
+            self.cancelled.insert(token.0);
+            true
+        } else {
+            false // never issued, already dispatched, or already cancelled
+        }
+    }
+
+    /// Pop the earliest live event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // tombstone
+            }
+            self.live.remove(&entry.seq);
+            debug_assert!(entry.time >= self.last_popped, "non-monotone pop");
+            self.last_popped = entry.time;
+            self.popped_count += 1;
+            return Some((entry.time, entry.event));
+        }
+        // Heap drained: any remaining cancel marks are garbage.
+        self.cancelled.clear();
+        None
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop leading tombstones so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = self.heap.pop().unwrap().seq;
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.popped_count
+    }
+
+    /// Time of the most recently popped event (the current simulation
+    /// clock from the queue's perspective).
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let tok = q.push(t(10), "x");
+        q.push(t(20), "y");
+        assert!(q.cancel(tok));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(20), "y")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_safe_after_dispatch() {
+        let mut q = EventQueue::new();
+        let tok = q.push(t(10), "x");
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok), "second cancel reports dead token");
+        assert_eq!(q.pop(), None);
+
+        let tok2 = q.push(t(20), "y");
+        assert_eq!(q.pop(), Some((t(20), "y")));
+        assert!(!q.cancel(tok2), "cancel after dispatch is a no-op");
+    }
+
+    #[test]
+    fn cancel_foreign_token_rejected() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventToken(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(t(100), "a");
+        q.pop();
+        q.push(t(50), "b");
+    }
+
+    #[test]
+    fn same_time_as_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(t(100), "a");
+        q.pop();
+        q.push(t(100), "b"); // zero-delay follow-up event
+        assert_eq!(q.pop(), Some((t(100), "b")));
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let tok = q.push(t(10), "x");
+        q.push(t(20), "y");
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(t(20)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        q.push(t(1), ());
+        q.push(t(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.dispatched(), 1);
+        assert_eq!(q.now(), t(1));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    proptest! {
+        /// Dispatch order is monotone in time and FIFO within a time for
+        /// arbitrary push sequences.
+        #[test]
+        fn prop_monotone_fifo(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &ns) in times.iter().enumerate() {
+                q.push(t(ns), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((time, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(time >= lt);
+                    if time == lt {
+                        prop_assert!(idx > lidx, "FIFO violated at {time}");
+                    }
+                }
+                last = Some((time, idx));
+            }
+        }
+
+        /// Cancelled tokens never fire; everything else fires exactly once.
+        #[test]
+        fn prop_cancellation(
+            times in proptest::collection::vec(0u64..1_000, 1..200),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut tokens = Vec::new();
+            for (i, &ns) in times.iter().enumerate() {
+                tokens.push((i, q.push(t(ns), i)));
+            }
+            let mut cancelled = std::collections::HashSet::new();
+            for (i, &(idx, tok)) in tokens.iter().enumerate() {
+                if *cancel_mask.get(i % cancel_mask.len()).unwrap_or(&false) {
+                    q.cancel(tok);
+                    cancelled.insert(idx);
+                }
+            }
+            let mut fired = std::collections::HashSet::new();
+            while let Some((_, idx)) = q.pop() {
+                prop_assert!(!cancelled.contains(&idx), "cancelled event fired");
+                prop_assert!(fired.insert(idx), "event fired twice");
+            }
+            prop_assert_eq!(fired.len() + cancelled.len(), times.len());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Counters, rate meters and online summaries for metric collection.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A simple monotone event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    pub const ZERO: Counter = Counter(0);
+
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Events per second over the given span (0 if the span is zero).
+    pub fn rate(self, span: SimDuration) -> f64 {
+        if span.is_zero() {
+            0.0
+        } else {
+            self.0 as f64 / span.as_secs_f64()
+        }
+    }
+}
+
+impl std::ops::AddAssign for Counter {
+    fn add_assign(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
+}
+
+impl std::iter::Sum for Counter {
+    fn sum<I: Iterator<Item = Counter>>(iter: I) -> Counter {
+        Counter(iter.map(|c| c.0).sum())
+    }
+}
+
+/// Online mean / variance / min / max via Welford's algorithm.
+///
+/// Numerically stable and single-pass; used to summarize per-iteration
+/// experiment metrics without storing samples.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation (n-1 denominator); NaN below 2 samples.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Coefficient of variation (stddev/mean); used by the experiment
+    /// runner's "repeat until stable" loop, mirroring the paper's
+    /// 3-to-15-iteration protocol.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            f64::NAN
+        } else {
+            self.stddev() / m.abs()
+        }
+    }
+
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Sliding-window event rate meter: counts events in fixed windows and
+/// reports the previous complete window's rate. Used by adaptive
+/// mechanisms (e.g. halt-polling growth/shrink).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RateMeter {
+    window: SimDuration,
+    window_start: SimTime,
+    current: u64,
+    last_rate: f64,
+}
+
+impl RateMeter {
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "RateMeter: zero window");
+        RateMeter {
+            window,
+            window_start: SimTime::ZERO,
+            current: 0,
+            last_rate: 0.0,
+        }
+    }
+
+    /// Record an event at `now`. Rolls the window forward as needed.
+    pub fn record(&mut self, now: SimTime) {
+        self.roll(now);
+        self.current += 1;
+    }
+
+    /// Events/sec over the last complete window.
+    pub fn rate(&mut self, now: SimTime) -> f64 {
+        self.roll(now);
+        self.last_rate
+    }
+
+    fn roll(&mut self, now: SimTime) {
+        while now >= self.window_start + self.window {
+            self.last_rate = self.current as f64 / self.window.as_secs_f64();
+            self.current = 0;
+            self.window_start += self.window;
+            if now.saturating_since(self.window_start) > self.window * 2 {
+                // Fast-forward across a long silent gap.
+                self.window_start = now.round_down(self.window);
+                self.last_rate = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::ZERO;
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.rate(SimDuration::from_secs(5)), 1.0);
+        assert_eq!(c.rate(SimDuration::ZERO), 0.0);
+        let total: Counter = [Counter(1), Counter(2)].into_iter().sum();
+        assert_eq!(total.get(), 3);
+    }
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_is_nan() {
+        let s = Summary::new();
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn summary_stddev_needs_two() {
+        let mut s = Summary::new();
+        s.record(1.0);
+        assert!(s.stddev().is_nan());
+        s.record(3.0);
+        assert!((s.stddev() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 37 % 11) as f64).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..40] {
+            a.record(x);
+        }
+        for &x in &xs[40..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        a.record(5.0);
+        let b = Summary::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Summary::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 5.0);
+    }
+
+    #[test]
+    fn rate_meter_windows() {
+        let w = SimDuration::from_millis(10);
+        let mut m = RateMeter::new(w);
+        // 5 events in window [0, 10ms)
+        for i in 0..5 {
+            m.record(SimTime::from_millis(i * 2));
+        }
+        // Query within the *next* window sees 500 ev/s.
+        assert_eq!(m.rate(SimTime::from_millis(12)), 500.0);
+    }
+
+    #[test]
+    fn rate_meter_silent_gap_resets() {
+        let w = SimDuration::from_millis(10);
+        let mut m = RateMeter::new(w);
+        m.record(SimTime::from_millis(1));
+        // A long gap: last-window rate should decay to zero.
+        assert_eq!(m.rate(SimTime::from_secs(10)), 0.0);
+    }
+}

@@ -1,0 +1,599 @@
+//! Simulated time, durations, CPU cycles and frequencies.
+//!
+//! All simulation time is kept in integer nanoseconds since simulated
+//! boot. CPU work is kept in integer cycles. Conversions between the two
+//! go through a [`Freq`] and round *up* for time (work never finishes
+//! early) and *down* for cycles (a partial cycle does no work). Keeping
+//! both domains integral makes runs exactly reproducible across
+//! platforms, which the determinism tests rely on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An instant in simulated time, in nanoseconds since simulated boot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+/// A count of CPU cycles.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Cycles(u64);
+
+/// A frequency in Hertz (events per simulated second, or cycles per
+/// second when describing a CPU clock).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Freq(u64);
+
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+pub const NANOS_PER_MICRO: u64 = 1_000;
+
+impl SimTime {
+    /// The simulated boot instant.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as a sentinel for "never".
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds since boot.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds since boot.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * NANOS_PER_MICRO)
+    }
+
+    /// Construct from whole milliseconds since boot.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * NANOS_PER_MILLI)
+    }
+
+    /// Construct from whole seconds since boot.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * NANOS_PER_SEC)
+    }
+
+    /// Raw nanoseconds since boot.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since boot as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Time elapsed since `earlier`. Panics in debug builds if `earlier`
+    /// is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(self >= earlier, "SimTime::since: earlier is in the future");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating difference: zero if `other` is in the future.
+    #[inline]
+    pub fn saturating_since(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked add that saturates at [`SimTime::NEVER`].
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Round this instant *up* to the next multiple of `granule`
+    /// (used by jiffy-granular guest timers).
+    #[inline]
+    pub fn round_up(self, granule: SimDuration) -> SimTime {
+        assert!(granule.0 > 0, "round_up: zero granule");
+        let rem = self.0 % granule.0;
+        if rem == 0 {
+            self
+        } else {
+            SimTime(self.0 + (granule.0 - rem))
+        }
+    }
+
+    /// Round this instant *down* to a multiple of `granule`.
+    #[inline]
+    pub fn round_down(self, granule: SimDuration) -> SimTime {
+        assert!(granule.0 > 0, "round_down: zero granule");
+        SimTime(self.0 - self.0 % granule.0)
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Sentinel for an unbounded duration.
+    pub const FOREVER: SimDuration = SimDuration(u64::MAX);
+
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * NANOS_PER_MICRO)
+    }
+
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * NANOS_PER_MILLI)
+    }
+
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * NANOS_PER_SEC)
+    }
+
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    #[inline]
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Scale by a float factor, rounding to nearest nanosecond.
+    /// Used for workload calibration multipliers; `f` must be finite and
+    /// non-negative.
+    #[inline]
+    pub fn mul_f64(self, f: f64) -> SimDuration {
+        assert!(f.is_finite() && f >= 0.0, "mul_f64: bad factor {f}");
+        SimDuration((self.0 as f64 * f).round() as u64)
+    }
+
+    #[inline]
+    pub fn min_of(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Cycles {
+    pub const ZERO: Cycles = Cycles(0);
+
+    #[inline]
+    pub const fn new(c: u64) -> Self {
+        Cycles(c)
+    }
+
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Freq {
+    /// 1 Hz.
+    pub const ONE_HZ: Freq = Freq(1);
+
+    /// Construct from Hertz. Panics on zero (a zero frequency makes every
+    /// conversion meaningless and indicates a configuration bug).
+    #[inline]
+    pub fn hz(hz: u64) -> Self {
+        assert!(hz > 0, "Freq::hz: zero frequency");
+        Freq(hz)
+    }
+
+    #[inline]
+    pub fn khz(khz: u64) -> Self {
+        Self::hz(khz * 1_000)
+    }
+
+    #[inline]
+    pub fn mhz(mhz: u64) -> Self {
+        Self::hz(mhz * 1_000_000)
+    }
+
+    #[inline]
+    pub fn ghz(ghz: u64) -> Self {
+        Self::hz(ghz * 1_000_000_000)
+    }
+
+    #[inline]
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// The period of one cycle/event at this frequency, rounded up to at
+    /// least one nanosecond so periodic processes always make progress.
+    #[inline]
+    pub fn period(self) -> SimDuration {
+        SimDuration((NANOS_PER_SEC / self.0).max(1))
+    }
+
+    /// Time needed to retire `c` cycles at this frequency, rounded up
+    /// (work never completes early).
+    ///
+    /// Computed in u128 to avoid overflow for large cycle counts.
+    #[inline]
+    pub fn cycles_to_duration(self, c: Cycles) -> SimDuration {
+        let ns = (c.0 as u128 * NANOS_PER_SEC as u128).div_ceil(self.0 as u128);
+        SimDuration(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    /// Cycles retired in `d` at this frequency, rounded down (a partial
+    /// cycle does no useful work).
+    #[inline]
+    pub fn duration_to_cycles(self, d: SimDuration) -> Cycles {
+        let c = d.0 as u128 * self.0 as u128 / NANOS_PER_SEC as u128;
+        Cycles(u64::try_from(c).unwrap_or(u64::MAX))
+    }
+}
+
+macro_rules! impl_display_ns {
+    ($t:ty) => {
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0 == u64::MAX {
+                    return write!(f, "{}(NEVER)", stringify!($t));
+                }
+                let ns = self.0;
+                if ns >= NANOS_PER_SEC {
+                    write!(f, "{:.6}s", ns as f64 / NANOS_PER_SEC as f64)
+                } else if ns >= NANOS_PER_MILLI {
+                    write!(f, "{:.3}ms", ns as f64 / NANOS_PER_MILLI as f64)
+                } else if ns >= NANOS_PER_MICRO {
+                    write!(f, "{:.3}us", ns as f64 / NANOS_PER_MICRO as f64)
+                } else {
+                    write!(f, "{}ns", ns)
+                }
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+impl_display_ns!(SimTime);
+impl_display_ns!(SimDuration);
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+impl fmt::Debug for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1_000_000_000) {
+            write!(f, "{}GHz", self.0 / 1_000_000_000)
+        } else if self.0.is_multiple_of(1_000_000) {
+            write!(f, "{}MHz", self.0 / 1_000_000)
+        } else if self.0.is_multiple_of(1_000) {
+            write!(f, "{}kHz", self.0 / 1_000)
+        } else {
+            write!(f, "{}Hz", self.0)
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(d.0)
+                .expect("SimTime overflow: duration too large"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(d.0)
+                .expect("SimTime underflow: duration before boot"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(other.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, other: SimDuration) {
+        *self = *self + other;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(other.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, other: SimDuration) {
+        *self = *self - other;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(k).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl Div for SimDuration {
+    type Output = u64;
+    /// How many whole `other`-periods fit in `self`.
+    #[inline]
+    fn div(self, other: SimDuration) -> u64 {
+        assert!(other.0 > 0, "SimDuration division by zero");
+        self.0 / other.0
+    }
+}
+
+impl Rem for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn rem(self, other: SimDuration) -> SimDuration {
+        assert!(other.0 > 0, "SimDuration remainder by zero");
+        SimDuration(self.0 % other.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, other: Cycles) -> Cycles {
+        Cycles(self.0.checked_add(other.0).expect("Cycles overflow"))
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, other: Cycles) {
+        *self = *self + other;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.checked_sub(other.0).expect("Cycles underflow"))
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, k: u64) -> Cycles {
+        Cycles(self.0.checked_mul(k).expect("Cycles overflow"))
+    }
+}
+
+impl std::iter::Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2 * NANOS_PER_SEC);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3 * NANOS_PER_MILLI);
+        assert_eq!(SimTime::from_micros(4).as_nanos(), 4 * NANOS_PER_MICRO);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), NANOS_PER_SEC);
+        assert_eq!(SimTime::ZERO.as_nanos(), 0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_millis(10);
+        let d = SimDuration::from_millis(5);
+        assert_eq!((t + d).as_nanos(), 15 * NANOS_PER_MILLI);
+        assert_eq!((t - d).as_nanos(), 5 * NANOS_PER_MILLI);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_underflow_panics() {
+        let _ = SimTime::from_nanos(1) - SimDuration::from_nanos(2);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimTime::from_nanos(1).saturating_since(SimTime::from_nanos(5)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimTime::NEVER.saturating_add(SimDuration::from_secs(1)),
+            SimTime::NEVER
+        );
+        assert_eq!(
+            SimDuration::from_nanos(3).saturating_sub(SimDuration::from_nanos(10)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn rounding() {
+        let g = SimDuration::from_millis(4);
+        assert_eq!(SimTime::from_millis(4).round_up(g), SimTime::from_millis(4));
+        assert_eq!(SimTime::from_millis(5).round_up(g), SimTime::from_millis(8));
+        assert_eq!(
+            SimTime::from_millis(5).round_down(g),
+            SimTime::from_millis(4)
+        );
+    }
+
+    #[test]
+    fn freq_period() {
+        assert_eq!(Freq::hz(250).period(), SimDuration::from_millis(4));
+        assert_eq!(Freq::hz(1000).period(), SimDuration::from_millis(1));
+        // Higher than 1 GHz periods clamp to 1 ns so progress is made.
+        assert_eq!(Freq::ghz(3).period(), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn cycles_duration_roundtrip() {
+        let f = Freq::ghz(2); // 2 cycles per ns
+        assert_eq!(
+            f.cycles_to_duration(Cycles::new(2_000_000)),
+            SimDuration::from_millis(1)
+        );
+        assert_eq!(
+            f.duration_to_cycles(SimDuration::from_millis(1)),
+            Cycles::new(2_000_000)
+        );
+        // Rounding: 3 cycles at 2 GHz takes 2 ns (1.5 rounded up).
+        assert_eq!(
+            f.cycles_to_duration(Cycles::new(3)),
+            SimDuration::from_nanos(2)
+        );
+        // 1 ns at 2.5GHz = 2.5 cycles -> 2 (rounded down).
+        let f2 = Freq::hz(2_500_000_000);
+        assert_eq!(
+            f2.duration_to_cycles(SimDuration::from_nanos(1)),
+            Cycles::new(2)
+        );
+    }
+
+    #[test]
+    fn cycles_conversion_no_overflow_large() {
+        let f = Freq::ghz(3);
+        let big = Cycles::new(u64::MAX / 2);
+        // Must not panic.
+        let d = f.cycles_to_duration(big);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn duration_division() {
+        let tick = SimDuration::from_millis(4);
+        assert_eq!(SimDuration::from_secs(1) / tick, 250);
+        assert_eq!(
+            SimDuration::from_millis(10) % tick,
+            SimDuration::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_nanos(100);
+        assert_eq!(d.mul_f64(1.5), SimDuration::from_nanos(150));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(0.004), SimDuration::ZERO); // 0.4ns rounds to 0
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000000s");
+        assert_eq!(format!("{}", SimDuration::from_millis(3)), "3.000ms");
+        assert_eq!(format!("{}", SimDuration::from_nanos(7)), "7ns");
+        assert_eq!(format!("{:?}", Freq::ghz(2)), "2GHz");
+        assert_eq!(format!("{:?}", Freq::hz(250)), "250Hz");
+        assert_eq!(format!("{}", SimTime::NEVER), "SimTime(NEVER)");
+    }
+
+    #[test]
+    fn ordering_and_sum() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimTime::NEVER > SimTime::from_secs(1_000_000));
+        let total: Cycles = [Cycles::new(1), Cycles::new(2), Cycles::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Cycles::new(6));
+        let total: SimDuration = [SimDuration::from_nanos(5), SimDuration::from_nanos(7)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, SimDuration::from_nanos(12));
+    }
+}

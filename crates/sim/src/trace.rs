@@ -1,0 +1,161 @@
+//! Bounded ring buffer of recent simulation events.
+//!
+//! When a full-system simulation diverges from expectations, the last few
+//! thousand events are usually enough to find the broken transition. The
+//! trace buffer is disabled (zero-capacity) by default and costs one
+//! branch per record when off.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record: a time plus a preformatted description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub time: SimTime,
+    pub what: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.time, self.what)
+    }
+}
+
+/// Bounded ring buffer of trace records.
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A disabled buffer: records are discarded for free.
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record an event. `what` is only evaluated by the caller; to avoid
+    /// formatting cost when disabled, use [`TraceBuffer::record_with`].
+    pub fn record(&mut self, time: SimTime, what: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { time, what });
+    }
+
+    /// Record lazily: the closure runs only when tracing is enabled.
+    #[inline]
+    pub fn record_with<F: FnOnce() -> String>(&mut self, time: SimTime, f: F) {
+        if self.capacity > 0 {
+            self.record(time, f());
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Render the whole buffer, oldest first.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... ({} earlier records dropped)", self.dropped);
+        }
+        for r in &self.records {
+            let _ = writeln!(out, "{r}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_discards() {
+        let mut tb = TraceBuffer::disabled();
+        assert!(!tb.enabled());
+        tb.record(t(1), "x".into());
+        assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn record_with_skips_closure_when_disabled() {
+        let mut tb = TraceBuffer::disabled();
+        let mut called = false;
+        tb.record_with(t(1), || {
+            called = true;
+            "x".into()
+        });
+        assert!(!called, "closure must not run when tracing is off");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut tb = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            tb.record(t(i), format!("e{i}"));
+        }
+        assert_eq!(tb.len(), 3);
+        assert_eq!(tb.dropped(), 2);
+        let whats: Vec<&str> = tb.iter().map(|r| r.what.as_str()).collect();
+        assert_eq!(whats, ["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn dump_mentions_drops() {
+        let mut tb = TraceBuffer::with_capacity(1);
+        tb.record(t(1), "first-record".into());
+        tb.record(t(2), "second-record".into());
+        let d = tb.dump();
+        assert!(d.contains("1 earlier records dropped"));
+        assert!(d.contains("second-record"));
+        assert!(!d.contains("first-record"));
+    }
+
+    #[test]
+    fn display_format() {
+        let r = TraceRecord {
+            time: t(1500),
+            what: "vmexit".into(),
+        };
+        assert_eq!(format!("{r}"), "[1.500us] vmexit");
+    }
+}

@@ -1,0 +1,257 @@
+//! VM-exit taxonomy and per-reason counting.
+//!
+//! A *VM exit* is a transition from guest (non-root) to host (root) mode.
+//! The paper identifies exits as "the main source of host-level hardware
+//! assisted virtualization overhead" (§6) and builds its whole argument
+//! on which guest actions trap:
+//!
+//! * writing `TSC_DEADLINE` traps ([`ExitReason::MsrWriteTscDeadline`]);
+//! * a guest timer expiring while running surfaces as a (cheaper)
+//!   preemption-timer exit ([`ExitReason::PreemptionTimer`]);
+//! * any host interrupt — including the host's own scheduler tick —
+//!   while a vCPU runs forces [`ExitReason::ExternalInterrupt`];
+//! * `HLT` on idle entry traps ([`ExitReason::Hlt`]);
+//! * I/O submissions ring a doorbell ([`ExitReason::IoKick`]);
+//! * cross-vCPU IPIs write the APIC ICR ([`ExitReason::ApicIpi`]);
+//! * paravirtual calls trap ([`ExitReason::Hypercall`]);
+//! * excessive pause-loops trap when PLE is on ([`ExitReason::PauseLoop`]).
+//!
+//! [`ExitReason::is_timer_related`] gives the subset the paper's
+//! "timer-related VM exits" metric counts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Why a vCPU exited guest mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum ExitReason {
+    /// Guest wrote the `TSC_DEADLINE` MSR (arming, re-arming or
+    /// disarming a timer).
+    MsrWriteTscDeadline,
+    /// The VMX preemption timer expired: a guest timer deadline passed
+    /// while the vCPU was in guest mode.
+    PreemptionTimer,
+    /// A physical interrupt (host tick, device IRQ, host IPI) arrived
+    /// while the vCPU was in guest mode.
+    ExternalInterrupt,
+    /// Guest executed `HLT` (idle entry).
+    Hlt,
+    /// Guest rang a paravirtual I/O doorbell (virtio kick).
+    IoKick,
+    /// Guest wrote the APIC ICR to send an IPI to another vCPU.
+    ApicIpi,
+    /// Guest issued a hypercall.
+    Hypercall,
+    /// Pause-loop exiting fired (only when PLE is enabled).
+    PauseLoop,
+    /// Guest wrote the APIC EOI register after servicing an interrupt.
+    /// Traps on hardware without APICv (the paper's test machine class);
+    /// free when APIC virtualization is available.
+    EoiWrite,
+}
+
+impl ExitReason {
+    pub const COUNT: usize = 9;
+
+    pub const ALL: [ExitReason; Self::COUNT] = [
+        ExitReason::MsrWriteTscDeadline,
+        ExitReason::PreemptionTimer,
+        ExitReason::ExternalInterrupt,
+        ExitReason::Hlt,
+        ExitReason::IoKick,
+        ExitReason::ApicIpi,
+        ExitReason::Hypercall,
+        ExitReason::PauseLoop,
+        ExitReason::EoiWrite,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Does this exit belong to the paper's "VM exits related to timer
+    /// management" metric? (§3: deadline-MSR interception and timer
+    /// interrupt delivery.)
+    pub fn is_timer_related(self) -> bool {
+        matches!(
+            self,
+            ExitReason::MsrWriteTscDeadline | ExitReason::PreemptionTimer
+        )
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ExitReason::MsrWriteTscDeadline => "msr_write_tsc_deadline",
+            ExitReason::PreemptionTimer => "preemption_timer",
+            ExitReason::ExternalInterrupt => "external_interrupt",
+            ExitReason::Hlt => "hlt",
+            ExitReason::IoKick => "io_kick",
+            ExitReason::ApicIpi => "apic_ipi",
+            ExitReason::Hypercall => "hypercall",
+            ExitReason::PauseLoop => "pause_loop",
+            ExitReason::EoiWrite => "eoi_write",
+        }
+    }
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-reason exit counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExitCounts {
+    counts: [u64; ExitReason::COUNT],
+}
+
+impl ExitCounts {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record(&mut self, reason: ExitReason) {
+        self.counts[reason.index()] += 1;
+    }
+
+    pub fn get(&self, reason: ExitReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Total exits of all reasons.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exits in the paper's "timer-related" subset.
+    pub fn timer_related(&self) -> u64 {
+        ExitReason::ALL
+            .iter()
+            .filter(|r| r.is_timer_related())
+            .map(|r| self.get(*r))
+            .sum()
+    }
+
+    pub fn merge(&mut self, other: &ExitCounts) {
+        for i in 0..ExitReason::COUNT {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (ExitReason, u64)> + '_ {
+        ExitReason::ALL.iter().map(move |&r| (r, self.get(r)))
+    }
+
+    /// Non-zero entries, for compact reporting.
+    pub fn nonzero(&self) -> Vec<(ExitReason, u64)> {
+        self.iter().filter(|&(_, c)| c > 0).collect()
+    }
+}
+
+impl Index<ExitReason> for ExitCounts {
+    type Output = u64;
+    fn index(&self, r: ExitReason) -> &u64 {
+        &self.counts[r.index()]
+    }
+}
+
+impl IndexMut<ExitReason> for ExitCounts {
+    fn index_mut(&mut self, r: ExitReason) -> &mut u64 {
+        &mut self.counts[r.index()]
+    }
+}
+
+impl std::ops::AddAssign for ExitCounts {
+    fn add_assign(&mut self, other: ExitCounts) {
+        self.merge(&other);
+    }
+}
+
+impl std::iter::Sum for ExitCounts {
+    fn sum<I: Iterator<Item = ExitCounts>>(iter: I) -> ExitCounts {
+        let mut total = ExitCounts::new();
+        for c in iter {
+            total.merge(&c);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reasons_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for r in ExitReason::ALL {
+            assert!(seen.insert(r.index()), "duplicate index for {r}");
+            assert!(r.index() < ExitReason::COUNT);
+        }
+    }
+
+    #[test]
+    fn timer_related_subset() {
+        assert!(ExitReason::MsrWriteTscDeadline.is_timer_related());
+        assert!(ExitReason::PreemptionTimer.is_timer_related());
+        assert!(!ExitReason::Hlt.is_timer_related());
+        assert!(!ExitReason::ExternalInterrupt.is_timer_related());
+        assert!(!ExitReason::IoKick.is_timer_related());
+    }
+
+    #[test]
+    fn record_and_totals() {
+        let mut c = ExitCounts::new();
+        c.record(ExitReason::Hlt);
+        c.record(ExitReason::Hlt);
+        c.record(ExitReason::MsrWriteTscDeadline);
+        c.record(ExitReason::PreemptionTimer);
+        assert_eq!(c.get(ExitReason::Hlt), 2);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.timer_related(), 2);
+    }
+
+    #[test]
+    fn merge_and_sum() {
+        let mut a = ExitCounts::new();
+        a.record(ExitReason::IoKick);
+        let mut b = ExitCounts::new();
+        b.record(ExitReason::IoKick);
+        b.record(ExitReason::Hypercall);
+        a += b;
+        assert_eq!(a.get(ExitReason::IoKick), 2);
+        assert_eq!(a.get(ExitReason::Hypercall), 1);
+
+        let total: ExitCounts = [a, b].into_iter().sum();
+        assert_eq!(total.get(ExitReason::IoKick), 3);
+    }
+
+    #[test]
+    fn nonzero_reporting() {
+        let mut c = ExitCounts::new();
+        c.record(ExitReason::ApicIpi);
+        let nz = c.nonzero();
+        assert_eq!(nz, vec![(ExitReason::ApicIpi, 1)]);
+    }
+
+    #[test]
+    fn index_ops() {
+        let mut c = ExitCounts::new();
+        c[ExitReason::PauseLoop] += 5;
+        assert_eq!(c[ExitReason::PauseLoop], 5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ExitReason::Hlt.to_string(), "hlt");
+        assert_eq!(
+            ExitReason::MsrWriteTscDeadline.to_string(),
+            "msr_write_tsc_deadline"
+        );
+    }
+}

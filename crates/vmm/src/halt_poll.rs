@@ -1,0 +1,192 @@
+//! KVM-style adaptive halt polling.
+//!
+//! When a vCPU executes HLT, descheduling it and later waking it is
+//! expensive (scheduler round trip plus VM entry). KVM therefore *polls*
+//! for a short window after HLT: if a wake event arrives within the
+//! window, the vCPU re-enters the guest without ever blocking. The
+//! window adapts: it grows after a "just missed" wake and shrinks after
+//! a long sleep.
+//!
+//! The paper **disables halt polling** in its evaluation (§6) "because it
+//! may consume large amounts of CPU cycles in an effort to slightly
+//! improve execution times", distorting throughput comparisons. We model
+//! it anyway — disabled by default to match the paper — so the ablation
+//! bench can quantify that distortion.
+//!
+//! Parameters mirror KVM's `halt_poll_ns` module parameters.
+
+use paratick_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a halt-poll episode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PollOutcome {
+    /// Disabled or zero window: block immediately, no cycles burned.
+    NoPoll,
+    /// Wake arrived within the window: `polled` cycles burned, vCPU
+    /// never blocked.
+    Success { polled: SimDuration },
+    /// Window elapsed without a wake: `polled` cycles burned, then the
+    /// vCPU blocked normally.
+    Failure { polled: SimDuration },
+}
+
+/// Adaptive halt-polling state for one vCPU.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HaltPoll {
+    pub enabled: bool,
+    /// Current per-vCPU polling window.
+    window: SimDuration,
+    /// Upper bound on the window (KVM default 200 us... historically
+    /// halt_poll_ns=200000).
+    pub max_window: SimDuration,
+    /// Multiplicative growth factor after a near miss (KVM default 2).
+    pub grow: u32,
+    /// Divisor after an overlong sleep (KVM default 2).
+    pub shrink: u32,
+    pub successes: u64,
+    pub failures: u64,
+}
+
+impl HaltPoll {
+    /// Paper configuration: disabled.
+    pub fn disabled() -> Self {
+        HaltPoll {
+            enabled: false,
+            window: SimDuration::ZERO,
+            max_window: SimDuration::from_micros(200),
+            grow: 2,
+            shrink: 2,
+            successes: 0,
+            failures: 0,
+        }
+    }
+
+    /// KVM defaults.
+    pub fn kvm_default() -> Self {
+        HaltPoll {
+            enabled: true,
+            window: SimDuration::from_micros(10),
+            max_window: SimDuration::from_micros(200),
+            grow: 2,
+            shrink: 2,
+            successes: 0,
+            failures: 0,
+        }
+    }
+
+    pub fn window(&self) -> SimDuration {
+        if self.enabled {
+            self.window
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// A HLT happened at `halt_time` and the next wake event for this
+    /// vCPU is known to arrive at `wake_time` (or `None` if unknown /
+    /// far away). Decide the outcome and adapt the window.
+    pub fn on_halt(&mut self, halt_time: SimTime, wake_time: Option<SimTime>) -> PollOutcome {
+        if !self.enabled || self.window.is_zero() {
+            return PollOutcome::NoPoll;
+        }
+        let window_end = halt_time + self.window;
+        match wake_time {
+            Some(w) if w <= window_end => {
+                self.successes += 1;
+                let polled = w.since(halt_time);
+                // Keep the window (KVM keeps it on success).
+                PollOutcome::Success { polled }
+            }
+            Some(w) if w <= window_end + self.window * u64::from(self.grow) => {
+                // Near miss: grow the window.
+                self.failures += 1;
+                self.window = (self.window * u64::from(self.grow)).min_of(self.max_window);
+                PollOutcome::Failure {
+                    polled: self.window_before_grow(),
+                }
+            }
+            _ => {
+                // Long sleep: shrink.
+                self.failures += 1;
+                let polled = self.window;
+                self.window = self.window / u64::from(self.shrink.max(1));
+                PollOutcome::Failure { polled }
+            }
+        }
+    }
+
+    fn window_before_grow(&self) -> SimDuration {
+        // After growth, the cycles burned were one *previous* window.
+        self.window / u64::from(self.grow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_never_polls() {
+        let mut hp = HaltPoll::disabled();
+        assert_eq!(hp.on_halt(t(0), Some(t(1))), PollOutcome::NoPoll);
+        assert_eq!(hp.window(), SimDuration::ZERO);
+        assert_eq!(hp.successes + hp.failures, 0);
+    }
+
+    #[test]
+    fn wake_within_window_succeeds() {
+        let mut hp = HaltPoll::kvm_default();
+        let out = hp.on_halt(t(100), Some(t(105)));
+        assert_eq!(
+            out,
+            PollOutcome::Success {
+                polled: SimDuration::from_micros(5)
+            }
+        );
+        assert_eq!(hp.successes, 1);
+    }
+
+    #[test]
+    fn near_miss_grows_window() {
+        let mut hp = HaltPoll::kvm_default();
+        let w0 = hp.window();
+        // Wake just after the window.
+        let out = hp.on_halt(t(100), Some(t(100 + 15)));
+        assert!(matches!(out, PollOutcome::Failure { .. }));
+        assert_eq!(hp.window(), w0 * 2);
+    }
+
+    #[test]
+    fn long_sleep_shrinks_window() {
+        let mut hp = HaltPoll::kvm_default();
+        let w0 = hp.window();
+        let out = hp.on_halt(t(100), Some(t(100_000)));
+        assert_eq!(out, PollOutcome::Failure { polled: w0 });
+        assert_eq!(hp.window(), w0 / 2);
+    }
+
+    #[test]
+    fn unknown_wake_counts_as_long_sleep() {
+        let mut hp = HaltPoll::kvm_default();
+        let w0 = hp.window();
+        hp.on_halt(t(100), None);
+        assert_eq!(hp.window(), w0 / 2);
+        assert_eq!(hp.failures, 1);
+    }
+
+    #[test]
+    fn window_bounded_by_max() {
+        let mut hp = HaltPoll::kvm_default();
+        for i in 0..20 {
+            // Repeated near misses grow the window, capped at max.
+            let w = hp.window();
+            hp.on_halt(t(i * 1000), Some(t(i * 1000) + w + SimDuration::from_nanos(1)));
+        }
+        assert!(hp.window() <= hp.max_window);
+    }
+}

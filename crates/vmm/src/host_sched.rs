@@ -1,0 +1,251 @@
+//! Host scheduler: time-sliced sharing of pCPUs among vCPU threads.
+//!
+//! KVM vCPUs are ordinary host threads scheduled by CFS. For this study
+//! the relevant behaviour is: per-pCPU run queues with round-robin time
+//! slices, vCPU affinity (the paper pins VMs to NUMA sockets), and the
+//! fact that a *descheduled* vCPU's pending timer interrupts must be
+//! handled by the host on behalf of the guest — interrupting whoever runs
+//! on that pCPU (paper §3.1: "the running vCPU is suspended whenever a
+//! tick interrupt arrives for a descheduled vCPU, even if the latter is
+//! idle").
+//!
+//! The scheduler is a pure policy object: it answers "who runs next" and
+//! tracks queue state; the engine owns time and drives preemptions.
+
+use crate::vcpu::VcpuId;
+use paratick_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a physical CPU.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PcpuId(pub u32);
+
+impl fmt::Debug for PcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pcpu{}", self.0)
+    }
+}
+
+/// Outcome of a scheduling decision on one pCPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedDecision {
+    /// Run this vCPU next.
+    Run(VcpuId),
+    /// Nothing runnable: the pCPU idles.
+    Idle,
+}
+
+#[derive(Clone, Debug, Default)]
+struct PcpuQueue {
+    run_queue: VecDeque<VcpuId>,
+    current: Option<VcpuId>,
+}
+
+/// Round-robin host scheduler over a set of pCPUs.
+#[derive(Clone, Debug)]
+pub struct HostScheduler {
+    queues: Vec<PcpuQueue>,
+    slice: SimDuration,
+}
+
+impl HostScheduler {
+    /// Default CFS-like virtualization time slice.
+    pub const DEFAULT_SLICE: SimDuration = SimDuration::from_millis(3);
+
+    pub fn new(num_pcpus: usize, slice: SimDuration) -> Self {
+        assert!(num_pcpus > 0, "scheduler needs at least one pCPU");
+        assert!(!slice.is_zero(), "zero scheduler slice");
+        HostScheduler {
+            queues: vec![PcpuQueue::default(); num_pcpus],
+            slice,
+        }
+    }
+
+    pub fn num_pcpus(&self) -> usize {
+        self.queues.len()
+    }
+
+    pub fn slice(&self) -> SimDuration {
+        self.slice
+    }
+
+    fn q(&self, p: PcpuId) -> &PcpuQueue {
+        &self.queues[p.0 as usize]
+    }
+
+    fn q_mut(&mut self, p: PcpuId) -> &mut PcpuQueue {
+        &mut self.queues[p.0 as usize]
+    }
+
+    /// Make `vcpu` runnable on `pcpu` (wakeup or new vCPU). Panics if the
+    /// vCPU is already queued or current there — that indicates the
+    /// engine lost track of its state.
+    pub fn enqueue(&mut self, vcpu: VcpuId, pcpu: PcpuId) {
+        let q = self.q_mut(pcpu);
+        assert!(
+            q.current != Some(vcpu) && !q.run_queue.contains(&vcpu),
+            "{vcpu} enqueued twice on {pcpu:?}"
+        );
+        q.run_queue.push_back(vcpu);
+    }
+
+    /// Who is currently dispatched on `pcpu`?
+    pub fn current(&self, pcpu: PcpuId) -> Option<VcpuId> {
+        self.q(pcpu).current
+    }
+
+    /// Pick the next vCPU to run on `pcpu`. The previous current (if
+    /// any) must have been removed first via [`Self::deschedule`].
+    pub fn pick_next(&mut self, pcpu: PcpuId) -> SchedDecision {
+        let q = self.q_mut(pcpu);
+        assert!(q.current.is_none(), "pick_next with a current vCPU");
+        match q.run_queue.pop_front() {
+            Some(v) => {
+                q.current = Some(v);
+                SchedDecision::Run(v)
+            }
+            None => SchedDecision::Idle,
+        }
+    }
+
+    /// Remove the current vCPU from `pcpu`. If `requeue`, it goes to the
+    /// tail (slice expiry); otherwise it blocks (HLT) and leaves the
+    /// scheduler until re-enqueued.
+    pub fn deschedule(&mut self, pcpu: PcpuId, requeue: bool) -> VcpuId {
+        let q = self.q_mut(pcpu);
+        let v = q.current.take().expect("deschedule with no current vCPU");
+        if requeue {
+            q.run_queue.push_back(v);
+        }
+        v
+    }
+
+    /// Does `pcpu` time-share (more than one contender)?
+    pub fn is_contended(&self, pcpu: PcpuId) -> bool {
+        let q = self.q(pcpu);
+        let contenders = q.run_queue.len() + usize::from(q.current.is_some());
+        contenders > 1
+    }
+
+    /// Number of runnable-but-waiting vCPUs on `pcpu`.
+    pub fn waiting(&self, pcpu: PcpuId) -> usize {
+        self.q(pcpu).run_queue.len()
+    }
+
+    /// Total runnable load (current + waiting) on `pcpu`.
+    pub fn load(&self, pcpu: PcpuId) -> usize {
+        let q = self.q(pcpu);
+        q.run_queue.len() + usize::from(q.current.is_some())
+    }
+
+    /// Least-loaded pCPU among `candidates` (ties go to the first). Used
+    /// to spread vCPUs of a VM across its socket at boot.
+    pub fn least_loaded(&self, candidates: impl Iterator<Item = PcpuId>) -> Option<PcpuId> {
+        candidates.min_by_key(|&p| (self.load(p), p.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> VcpuId {
+        VcpuId::new(0, n)
+    }
+
+    fn sched(pcpus: usize) -> HostScheduler {
+        HostScheduler::new(pcpus, HostScheduler::DEFAULT_SLICE)
+    }
+
+    #[test]
+    fn empty_pcpu_idles() {
+        let mut s = sched(2);
+        assert_eq!(s.pick_next(PcpuId(0)), SchedDecision::Idle);
+        assert_eq!(s.current(PcpuId(0)), None);
+    }
+
+    #[test]
+    fn fifo_dispatch() {
+        let mut s = sched(1);
+        s.enqueue(v(0), PcpuId(0));
+        s.enqueue(v(1), PcpuId(0));
+        assert_eq!(s.pick_next(PcpuId(0)), SchedDecision::Run(v(0)));
+        assert_eq!(s.current(PcpuId(0)), Some(v(0)));
+        s.deschedule(PcpuId(0), false);
+        assert_eq!(s.pick_next(PcpuId(0)), SchedDecision::Run(v(1)));
+    }
+
+    #[test]
+    fn round_robin_requeue() {
+        let mut s = sched(1);
+        s.enqueue(v(0), PcpuId(0));
+        s.enqueue(v(1), PcpuId(0));
+        assert_eq!(s.pick_next(PcpuId(0)), SchedDecision::Run(v(0)));
+        // Slice expiry: requeue at tail.
+        s.deschedule(PcpuId(0), true);
+        assert_eq!(s.pick_next(PcpuId(0)), SchedDecision::Run(v(1)));
+        s.deschedule(PcpuId(0), true);
+        assert_eq!(s.pick_next(PcpuId(0)), SchedDecision::Run(v(0)));
+    }
+
+    #[test]
+    fn block_leaves_scheduler() {
+        let mut s = sched(1);
+        s.enqueue(v(0), PcpuId(0));
+        s.pick_next(PcpuId(0));
+        s.deschedule(PcpuId(0), false); // HLT
+        assert_eq!(s.pick_next(PcpuId(0)), SchedDecision::Idle);
+        // Wake: re-enqueue works again.
+        s.enqueue(v(0), PcpuId(0));
+        assert_eq!(s.pick_next(PcpuId(0)), SchedDecision::Run(v(0)));
+    }
+
+    #[test]
+    fn contention_detection() {
+        let mut s = sched(1);
+        assert!(!s.is_contended(PcpuId(0)));
+        s.enqueue(v(0), PcpuId(0));
+        assert!(!s.is_contended(PcpuId(0)));
+        s.pick_next(PcpuId(0));
+        s.enqueue(v(1), PcpuId(0));
+        assert!(s.is_contended(PcpuId(0)));
+        assert_eq!(s.waiting(PcpuId(0)), 1);
+        assert_eq!(s.load(PcpuId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "enqueued twice")]
+    fn double_enqueue_panics() {
+        let mut s = sched(1);
+        s.enqueue(v(0), PcpuId(0));
+        s.enqueue(v(0), PcpuId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no current")]
+    fn deschedule_idle_panics() {
+        let mut s = sched(1);
+        s.deschedule(PcpuId(0), false);
+    }
+
+    #[test]
+    fn least_loaded_spreads() {
+        let mut s = sched(4);
+        s.enqueue(v(0), PcpuId(0));
+        s.enqueue(v(1), PcpuId(1));
+        let target = s
+            .least_loaded([PcpuId(0), PcpuId(1), PcpuId(2), PcpuId(3)].into_iter())
+            .unwrap();
+        assert_eq!(target, PcpuId(2), "first empty pCPU wins");
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let mut s = sched(2);
+        s.enqueue(v(0), PcpuId(0));
+        assert_eq!(s.pick_next(PcpuId(1)), SchedDecision::Idle);
+        assert_eq!(s.pick_next(PcpuId(0)), SchedDecision::Run(v(0)));
+    }
+}

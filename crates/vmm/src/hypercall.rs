@@ -1,0 +1,91 @@
+//! Guest→host hypercalls.
+//!
+//! Paratick adds exactly one paravirtual call: at boot, "the guest should
+//! declare its tick frequency to the host through a hypercall" (paper
+//! §4.1). The host records the implied tick period on the vCPU; if the
+//! host tick frequency is not a multiple of the guest's, the host must
+//! additionally arrange preemption-timer-assisted injection
+//! ([`HypercallResult::NeedsRateAdaptation`]) — the §4.1 mismatch path.
+
+use paratick_sim::{Freq, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Hypercalls the model understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Hypercall {
+    /// Paratick boot declaration: "my scheduler tick runs at this rate".
+    DeclareTickFreq(Freq),
+}
+
+/// Result returned to the engine after servicing a hypercall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HypercallResult {
+    /// Declaration accepted; host tick rate divides evenly, plain
+    /// entry-time injection suffices.
+    TickDeclared { period: SimDuration },
+    /// Declaration accepted, but the host tick frequency is not a
+    /// multiple of the guest's: the host must drive injections with the
+    /// preemption timer at the guest period (§4.1 mismatch path).
+    NeedsRateAdaptation { period: SimDuration },
+}
+
+/// Service a hypercall against the host's tick frequency.
+pub fn service(call: Hypercall, host_tick_freq: Freq) -> HypercallResult {
+    match call {
+        Hypercall::DeclareTickFreq(guest_freq) => {
+            let period = guest_freq.period();
+            if host_tick_freq.as_hz().is_multiple_of(guest_freq.as_hz()) {
+                HypercallResult::TickDeclared { period }
+            } else {
+                HypercallResult::NeedsRateAdaptation { period }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_frequency_plain_declaration() {
+        let r = service(Hypercall::DeclareTickFreq(Freq::hz(250)), Freq::hz(250));
+        assert_eq!(
+            r,
+            HypercallResult::TickDeclared {
+                period: SimDuration::from_millis(4)
+            }
+        );
+    }
+
+    #[test]
+    fn host_multiple_of_guest_is_fine() {
+        let r = service(Hypercall::DeclareTickFreq(Freq::hz(250)), Freq::hz(1000));
+        assert!(matches!(r, HypercallResult::TickDeclared { .. }));
+    }
+
+    #[test]
+    fn mismatch_needs_adaptation() {
+        let r = service(Hypercall::DeclareTickFreq(Freq::hz(300)), Freq::hz(250));
+        assert_eq!(
+            r,
+            HypercallResult::NeedsRateAdaptation {
+                period: Freq::hz(300).period()
+            }
+        );
+    }
+
+    #[test]
+    fn guest_slower_but_dividing_is_fine() {
+        let r = service(Hypercall::DeclareTickFreq(Freq::hz(100)), Freq::hz(1000));
+        assert!(matches!(r, HypercallResult::TickDeclared { .. }));
+    }
+
+    #[test]
+    fn guest_faster_than_host_needs_adaptation() {
+        // Host 250 Hz, guest 1000 Hz: host ticks alone cannot carry the
+        // guest rate.
+        let r = service(Hypercall::DeclareTickFreq(Freq::hz(1000)), Freq::hz(250));
+        assert!(matches!(r, HypercallResult::NeedsRateAdaptation { .. }));
+    }
+}

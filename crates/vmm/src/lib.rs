@@ -1,0 +1,49 @@
+//! # paratick-vmm — KVM-like hypervisor model
+//!
+//! Models the hypervisor half of the system the paper modifies:
+//!
+//! * [`exit`] — the VM-exit taxonomy with the per-reason classification
+//!   the paper's metrics depend on (timer-related vs other exits).
+//! * [`cost`] — the calibrated cost model: direct cycles spent in root
+//!   mode per exit reason plus indirect cycles (TLB/µarch pollution paid
+//!   by the guest after re-entry), injection and wakeup costs.
+//! * [`vcpu`] — per-vCPU state: the run-state machine, the virtual LAPIC,
+//!   the trapped `TSC_DEADLINE` register, the VMX preemption timer, the
+//!   host hrtimer used while descheduled, and the paratick `last_tick`
+//!   field (paper §5.1).
+//! * [`pcpu`] — per-physical-CPU cycle accounting with exact (nanosecond)
+//!   conservation.
+//! * [`host_sched`] — time-sliced fair sharing of pCPUs among vCPUs, with
+//!   per-vCPU affinity (the paper pins VMs to sockets).
+//! * [`paratick_host`] — the host side of paratick: the VM-entry
+//!   injection decision of Figure 2.
+//! * [`halt_poll`] — KVM-style adaptive halt polling (disabled in the
+//!   paper's evaluation; kept for ablation).
+//! * [`ple`] — pause-loop-exiting model (likewise disabled/ablatable).
+//! * [`hypercall`] — the guest→host call used by paratick to declare the
+//!   guest tick frequency at boot (paper §4.1).
+//! * [`accounting`] — system-wide exit and cycle aggregation.
+//!
+//! Everything here is pure state + decision logic; the event loop that
+//! drives it lives in the `paratick` core crate's engine.
+
+pub mod accounting;
+pub mod cost;
+pub mod exit;
+pub mod halt_poll;
+pub mod host_sched;
+pub mod hypercall;
+pub mod paratick_host;
+pub mod pcpu;
+pub mod ple;
+pub mod vcpu;
+
+pub use accounting::SystemStats;
+pub use cost::CostModel;
+pub use exit::{ExitCounts, ExitReason};
+pub use halt_poll::{HaltPoll, PollOutcome};
+pub use host_sched::{HostScheduler, PcpuId, SchedDecision};
+pub use hypercall::{Hypercall, HypercallResult};
+pub use paratick_host::{InjectDecision, ParatickHost};
+pub use pcpu::{CycleCategory, PCpu};
+pub use vcpu::{KvmVcpu, VcpuId, VcpuRunState};

@@ -1,0 +1,295 @@
+//! Per-physical-CPU cycle accounting.
+//!
+//! Every nanosecond of every pCPU's existence is attributed to exactly
+//! one [`CycleCategory`]. The conservation invariant — accounted time
+//! equals elapsed time — is checked by [`PCpu::verify_conservation`] and
+//! exercised by the integration tests; it is what makes the "system
+//! throughput" metric trustworthy: the paper's throughput improvement is
+//! precisely a shift of cycles out of the overhead categories.
+
+use crate::host_sched::PcpuId;
+use paratick_sim::{Cycles, Freq, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What a pCPU was doing during an accounted span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum CycleCategory {
+    /// Guest mode, executing application work.
+    GuestWork,
+    /// Guest mode, executing guest-kernel work (tick handlers, IRQ
+    /// dispatch, idle-entry logic, I/O stack).
+    GuestOs,
+    /// Guest mode, cycles lost to post-exit µarchitectural pollution
+    /// (the indirect exit cost).
+    Pollution,
+    /// Root mode, handling VM exits (direct exit cost + injections).
+    ExitHandling,
+    /// Root mode, other host work: host ticks, scheduler, wakeups.
+    HostOs,
+    /// Idle (no runnable vCPU and no host work).
+    Idle,
+}
+
+impl CycleCategory {
+    pub const COUNT: usize = 6;
+    pub const ALL: [CycleCategory; Self::COUNT] = [
+        CycleCategory::GuestWork,
+        CycleCategory::GuestOs,
+        CycleCategory::Pollution,
+        CycleCategory::ExitHandling,
+        CycleCategory::HostOs,
+        CycleCategory::Idle,
+    ];
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleCategory::GuestWork => "guest_work",
+            CycleCategory::GuestOs => "guest_os",
+            CycleCategory::Pollution => "pollution",
+            CycleCategory::ExitHandling => "exit_handling",
+            CycleCategory::HostOs => "host_os",
+            CycleCategory::Idle => "idle",
+        }
+    }
+
+    /// Categories that represent *busy* (non-idle) CPU time — the
+    /// numerator of the paper's "CPU cycles" throughput metric.
+    pub fn is_busy(self) -> bool {
+        self != CycleCategory::Idle
+    }
+
+    /// Categories that are pure virtualization overhead.
+    pub fn is_overhead(self) -> bool {
+        matches!(
+            self,
+            CycleCategory::Pollution | CycleCategory::ExitHandling
+        )
+    }
+}
+
+/// Accounted time per category, in nanoseconds (exact; converted to
+/// cycles only at reporting time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleLedger {
+    ns: [u64; CycleCategory::COUNT],
+}
+
+impl CycleLedger {
+    pub fn add(&mut self, cat: CycleCategory, d: SimDuration) {
+        self.ns[cat.index()] += d.as_nanos();
+    }
+
+    pub fn get(&self, cat: CycleCategory) -> SimDuration {
+        SimDuration::from_nanos(self.ns[cat.index()])
+    }
+
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.ns.iter().sum())
+    }
+
+    pub fn busy(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            CycleCategory::ALL
+                .iter()
+                .filter(|c| c.is_busy())
+                .map(|c| self.ns[c.index()])
+                .sum(),
+        )
+    }
+
+    pub fn overhead(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            CycleCategory::ALL
+                .iter()
+                .filter(|c| c.is_overhead())
+                .map(|c| self.ns[c.index()])
+                .sum(),
+        )
+    }
+
+    pub fn merge(&mut self, other: &CycleLedger) {
+        for i in 0..CycleCategory::COUNT {
+            self.ns[i] += other.ns[i];
+        }
+    }
+
+    pub fn cycles(&self, cat: CycleCategory, freq: Freq) -> Cycles {
+        freq.duration_to_cycles(self.get(cat))
+    }
+
+    pub fn busy_cycles(&self, freq: Freq) -> Cycles {
+        freq.duration_to_cycles(self.busy())
+    }
+}
+
+impl std::iter::Sum for CycleLedger {
+    fn sum<I: Iterator<Item = CycleLedger>>(iter: I) -> CycleLedger {
+        let mut total = CycleLedger::default();
+        for l in iter {
+            total.merge(&l);
+        }
+        total
+    }
+}
+
+/// One physical CPU.
+#[derive(Clone, Debug)]
+pub struct PCpu {
+    pub id: PcpuId,
+    /// NUMA socket this pCPU belongs to.
+    pub socket: u32,
+    pub freq: Freq,
+    ledger: CycleLedger,
+    /// Time up to which this pCPU's activity has been accounted.
+    accounted_until: SimTime,
+}
+
+impl PCpu {
+    pub fn new(id: PcpuId, socket: u32, freq: Freq) -> Self {
+        PCpu {
+            id,
+            socket,
+            freq,
+            ledger: CycleLedger::default(),
+            accounted_until: SimTime::ZERO,
+        }
+    }
+
+    /// Attribute the span `[accounted_until, until)` to `cat`.
+    ///
+    /// Panics if `until` precedes the accounting frontier: overlapping
+    /// attribution would double-count cycles.
+    pub fn account_until(&mut self, cat: CycleCategory, until: SimTime) {
+        assert!(
+            until >= self.accounted_until,
+            "pcpu{}: accounting went backwards ({until} < {})",
+            self.id.0,
+            self.accounted_until
+        );
+        let span = until.since(self.accounted_until);
+        self.ledger.add(cat, span);
+        self.accounted_until = until;
+    }
+
+    /// Attribute a span of the given length starting at the frontier.
+    pub fn account(&mut self, cat: CycleCategory, span: SimDuration) {
+        let until = self.accounted_until + span;
+        self.account_until(cat, until);
+    }
+
+    pub fn frontier(&self) -> SimTime {
+        self.accounted_until
+    }
+
+    pub fn ledger(&self) -> &CycleLedger {
+        &self.ledger
+    }
+
+    /// Check conservation: accounted time equals the frontier.
+    pub fn verify_conservation(&self) {
+        assert_eq!(
+            self.ledger.total().as_nanos(),
+            self.accounted_until.as_nanos(),
+            "pcpu{}: cycle ledger does not conserve time",
+            self.id.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcpu() -> PCpu {
+        PCpu::new(PcpuId(3), 0, Freq::ghz(2))
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut p = pcpu();
+        p.account(CycleCategory::GuestWork, SimDuration::from_micros(10));
+        p.account(CycleCategory::ExitHandling, SimDuration::from_micros(2));
+        p.account(CycleCategory::GuestWork, SimDuration::from_micros(5));
+        assert_eq!(
+            p.ledger().get(CycleCategory::GuestWork),
+            SimDuration::from_micros(15)
+        );
+        assert_eq!(p.frontier(), SimTime::from_micros(17));
+        p.verify_conservation();
+    }
+
+    #[test]
+    fn account_until_is_span_based() {
+        let mut p = pcpu();
+        p.account_until(CycleCategory::Idle, SimTime::from_millis(1));
+        p.account_until(CycleCategory::GuestWork, SimTime::from_millis(3));
+        assert_eq!(
+            p.ledger().get(CycleCategory::Idle),
+            SimDuration::from_millis(1)
+        );
+        assert_eq!(
+            p.ledger().get(CycleCategory::GuestWork),
+            SimDuration::from_millis(2)
+        );
+        p.verify_conservation();
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn backwards_accounting_panics() {
+        let mut p = pcpu();
+        p.account_until(CycleCategory::Idle, SimTime::from_millis(5));
+        p.account_until(CycleCategory::Idle, SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn busy_and_overhead_aggregates() {
+        let mut l = CycleLedger::default();
+        l.add(CycleCategory::GuestWork, SimDuration::from_micros(50));
+        l.add(CycleCategory::Pollution, SimDuration::from_micros(10));
+        l.add(CycleCategory::ExitHandling, SimDuration::from_micros(20));
+        l.add(CycleCategory::Idle, SimDuration::from_micros(20));
+        assert_eq!(l.busy(), SimDuration::from_micros(80));
+        assert_eq!(l.overhead(), SimDuration::from_micros(30));
+        assert_eq!(l.total(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn ledger_merge_and_sum() {
+        let mut a = CycleLedger::default();
+        a.add(CycleCategory::HostOs, SimDuration::from_micros(1));
+        let mut b = CycleLedger::default();
+        b.add(CycleCategory::HostOs, SimDuration::from_micros(2));
+        let total: CycleLedger = [a, b].into_iter().sum();
+        assert_eq!(
+            total.get(CycleCategory::HostOs),
+            SimDuration::from_micros(3)
+        );
+    }
+
+    #[test]
+    fn cycles_conversion() {
+        let mut l = CycleLedger::default();
+        l.add(CycleCategory::GuestWork, SimDuration::from_micros(1));
+        assert_eq!(
+            l.cycles(CycleCategory::GuestWork, Freq::ghz(2)),
+            Cycles::new(2_000)
+        );
+        assert_eq!(l.busy_cycles(Freq::ghz(2)), Cycles::new(2_000));
+    }
+
+    #[test]
+    fn category_classification() {
+        assert!(CycleCategory::GuestWork.is_busy());
+        assert!(!CycleCategory::Idle.is_busy());
+        assert!(CycleCategory::ExitHandling.is_overhead());
+        assert!(CycleCategory::Pollution.is_overhead());
+        assert!(!CycleCategory::GuestWork.is_overhead());
+        assert!(!CycleCategory::HostOs.is_overhead());
+    }
+}

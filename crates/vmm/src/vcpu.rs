@@ -1,0 +1,361 @@
+//! Per-vCPU hypervisor state.
+//!
+//! `KvmVcpu` corresponds to KVM's `struct kvm_vcpu` plus the pieces of
+//! VMCS state this study depends on. The paratick patch adds exactly one
+//! field here — `last_tick`, "the time of the last virtual tick
+//! injection" (paper §5.1) — and we keep it in the same place.
+//!
+//! The run-state machine:
+//!
+//! ```text
+//!            schedule               HLT (guest idle)
+//! Runnable ───────────▶ Running ───────────────────▶ Halted
+//!    ▲  ▲                  │                            │
+//!    │  └──────────────────┘ preempt / slice end        │
+//!    └──────────────────────────────────────────────────┘
+//!                     wake (irq / timer)
+//! ```
+//!
+//! Illegal transitions panic: a simulation that mis-drives the state
+//! machine must fail loudly, not skew the statistics.
+
+use crate::exit::{ExitCounts, ExitReason};
+use crate::host_sched::PcpuId;
+use paratick_hw::{HrTimer, Lapic, PreemptionTimer, Tsc, TscDeadline};
+use paratick_sim::{Freq, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a vCPU: VM index plus vCPU index within the VM.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VcpuId {
+    pub vm: u32,
+    pub vcpu: u32,
+}
+
+impl VcpuId {
+    pub fn new(vm: u32, vcpu: u32) -> Self {
+        VcpuId { vm, vcpu }
+    }
+}
+
+impl fmt::Debug for VcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}:vcpu{}", self.vm, self.vcpu)
+    }
+}
+
+impl fmt::Display for VcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Scheduling state of a vCPU as seen by the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcpuRunState {
+    /// Waiting for a pCPU.
+    Runnable,
+    /// Executing guest code on a pCPU.
+    Running,
+    /// Executed HLT; waiting for an interrupt.
+    Halted,
+}
+
+/// Per-vCPU statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VcpuStats {
+    pub exits: ExitCounts,
+    /// VM entries (== exits unless the simulation ends mid-exit).
+    pub entries: u64,
+    /// Interrupts injected on entry.
+    pub injections: u64,
+    /// Paratick virtual ticks injected (subset of `injections`).
+    pub virtual_ticks: u64,
+    /// Wakeups from Halted.
+    pub wakeups: u64,
+    /// Time spent Halted.
+    pub halted_time: SimDuration,
+    /// Number of idle (halted) periods, for mean-idle-period metrics.
+    pub idle_periods: u64,
+}
+
+impl VcpuStats {
+    /// Mean halted period (the paper's `T_idle`).
+    pub fn mean_idle_period(&self) -> Option<SimDuration> {
+        if self.idle_periods == 0 {
+            None
+        } else {
+            Some(self.halted_time / self.idle_periods)
+        }
+    }
+}
+
+/// Hypervisor-side state of one vCPU.
+#[derive(Clone, Debug)]
+pub struct KvmVcpu {
+    pub id: VcpuId,
+    state: VcpuRunState,
+    /// pCPU this vCPU has affinity to (the paper pins VMs to sockets).
+    pub affinity: PcpuId,
+    /// Guest-visible TSC (with KVM's per-VM offset folded in).
+    pub guest_tsc: Tsc,
+    /// Virtual LAPIC pending-interrupt state.
+    pub lapic: Lapic,
+    /// The trapped guest `TSC_DEADLINE` register.
+    pub deadline: TscDeadline,
+    /// VMX preemption timer mirroring the armed deadline in guest mode.
+    pub preemption_timer: PreemptionTimer,
+    /// Host hrtimer carrying the deadline while not in guest mode.
+    pub hrtimer: HrTimer,
+    /// Paratick: time of the last (virtual) tick injection (§5.1).
+    pub last_tick: SimTime,
+    /// Paratick: tick period declared by the guest via hypercall (§4.1);
+    /// `None` until declared (paratick disabled for this vCPU until then).
+    pub declared_tick_period: Option<SimDuration>,
+    /// When the current Halted period began (valid while Halted).
+    halted_since: Option<SimTime>,
+    pub stats: VcpuStats,
+}
+
+impl KvmVcpu {
+    pub fn new(id: VcpuId, affinity: PcpuId, tsc_freq: Freq, guest_boot: SimTime) -> Self {
+        KvmVcpu {
+            id,
+            state: VcpuRunState::Runnable,
+            affinity,
+            guest_tsc: Tsc::for_guest(tsc_freq, guest_boot),
+            lapic: Lapic::new(),
+            deadline: TscDeadline::new(),
+            preemption_timer: PreemptionTimer::new(tsc_freq, 5),
+            hrtimer: HrTimer::new(),
+            last_tick: guest_boot,
+            declared_tick_period: None,
+            halted_since: None,
+            stats: VcpuStats::default(),
+        }
+    }
+
+    pub fn state(&self) -> VcpuRunState {
+        self.state
+    }
+
+    pub fn is_running(&self) -> bool {
+        self.state == VcpuRunState::Running
+    }
+
+    pub fn is_halted(&self) -> bool {
+        self.state == VcpuRunState::Halted
+    }
+
+    /// Host scheduler dispatched this vCPU onto a pCPU.
+    pub fn set_running(&mut self, now: SimTime) {
+        match self.state {
+            VcpuRunState::Runnable => {
+                self.state = VcpuRunState::Running;
+                self.stats.entries += 1;
+                self.preemption_timer.resume_on_entry(now);
+            }
+            other => panic!("{}: illegal transition {other:?} -> Running", self.id),
+        }
+    }
+
+    /// The vCPU was descheduled (slice end / preemption) but remains
+    /// runnable.
+    pub fn set_preempted(&mut self, now: SimTime) {
+        match self.state {
+            VcpuRunState::Running => {
+                self.state = VcpuRunState::Runnable;
+                self.preemption_timer.save_on_exit(now);
+            }
+            other => panic!("{}: illegal transition {other:?} -> Runnable", self.id),
+        }
+    }
+
+    /// The guest executed HLT.
+    pub fn set_halted(&mut self, now: SimTime) {
+        match self.state {
+            VcpuRunState::Running => {
+                self.state = VcpuRunState::Halted;
+                self.halted_since = Some(now);
+                self.stats.idle_periods += 1;
+                self.preemption_timer.save_on_exit(now);
+            }
+            other => panic!("{}: illegal transition {other:?} -> Halted", self.id),
+        }
+    }
+
+    /// An interrupt (or timer) woke the halted vCPU.
+    pub fn wake(&mut self, now: SimTime) {
+        match self.state {
+            VcpuRunState::Halted => {
+                self.state = VcpuRunState::Runnable;
+                self.stats.wakeups += 1;
+                if let Some(since) = self.halted_since.take() {
+                    self.stats.halted_time += now.since(since);
+                }
+            }
+            other => panic!("{}: illegal transition {other:?} -> wake", self.id),
+        }
+    }
+
+    /// When the current Halted period began (None unless Halted).
+    pub fn halted_since(&self) -> Option<SimTime> {
+        self.halted_since
+    }
+
+    /// Record a VM exit for this vCPU.
+    pub fn record_exit(&mut self, reason: ExitReason) {
+        debug_assert_eq!(
+            self.state,
+            VcpuRunState::Running,
+            "{}: exit while not running",
+            self.id
+        );
+        self.stats.exits.record(reason);
+    }
+
+    /// Record an interrupt injection on VM entry.
+    pub fn record_injection(&mut self, virtual_tick: bool) {
+        self.stats.injections += 1;
+        if virtual_tick {
+            self.stats.virtual_ticks += 1;
+        }
+    }
+
+    /// Whether paratick is active for this vCPU (the guest has declared
+    /// its tick frequency via hypercall, §4.1).
+    pub fn paratick_enabled(&self) -> bool {
+        self.declared_tick_period.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vcpu() -> KvmVcpu {
+        KvmVcpu::new(
+            VcpuId::new(0, 0),
+            PcpuId(0),
+            Freq::ghz(2),
+            SimTime::from_millis(1),
+        )
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn lifecycle_runnable_running_halted_wake() {
+        let mut v = vcpu();
+        assert_eq!(v.state(), VcpuRunState::Runnable);
+        v.set_running(t(2));
+        assert!(v.is_running());
+        v.set_halted(t(5));
+        assert!(v.is_halted());
+        v.wake(t(9));
+        assert_eq!(v.state(), VcpuRunState::Runnable);
+        assert_eq!(v.stats.wakeups, 1);
+        assert_eq!(v.stats.halted_time, SimDuration::from_millis(4));
+        assert_eq!(v.stats.idle_periods, 1);
+    }
+
+    #[test]
+    fn preemption_keeps_runnable() {
+        let mut v = vcpu();
+        v.set_running(t(2));
+        v.set_preempted(t(3));
+        assert_eq!(v.state(), VcpuRunState::Runnable);
+        v.set_running(t(4));
+        assert!(v.is_running());
+        assert_eq!(v.stats.entries, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal transition")]
+    fn double_running_panics() {
+        let mut v = vcpu();
+        v.set_running(t(2));
+        v.set_running(t(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal transition")]
+    fn wake_when_running_panics() {
+        let mut v = vcpu();
+        v.set_running(t(2));
+        v.wake(t(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal transition")]
+    fn halt_when_runnable_panics() {
+        let mut v = vcpu();
+        v.set_halted(t(2));
+    }
+
+    #[test]
+    fn mean_idle_period() {
+        let mut v = vcpu();
+        assert_eq!(v.stats.mean_idle_period(), None);
+        v.set_running(t(2));
+        v.set_halted(t(3));
+        v.wake(t(5)); // 2 ms idle
+        v.set_running(t(5));
+        v.set_halted(t(6));
+        v.wake(t(12)); // 6 ms idle
+        assert_eq!(
+            v.stats.mean_idle_period(),
+            Some(SimDuration::from_millis(4))
+        );
+    }
+
+    #[test]
+    fn exit_recording() {
+        let mut v = vcpu();
+        v.set_running(t(2));
+        v.record_exit(ExitReason::Hlt);
+        v.record_exit(ExitReason::MsrWriteTscDeadline);
+        assert_eq!(v.stats.exits.total(), 2);
+        assert_eq!(v.stats.exits.timer_related(), 1);
+    }
+
+    #[test]
+    fn injection_recording() {
+        let mut v = vcpu();
+        v.record_injection(false);
+        v.record_injection(true);
+        assert_eq!(v.stats.injections, 2);
+        assert_eq!(v.stats.virtual_ticks, 1);
+    }
+
+    #[test]
+    fn paratick_enablement_via_declaration() {
+        let mut v = vcpu();
+        assert!(!v.paratick_enabled());
+        v.declared_tick_period = Some(SimDuration::from_millis(4));
+        assert!(v.paratick_enabled());
+    }
+
+    #[test]
+    fn guest_tsc_zero_at_boot() {
+        let v = vcpu();
+        assert_eq!(v.guest_tsc.read(t(1)), 0);
+    }
+
+    #[test]
+    fn preemption_timer_pauses_across_halt() {
+        let mut v = vcpu();
+        v.set_running(t(2));
+        v.preemption_timer
+            .arm_on_entry(t(2), SimDuration::from_millis(10));
+        v.set_halted(t(4)); // 8 ms remain, frozen
+        v.wake(t(50));
+        v.set_running(t(50));
+        let e = v.preemption_timer.expiry().unwrap();
+        assert!(e >= t(58));
+        assert!(e <= t(58) + SimDuration::from_micros(1));
+    }
+}

@@ -1,0 +1,155 @@
+//! The thread-action vocabulary connecting workload models to the
+//! system engine.
+//!
+//! A workload is a set of guest threads; each thread is a deterministic
+//! generator of [`Action`]s. The engine executes actions against the
+//! simulated guest kernel and hypervisor:
+//!
+//! * `Compute` runs on the vCPU (pure guest-work cycles);
+//! * `Lock`/`Unlock`/`Barrier` drive the blocking-synchronization
+//!   machinery (and thus idle transitions, the §3.2 effect);
+//! * `Read`/`Write` issue synchronous I/O against the VM's block device
+//!   (kick exit, device latency, completion interrupt — the §6.3 path);
+//! * `Sleep` arms a soft timer and blocks until it fires;
+//! * `Done` terminates the thread. A workload's *execution time* is when
+//!   its last thread finishes.
+
+use paratick_hw::IoOp;
+use paratick_sim::{SimDuration, SimRng};
+
+/// One step of a guest thread's behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Execute on-CPU for this long.
+    Compute(SimDuration),
+    /// Acquire the given blocking mutex (may block the thread).
+    Lock(u32),
+    /// Release the given mutex (must hold it).
+    Unlock(u32),
+    /// Arrive at the given barrier (blocks unless last).
+    Barrier(u32),
+    /// Atomically release the held `lock` and block on condition
+    /// variable `cond`; on wakeup the lock is re-acquired before the
+    /// thread continues (pthread_cond_wait semantics). Callers must
+    /// re-check their predicate after waking (Mesa semantics).
+    CondWait { cond: u32, lock: u32 },
+    /// Wake one (`all = false`) or all waiters of a condition variable.
+    /// The caller should hold the associated lock, as pthreads programs
+    /// conventionally do.
+    CondNotify { cond: u32, all: bool },
+    /// Synchronous I/O against the VM's block device.
+    Io {
+        op: IoOp,
+        offset: u64,
+        bytes: u64,
+    },
+    /// Sleep for the given duration (soft timer + block).
+    Sleep(SimDuration),
+    /// Thread exits.
+    Done,
+}
+
+/// A deterministic generator of thread behaviour.
+///
+/// Implementations must be pure functions of their own state and the
+/// provided RNG — the engine guarantees a stable call order, which makes
+/// whole runs reproducible from the scenario seed.
+pub trait ThreadModel: Send {
+    /// Produce the next action. Must keep returning [`Action::Done`]
+    /// once finished.
+    fn next(&mut self, rng: &mut SimRng) -> Action;
+
+    /// Display name for traces.
+    fn label(&self) -> &str {
+        "thread"
+    }
+}
+
+/// The workload running inside one VM.
+pub struct VmWorkload {
+    pub name: String,
+    pub threads: Vec<Box<dyn ThreadModel>>,
+    /// Number of distinct mutexes the threads may name in `Lock`.
+    pub num_locks: u32,
+    /// Number of distinct barriers; each barrier's party count is the
+    /// thread count.
+    pub num_barriers: u32,
+}
+
+impl VmWorkload {
+    /// A VM with no application threads (the paper's idle-VM scenarios).
+    pub fn idle(name: impl Into<String>) -> Self {
+        VmWorkload {
+            name: name.into(),
+            threads: Vec::new(),
+            num_locks: 0,
+            num_barriers: 0,
+        }
+    }
+
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.threads.is_empty()
+    }
+}
+
+impl std::fmt::Debug for VmWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VmWorkload")
+            .field("name", &self.name)
+            .field("threads", &self.threads.len())
+            .field("num_locks", &self.num_locks)
+            .field("num_barriers", &self.num_barriers)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct OneShot(bool);
+    impl ThreadModel for OneShot {
+        fn next(&mut self, _rng: &mut SimRng) -> Action {
+            if self.0 {
+                Action::Done
+            } else {
+                self.0 = true;
+                Action::Compute(SimDuration::from_micros(1))
+            }
+        }
+    }
+
+    #[test]
+    fn idle_workload() {
+        let w = VmWorkload::idle("w1");
+        assert!(w.is_idle());
+        assert_eq!(w.num_threads(), 0);
+        assert_eq!(w.name, "w1");
+    }
+
+    #[test]
+    fn thread_model_object_safety() {
+        let mut w = VmWorkload::idle("x");
+        w.threads.push(Box::new(OneShot(false)));
+        assert_eq!(w.num_threads(), 1);
+        let mut rng = SimRng::new(1);
+        assert!(matches!(
+            w.threads[0].next(&mut rng),
+            Action::Compute(_)
+        ));
+        assert_eq!(w.threads[0].next(&mut rng), Action::Done);
+        assert_eq!(w.threads[0].next(&mut rng), Action::Done, "Done is sticky");
+        assert_eq!(w.threads[0].label(), "thread");
+    }
+
+    #[test]
+    fn debug_format() {
+        let w = VmWorkload::idle("dbg");
+        let s = format!("{w:?}");
+        assert!(s.contains("dbg"));
+    }
+}

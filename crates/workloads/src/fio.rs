@@ -1,0 +1,197 @@
+//! fio-style I/O workloads (paper §6.3).
+//!
+//! Reproduces the phoronix-fio configuration the paper uses: the **sync**
+//! I/O engine (each operation blocks the issuing thread until complete),
+//! sequential/random × read/write patterns, block sizes swept from 4 KiB
+//! to 256 KiB, direct I/O off, page-cache buffering off (each request
+//! reaches the device).
+
+use crate::action::{ThreadModel, VmWorkload};
+use crate::models::FioThread;
+use paratick_hw::IoOp;
+use paratick_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The four fio access patterns the paper evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FioPattern {
+    /// Sequential read ("seqr").
+    SeqRead,
+    /// Sequential write ("seqwr").
+    SeqWrite,
+    /// Random read ("rndr").
+    RndRead,
+    /// Random write ("rndwr").
+    RndWrite,
+}
+
+impl FioPattern {
+    pub const ALL: [FioPattern; 4] = [
+        FioPattern::SeqRead,
+        FioPattern::SeqWrite,
+        FioPattern::RndRead,
+        FioPattern::RndWrite,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FioPattern::SeqRead => "seqr",
+            FioPattern::SeqWrite => "seqwr",
+            FioPattern::RndRead => "rndr",
+            FioPattern::RndWrite => "rndwr",
+        }
+    }
+
+    pub fn op(self) -> IoOp {
+        match self {
+            FioPattern::SeqRead | FioPattern::RndRead => IoOp::Read,
+            FioPattern::SeqWrite | FioPattern::RndWrite => IoOp::Write,
+        }
+    }
+
+    pub fn is_random(self) -> bool {
+        matches!(self, FioPattern::RndRead | FioPattern::RndWrite)
+    }
+}
+
+impl std::fmt::Display for FioPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Block sizes the paper sweeps: 4 KiB to 256 KiB.
+pub const BLOCK_SIZES: [u64; 7] = [
+    4 * 1024,
+    8 * 1024,
+    16 * 1024,
+    32 * 1024,
+    64 * 1024,
+    128 * 1024,
+    256 * 1024,
+];
+
+/// One fio job specification.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FioSpec {
+    pub pattern: FioPattern,
+    pub block_size: u64,
+    /// Total bytes to transfer.
+    pub total_bytes: u64,
+    /// Test-file span random offsets are drawn from.
+    pub file_span: u64,
+    /// Per-block guest CPU work (buffer copy / checksum).
+    pub think_per_block: SimDuration,
+}
+
+impl FioSpec {
+    pub fn new(pattern: FioPattern, block_size: u64, total_bytes: u64) -> Self {
+        assert!(BLOCK_SIZES.contains(&block_size), "unusual block size");
+        FioSpec {
+            pattern,
+            block_size,
+            total_bytes,
+            file_span: 4 << 30, // 4 GiB test file
+            // CPU cost scales with the block: ~1.2 GB/s of memcpy-class
+            // per-byte work plus a fixed per-request overhead.
+            think_per_block: SimDuration::from_nanos(4_500 + block_size / 3),
+        }
+    }
+
+    pub fn job_name(&self) -> String {
+        format!("fio/{}-{}k", self.pattern, self.block_size / 1024)
+    }
+}
+
+/// Build the single-threaded fio workload the paper runs (1-vCPU VM,
+/// sync engine ⇒ one outstanding request).
+pub fn workload(spec: &FioSpec) -> VmWorkload {
+    let thread: Box<dyn ThreadModel> = Box::new(FioThread::new(
+        spec.job_name(),
+        spec.pattern.op(),
+        spec.pattern.is_random(),
+        spec.block_size,
+        spec.total_bytes,
+        spec.file_span,
+        spec.think_per_block,
+    ));
+    VmWorkload {
+        name: spec.job_name(),
+        threads: vec![thread],
+        num_locks: 1,
+        num_barriers: 0,
+    }
+}
+
+/// The full matrix the paper aggregates per category: every pattern at
+/// every block size, sized to transfer for roughly `secs` seconds on a
+/// SATA-class device.
+pub fn sweep(total_bytes_per_job: u64) -> Vec<FioSpec> {
+    let mut jobs = Vec::new();
+    for pattern in FioPattern::ALL {
+        for &bs in &BLOCK_SIZES {
+            jobs.push(FioSpec::new(pattern, bs, total_bytes_per_job));
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use paratick_sim::SimRng;
+
+    #[test]
+    fn pattern_properties() {
+        assert_eq!(FioPattern::SeqRead.op(), IoOp::Read);
+        assert_eq!(FioPattern::RndWrite.op(), IoOp::Write);
+        assert!(!FioPattern::SeqWrite.is_random());
+        assert!(FioPattern::RndRead.is_random());
+        assert_eq!(FioPattern::SeqRead.to_string(), "seqr");
+    }
+
+    #[test]
+    fn sweep_covers_matrix() {
+        let jobs = sweep(1 << 20);
+        assert_eq!(jobs.len(), 4 * 7);
+        let names: std::collections::HashSet<String> =
+            jobs.iter().map(|j| j.job_name()).collect();
+        assert_eq!(names.len(), 28, "every job distinct");
+        assert!(names.contains("fio/rndwr-256k"));
+        assert!(names.contains("fio/seqr-4k"));
+    }
+
+    #[test]
+    fn workload_executes_expected_op_count() {
+        let spec = FioSpec::new(FioPattern::SeqRead, 4096, 4096 * 10);
+        let mut w = workload(&spec);
+        let mut rng = SimRng::new(3);
+        let mut ios = 0;
+        loop {
+            match w.threads[0].next(&mut rng) {
+                Action::Io { op, bytes, .. } => {
+                    assert_eq!(op, IoOp::Read);
+                    assert_eq!(bytes, 4096);
+                    ios += 1;
+                }
+                Action::Done => break,
+                _ => {}
+            }
+        }
+        assert_eq!(ios, 10);
+    }
+
+    #[test]
+    fn think_time_scales_with_block() {
+        let small = FioSpec::new(FioPattern::SeqRead, 4096, 1 << 20);
+        let large = FioSpec::new(FioPattern::SeqRead, 256 * 1024, 1 << 20);
+        assert!(large.think_per_block > small.think_per_block);
+    }
+
+    #[test]
+    #[should_panic(expected = "unusual block size")]
+    fn weird_block_size_rejected() {
+        FioSpec::new(FioPattern::SeqRead, 1234, 1 << 20);
+    }
+}

@@ -1,0 +1,33 @@
+//! # paratick-workloads — workload models
+//!
+//! The workloads the paper evaluates, modelled as deterministic
+//! generators of thread behaviour:
+//!
+//! * [`action`] — the [`Action`] vocabulary and [`ThreadModel`] trait
+//!   connecting workloads to the system engine.
+//! * [`models`] — generic building blocks: compute loops, lock loops,
+//!   barrier loops, fio-style I/O threads, sleepers.
+//! * [`parsec`] — behavioural profiles of all 13 PARSEC benchmarks
+//!   (sequential and multithreaded modes, §6.1–§6.2).
+//! * [`fio`] — the phoronix-fio sync-engine matrix: seqr/seqwr/rndr/rndwr
+//!   across 4–256 KiB blocks (§6.3).
+//! * [`netrpc`] — synchronous network-RPC services over simulated NICs
+//!   (the paper's "high-performance I/O" future work, built out).
+//! * [`pipeline`] — bounded-queue producer/consumer pipelines over
+//!   condition variables (the real shape of dedup/ferret/x264).
+//! * [`synthetic`] — the W1–W4 scenarios of §3.3 (Table 1).
+
+pub mod action;
+pub mod fio;
+pub mod models;
+pub mod netrpc;
+pub mod parsec;
+pub mod pipeline;
+pub mod synthetic;
+
+pub use action::{Action, ThreadModel, VmWorkload};
+pub use fio::{FioPattern, FioSpec, BLOCK_SIZES};
+pub use netrpc::{RpcSpec, RpcWorker};
+pub use pipeline::{PipelineSpec, StageWorker};
+pub use models::{BarrierLoop, ComputeThread, FioThread, LockLoop, SleeperThread, SyncRateThread};
+pub use parsec::{ParsecProfile, ParsecThread, SyncPattern, PARSEC};

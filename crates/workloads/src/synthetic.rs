@@ -1,0 +1,120 @@
+//! The paper's synthetic scenarios W1–W4 (§3.3).
+//!
+//! * **W1** — an idle VM with 16 vCPUs;
+//! * **W2** — 4 idle VMs with 16 vCPUs each;
+//! * **W3** — 16 threads synchronizing 1000 times per second through
+//!   blocking synchronization, in a single VM with 16 vCPUs;
+//! * **W4** — 4 concurrent copies of W3, each in its own 16-vCPU VM.
+//!
+//! Table 1 computes their exit counts analytically; the simulator runs
+//! the same scenarios so the analytic model can be cross-checked.
+
+use crate::action::{ThreadModel, VmWorkload};
+use crate::models::SyncRateThread;
+use paratick_sim::SimDuration;
+
+/// The number of vCPUs per VM in all W scenarios.
+pub const W_VCPUS: usize = 16;
+/// The per-thread synchronization rate in W3/W4.
+pub const W3_SYNC_RATE_HZ: f64 = 1000.0;
+
+/// W1: one idle VM (no application threads).
+pub fn w1() -> Vec<VmWorkload> {
+    vec![VmWorkload::idle("W1/idle")]
+}
+
+/// W2: four idle VMs.
+pub fn w2() -> Vec<VmWorkload> {
+    (0..4)
+        .map(|i| VmWorkload::idle(format!("W2/idle{i}")))
+        .collect()
+}
+
+/// The W3 workload body: 16 threads blocking-synchronizing at 1000/s
+/// for `duration` of per-thread compute.
+fn w3_workload(name: String, duration: SimDuration) -> VmWorkload {
+    let threads: Vec<Box<dyn ThreadModel>> = (0..16)
+        .map(|i| {
+            Box::new(SyncRateThread::new(
+                format!("{name}/t{i}"),
+                duration,
+                W3_SYNC_RATE_HZ,
+                SimDuration::from_micros(3),
+                1, // one shared lock: blocking happens
+            )) as Box<dyn ThreadModel>
+        })
+        .collect();
+    VmWorkload {
+        name,
+        threads,
+        num_locks: 1,
+        num_barriers: 0,
+    }
+}
+
+/// W3: one VM running the sync-heavy workload.
+pub fn w3(duration: SimDuration) -> Vec<VmWorkload> {
+    vec![w3_workload("W3/sync".into(), duration)]
+}
+
+/// W4: four VMs each running W3.
+pub fn w4(duration: SimDuration) -> Vec<VmWorkload> {
+    (0..4)
+        .map(|i| w3_workload(format!("W4/sync{i}"), duration))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use paratick_sim::SimRng;
+
+    #[test]
+    fn w1_w2_are_idle() {
+        assert_eq!(w1().len(), 1);
+        assert!(w1()[0].is_idle());
+        let w2 = w2();
+        assert_eq!(w2.len(), 4);
+        assert!(w2.iter().all(|w| w.is_idle()));
+    }
+
+    #[test]
+    fn w3_has_16_threads_one_lock() {
+        let w = w3(SimDuration::from_millis(100));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].num_threads(), 16);
+        assert_eq!(w[0].num_locks, 1);
+    }
+
+    #[test]
+    fn w4_is_four_w3s() {
+        let w = w4(SimDuration::from_millis(100));
+        assert_eq!(w.len(), 4);
+        for vm in &w {
+            assert_eq!(vm.num_threads(), 16);
+        }
+    }
+
+    #[test]
+    fn w3_thread_syncs_at_roughly_target_rate() {
+        let mut w = w3(SimDuration::from_secs(1));
+        let t = &mut w[0].threads[0];
+        let mut rng = SimRng::new(5);
+        let mut locks = 0u64;
+        let mut compute = SimDuration::ZERO;
+        loop {
+            match t.next(&mut rng) {
+                Action::Lock(_) => locks += 1,
+                Action::Compute(d) => compute += d,
+                Action::Done => break,
+                _ => {}
+            }
+        }
+        let rate = locks as f64 / compute.as_secs_f64();
+        assert!(
+            (700.0..1400.0).contains(&rate),
+            "sync rate {rate}/s vs target 1000/s"
+        );
+    }
+}

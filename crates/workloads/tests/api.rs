@@ -1,0 +1,141 @@
+//! Public-API edge cases for the workload models.
+
+use paratick_sim::{SimDuration, SimRng};
+use paratick_workloads::{
+    fio::{self, FioPattern, FioSpec},
+    netrpc,
+    parsec::{self, SyncPattern, PARSEC},
+    synthetic, Action, ThreadModel,
+};
+
+/// Workload models are deterministic generators: two instances fed the
+/// same RNG stream emit identical action sequences.
+#[test]
+fn models_are_deterministic_generators() {
+    for p in &PARSEC {
+        let mut a = parsec::ParsecThread::new(*p, 0.01);
+        let mut b = parsec::ParsecThread::new(*p, 0.01);
+        let mut ra = SimRng::new(42);
+        let mut rb = SimRng::new(42);
+        for step in 0..2_000 {
+            let x = a.next(&mut ra);
+            let y = b.next(&mut rb);
+            assert_eq!(x, y, "{} diverged at step {step}", p.name);
+            if x == Action::Done {
+                break;
+            }
+        }
+    }
+}
+
+/// Sequential mode emits no *contendable* synchronization: with one
+/// thread, every Lock is immediately followed by its Unlock (no one
+/// else holds it), and barriers have one party.
+#[test]
+fn sequential_parsec_sync_is_degenerate() {
+    for p in &PARSEC {
+        let w = parsec::workload(p, 1, 0.01);
+        assert_eq!(w.num_threads(), 1);
+        // Barrier with one party never blocks by GuestBarrier semantics
+        // (checked in the guest crate); locks are held by construction
+        // only while the CS runs. Just sanity-check the action stream.
+        let mut thread = parsec::ParsecThread::new(*p, 0.01);
+        let mut rng = SimRng::new(7);
+        let mut holds = 0i64;
+        for _ in 0..1_000_000 {
+            match thread.next(&mut rng) {
+                Action::Lock(_) => holds += 1,
+                Action::Unlock(_) => holds -= 1,
+                Action::Done => break,
+                _ => {}
+            }
+            assert!((0..=1).contains(&holds), "{}: nested hold", p.name);
+        }
+        assert_eq!(holds, 0, "{}: lock leaked", p.name);
+    }
+}
+
+/// Parallel barrier benchmarks: every sibling makes the same number of
+/// barrier arrivals — the invariant whose violation deadlocks a VM.
+#[test]
+fn parallel_barrier_arrival_counts_match() {
+    for name in ["streamcluster", "facesim", "fluidanimate", "dedup"] {
+        let p = parsec::profile(name).unwrap();
+        if matches!(p.sync, SyncPattern::Locks { .. } | SyncPattern::None) {
+            continue;
+        }
+        let counts: Vec<usize> = (0..4)
+            .map(|seed| {
+                let mut t = parsec::ParsecThread::new(*p, 0.03);
+                let mut rng = SimRng::new(1000 + seed);
+                let mut n = 0;
+                for _ in 0..2_000_000 {
+                    match t.next(&mut rng) {
+                        Action::Barrier(_) => n += 1,
+                        Action::Done => break,
+                        _ => {}
+                    }
+                }
+                n
+            })
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{name}: arrival counts differ across jitter streams: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn fio_spec_matrix_and_naming() {
+    let jobs = fio::sweep(1 << 20);
+    assert_eq!(jobs.len(), 28);
+    for j in &jobs {
+        assert!(j.job_name().starts_with("fio/"));
+        assert!(j.total_bytes == 1 << 20);
+    }
+    let spec = FioSpec::new(FioPattern::RndWrite, 32 * 1024, 2 << 20);
+    assert_eq!(spec.job_name(), "fio/rndwr-32k");
+}
+
+#[test]
+fn w_scenarios_match_paper_parameters() {
+    assert_eq!(synthetic::W_VCPUS, 16);
+    assert_eq!(synthetic::W3_SYNC_RATE_HZ, 1000.0);
+    let w3 = synthetic::w3(SimDuration::from_millis(10));
+    assert_eq!(w3[0].num_threads(), 16);
+    let w4 = synthetic::w4(SimDuration::from_millis(10));
+    assert_eq!(w4.len(), 4);
+    assert!(w4.iter().all(|vm| vm.num_threads() == 16));
+}
+
+#[test]
+fn rpc_worker_total_bytes() {
+    let spec = netrpc::RpcSpec {
+        calls_per_worker: 10,
+        msg_bytes: 2048,
+        ..Default::default()
+    };
+    let mut w = netrpc::RpcWorker::new("w", spec);
+    let mut rng = SimRng::new(3);
+    let mut bytes = 0;
+    loop {
+        match w.next(&mut rng) {
+            Action::Io { bytes: b, .. } => bytes += b,
+            Action::Done => break,
+            _ => {}
+        }
+    }
+    assert_eq!(bytes, 10 * 2048);
+}
+
+/// Profile I/O intensity ordering is part of the Figure-4 shape: pin it.
+#[test]
+fn io_intensity_ordering_pinned() {
+    let rate = |n: &str| parsec::profile(n).unwrap().io_bytes_per_sec;
+    assert!(rate("dedup") > rate("x264"));
+    assert!(rate("x264") > rate("vips"));
+    assert!(rate("vips") > rate("canneal"));
+    assert_eq!(rate("swaptions"), 0);
+    assert_eq!(rate("blackscholes"), 0);
+}

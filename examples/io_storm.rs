@@ -1,0 +1,60 @@
+//! I/O-intensive guests (§6.3): synchronous reads against devices of
+//! different speeds, showing the paper's conclusion that paratick's
+//! benefit *grows* as storage gets faster (shorter idle periods => more
+//! timer traffic per second under dynticks).
+//!
+//! ```text
+//! cargo run --release --example io_storm
+//! ```
+
+use paratick::prelude::*;
+use paratick_workloads::fio::{workload, FioPattern, FioSpec};
+
+fn main() {
+    println!("sync 16 KiB reads, dynticks vs paratick, per device class");
+    println!();
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>14}",
+        "device", "mode", "VM exits", "exec", "thr gain"
+    );
+    for device in [
+        DeviceKind::Hdd,
+        DeviceKind::SataSsd,
+        DeviceKind::NvmeSsd,
+        DeviceKind::VirtioCached,
+    ] {
+        let spec = FioSpec::new(FioPattern::SeqRead, 16 * 1024, 8 << 20);
+        let run = |mode: TickMode| {
+            let mut cfg = VmConfig::with_vcpus(1).mode(mode).spanning(1);
+            cfg.device = device;
+            Engine::run(
+                Scenario::new(HostConfig::default())
+                    .vm(cfg, workload(&spec))
+                    .seed(99),
+            )
+        };
+        let vanilla = run(TickMode::DynticksIdle);
+        let para = run(TickMode::Paratick);
+        let gain = (vanilla.busy_cycles().get() as f64 - para.busy_cycles().get() as f64)
+            / para.busy_cycles().get() as f64
+            * 100.0;
+        for (mode, m) in [("dynticks", &vanilla), ("paratick", &para)] {
+            println!(
+                "{:<14} {:>12} {:>12} {:>12} {:>14}",
+                format!("{device:?}"),
+                mode,
+                m.total_exits(),
+                format!("{}", m.execution_time()),
+                if mode == "paratick" {
+                    format!("{gain:+.1}%")
+                } else {
+                    String::new()
+                },
+            );
+        }
+        println!();
+    }
+    println!("HDD: the device wait dominates; eliminating timer exits");
+    println!("barely moves the needle. Host-cached virtio: timer exits are");
+    println!("a large share of every operation — paratick shines.");
+}

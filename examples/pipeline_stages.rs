@@ -1,0 +1,63 @@
+//! A real producer/consumer pipeline over condition variables — the
+//! shape of dedup/ferret/x264 — with the paper's `T_idle` distribution
+//! (§3.3's central quantity) printed per tick mode.
+//!
+//! ```text
+//! cargo run --release --example pipeline_stages
+//! ```
+
+use paratick::prelude::*;
+use paratick_workloads::pipeline::{workload, PipelineSpec};
+
+fn main() {
+    let spec = PipelineSpec {
+        stages: 4,
+        workers_per_stage: 2,
+        items: 2_000,
+        queue_capacity: 8,
+        service: SimDuration::from_micros(60),
+        service_cv: 0.9,
+    };
+    println!("4-stage bounded-queue pipeline, 2 workers/stage, 2000 items");
+    println!();
+    println!(
+        "{:<14} {:>9} {:>12} {:>10} {:>11} {:>11} {:>11}",
+        "mode", "exits", "timer exits", "exec", "T_idle p50", "T_idle p99", "idle/s"
+    );
+    for mode in [
+        TickMode::Periodic,
+        TickMode::DynticksIdle,
+        TickMode::FullDynticks,
+        TickMode::Paratick,
+    ] {
+        let m = Engine::run(
+            Scenario::new(HostConfig::default())
+                .vm(
+                    VmConfig::with_vcpus(8).mode(mode).spanning(1),
+                    workload(spec),
+                )
+                .seed(1234),
+        );
+        let vm = &m.per_vm[0];
+        println!(
+            "{:<14} {:>9} {:>12} {:>10} {:>11} {:>11} {:>11.0}",
+            mode.to_string(),
+            m.total_exits(),
+            m.timer_exits(),
+            format!("{}", m.execution_time()),
+            vm.p50_idle_period()
+                .map(|d| format!("{d}"))
+                .unwrap_or_default(),
+            vm.p99_idle_period()
+                .map(|d| format!("{d}"))
+                .unwrap_or_default(),
+            vm.idle_periods as f64 / m.execution_time().as_secs_f64(),
+        );
+    }
+    println!();
+    println!("the median idle period sits far below the 4 ms tick period —");
+    println!("§3.3's regime where tickless kernels pay two TSC_DEADLINE");
+    println!("writes per transition and paratick pays none. note how close");
+    println!("the exec column stays across modes: queue buffering keeps the");
+    println!("eliminated exits off the critical path (§4.2).");
+}

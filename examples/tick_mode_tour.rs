@@ -1,0 +1,100 @@
+//! A guided tour of the three tick-management strategies at the
+//! decision-diagram level (Figures 1 and 3 of the paper), without the
+//! full system simulator: drive a `TickSched` by hand and watch which
+//! steps cost a `TSC_DEADLINE` write (= a VM exit when virtualized).
+//!
+//! ```text
+//! cargo run --release --example tick_mode_tour
+//! ```
+
+use paratick_guest::tick::{IdleEntryCtx, TickMode, TickSched, TimerAction};
+use paratick_sim::{SimDuration, SimTime};
+
+fn describe(action: TimerAction) -> String {
+    match action {
+        TimerAction::None => "no hardware touch          (free)".into(),
+        TimerAction::Program(t) => format!("program TSC_DEADLINE @ {t}  (VM EXIT)"),
+        TimerAction::Disable => "write 0 to TSC_DEADLINE    (VM EXIT)".into(),
+    }
+}
+
+fn main() {
+    let period = SimDuration::from_millis(4); // HZ=250
+    for mode in [
+        TickMode::Periodic,
+        TickMode::DynticksIdle,
+        TickMode::FullDynticks,
+        TickMode::Paratick,
+    ] {
+        println!("================ {mode} ================");
+        let mut tick = TickSched::new(mode, period);
+        let mut writes = 0u32;
+        let mut count = |a: TimerAction| -> TimerAction {
+            if a != TimerAction::None {
+                writes += 1;
+            }
+            a
+        };
+
+        let t0 = SimTime::from_millis(100);
+        println!("boot activate:   {}", describe(count(tick.on_activate(t0))));
+
+        // A tick interrupt arrives on a busy CPU.
+        let t1 = SimTime::from_millis(104);
+        let out = tick.on_tick_irq(t1, false, false);
+        println!(
+            "tick irq (busy): handler={} rearm: {}",
+            out.run_handler,
+            describe(count(out.timer))
+        );
+
+        // The CPU idles with a soft timer 50 ms out.
+        let t2 = SimTime::from_millis(105);
+        let ctx = IdleEntryCtx {
+            now: t2,
+            tick_required: false,
+            next_event: Some(SimTime::from_millis(155)),
+            armed: match mode {
+                TickMode::Paratick => None,
+                _ => Some(SimTime::from_millis(108)),
+            },
+        };
+        println!(
+            "idle entry:      {}",
+            describe(count(tick.on_idle_entry(ctx)))
+        );
+
+        // A wakeup arrives 20 ms later.
+        let t3 = SimTime::from_millis(125);
+        println!(
+            "idle exit:       {}",
+            describe(count(tick.on_idle_exit(t3, false)))
+        );
+
+        // Idle again immediately (same pending soft timer).
+        let ctx2 = IdleEntryCtx {
+            now: SimTime::from_millis(126),
+            tick_required: false,
+            next_event: Some(SimTime::from_millis(155)),
+            armed: match mode {
+                // Paratick left its previous wakeup timer armed!
+                TickMode::Paratick => Some(SimTime::from_millis(155)),
+                _ => Some(SimTime::from_millis(128)),
+            },
+        };
+        println!(
+            "idle re-entry:   {}",
+            describe(count(tick.on_idle_entry(ctx2)))
+        );
+
+        // Virtual tick handling.
+        let v = tick.on_virtual_tick(SimTime::from_millis(127));
+        println!("virtual tick:    {v:?}");
+
+        println!(">>> TSC_DEADLINE writes in this little episode: {writes}");
+        println!();
+    }
+    println!("periodic: pays on every tick. dynticks: pays on every idle");
+    println!("entry/exit. paratick: pays once for the wakeup timer and then");
+    println!("reuses it across idle periods (the §4.1 heuristic).");
+}

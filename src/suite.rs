@@ -1,0 +1,59 @@
+//! Workspace-level helper library: scenario builders shared by the
+//! integration tests in `tests/` and quick sanity helpers for examples.
+
+use paratick::prelude::*;
+use paratick_workloads::{parsec, ThreadModel, VmWorkload};
+
+/// A small, fast scenario for integration tests: one VM, one benchmark,
+/// heavily scaled down.
+pub fn tiny_parsec(name: &str, threads: usize, mode: TickMode, seed: u64) -> Scenario {
+    let profile = parsec::profile(name).expect("unknown benchmark");
+    Scenario::new(HostConfig::small((threads as u32).max(1)))
+        .vm(
+            VmConfig::with_vcpus(threads as u32).mode(mode),
+            parsec::workload(profile, threads, 0.02),
+        )
+        .seed(seed)
+}
+
+/// A tiny fio scenario for integration tests.
+pub fn tiny_fio(mode: TickMode, seed: u64) -> Scenario {
+    use paratick_workloads::fio::{workload, FioPattern, FioSpec};
+    let spec = FioSpec::new(FioPattern::SeqRead, 16 * 1024, 2 << 20);
+    Scenario::new(HostConfig::small(1))
+        .vm(VmConfig::with_vcpus(1).mode(mode), workload(&spec))
+        .seed(seed)
+}
+
+/// An idle-VM scenario with a fixed horizon.
+pub fn idle_vms(n_vms: u32, vcpus: u32, mode: TickMode, secs: u64) -> Scenario {
+    let mut s = Scenario::new(HostConfig::small(vcpus.max(1)))
+        .until(RunUntil::Time(SimTime::from_secs(secs)));
+    for i in 0..n_vms {
+        s = s.vm(
+            VmConfig::with_vcpus(vcpus).mode(mode).spanning(1),
+            VmWorkload::idle(format!("idle{i}")),
+        );
+    }
+    s
+}
+
+/// Build a custom single-VM scenario from boxed thread models.
+pub fn custom_vm(
+    threads: Vec<Box<dyn ThreadModel>>,
+    vcpus: u32,
+    mode: TickMode,
+    seed: u64,
+) -> Scenario {
+    Scenario::new(HostConfig::small(vcpus))
+        .vm(
+            VmConfig::with_vcpus(vcpus).mode(mode),
+            VmWorkload {
+                name: "custom".into(),
+                threads,
+                num_locks: 4,
+                num_barriers: 1,
+            },
+        )
+        .seed(seed)
+}

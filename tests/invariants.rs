@@ -1,0 +1,200 @@
+//! Cross-crate invariants of the full system simulation.
+
+use paratick::prelude::*;
+use paratick_suite::{idle_vms, tiny_fio, tiny_parsec};
+
+/// Same scenario + same seed => bit-identical metrics.
+#[test]
+fn determinism_bit_for_bit() {
+    for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::Paratick] {
+        let a = Engine::run(tiny_parsec("dedup", 4, mode, 77));
+        let b = Engine::run(tiny_parsec("dedup", 4, mode, 77));
+        assert_eq!(a.total_exits(), b.total_exits(), "{mode}: exits differ");
+        assert_eq!(
+            a.busy_cycles().get(),
+            b.busy_cycles().get(),
+            "{mode}: cycles differ"
+        );
+        assert_eq!(
+            a.execution_time(),
+            b.execution_time(),
+            "{mode}: exec time differs"
+        );
+        assert_eq!(
+            a.events_dispatched, b.events_dispatched,
+            "{mode}: event counts differ"
+        );
+    }
+}
+
+/// Different seeds produce different (but valid) runs.
+#[test]
+fn seeds_matter() {
+    let a = Engine::run(tiny_parsec("dedup", 4, TickMode::DynticksIdle, 1));
+    let b = Engine::run(tiny_parsec("dedup", 4, TickMode::DynticksIdle, 2));
+    assert_ne!(
+        (a.total_exits(), a.events_dispatched),
+        (b.total_exits(), b.events_dispatched)
+    );
+}
+
+/// The workload's useful compute is identical across tick modes: the
+/// modes differ only in overhead. (GuestWork cycles may differ by a
+/// sliver because pollution-vs-work splitting truncates at run end.)
+#[test]
+fn guest_work_invariant_across_modes() {
+    let mut work = Vec::new();
+    for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::Paratick] {
+        let m = Engine::run(tiny_parsec("swaptions", 2, mode, 5));
+        work.push(
+            m.system
+                .cycles
+                .get(paratick_vmm::CycleCategory::GuestWork)
+                .as_nanos() as f64,
+        );
+    }
+    let max = work.iter().cloned().fold(0.0, f64::max);
+    let min = work.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        (max - min) / max < 0.001,
+        "guest work varies across modes: {work:?}"
+    );
+}
+
+/// The paper's §4.2 guarantee: paratick never induces more timer-related
+/// exits than a tickless kernel — on any workload.
+#[test]
+fn paratick_never_worse_than_dynticks() {
+    let cases: Vec<(&str, usize)> = vec![
+        ("swaptions", 1),
+        ("dedup", 1),
+        ("streamcluster", 4),
+        ("fluidanimate", 4),
+        ("x264", 8),
+    ];
+    for (name, threads) in cases {
+        for seed in [1, 2, 3] {
+            let van = Engine::run(tiny_parsec(name, threads, TickMode::DynticksIdle, seed));
+            let par = Engine::run(tiny_parsec(name, threads, TickMode::Paratick, seed));
+            assert!(
+                par.timer_exits() <= van.timer_exits(),
+                "{name}/{threads}t seed{seed}: paratick {} > dynticks {}",
+                par.timer_exits(),
+                van.timer_exits()
+            );
+        }
+    }
+    // And on I/O workloads.
+    let van = Engine::run(tiny_fio(TickMode::DynticksIdle, 9));
+    let par = Engine::run(tiny_fio(TickMode::Paratick, 9));
+    assert!(par.timer_exits() <= van.timer_exits());
+}
+
+/// Cycle conservation: `SystemStats::collect` verifies per-pCPU ledgers
+/// internally (panics on violation); this test exercises it across all
+/// three modes and an overcommitted host.
+#[test]
+fn cycle_conservation_holds() {
+    for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::Paratick] {
+        let m = Engine::run(tiny_parsec("ferret", 4, mode, 3));
+        // Busy + idle == total accounted.
+        let busy = m.system.cycles.busy().as_nanos();
+        let idle = m
+            .system
+            .cycles
+            .get(paratick_vmm::CycleCategory::Idle)
+            .as_nanos();
+        assert_eq!(m.system.cycles.total().as_nanos(), busy + idle);
+        assert!(busy > 0);
+    }
+    // Overcommitted: 2 VMs x 4 vCPUs on 2 pCPUs.
+    let mut s = Scenario::new(HostConfig::small(2)).until(RunUntil::Time(SimTime::from_millis(200)));
+    for i in 0..2 {
+        s = s.vm(
+            VmConfig::with_vcpus(4)
+                .mode(TickMode::Periodic)
+                .spanning(1),
+            paratick_workloads::parsec::workload(
+                paratick_workloads::parsec::profile("canneal").unwrap(),
+                4,
+                0.02,
+            ),
+        );
+        let _ = i;
+    }
+    let m = Engine::run(s);
+    assert!(m.total_exits() > 0);
+}
+
+/// Tick liveness: a busy guest receives its scheduler ticks in every
+/// mode — at roughly the configured rate.
+#[test]
+fn busy_guest_receives_ticks() {
+    use paratick_workloads::{ComputeThread, ThreadModel, VmWorkload};
+    for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::Paratick] {
+        let threads: Vec<Box<dyn ThreadModel>> = vec![Box::new(ComputeThread::new(
+            "spin",
+            SimDuration::from_millis(400),
+            SimDuration::from_millis(1),
+            0.0,
+        ))];
+        let m = Engine::run(
+            Scenario::new(HostConfig::small(1))
+                .vm(
+                    VmConfig::with_vcpus(1).mode(mode),
+                    VmWorkload {
+                        name: "spin".into(),
+                        threads,
+                        num_locks: 1,
+                        num_barriers: 0,
+                    },
+                )
+                .seed(11),
+        );
+        // 400 ms at 250 Hz = ~100 ticks. Periodic/dynticks deliver them
+        // as timer interrupts; paratick as virtual ticks.
+        let delivered = match mode {
+            TickMode::Paratick => m.system.virtual_ticks,
+            _ => m.system.exits.get(ExitReason::PreemptionTimer),
+        };
+        assert!(
+            (70..=130).contains(&delivered),
+            "{mode}: {delivered} ticks delivered for ~100 expected"
+        );
+    }
+}
+
+/// Idle VMs: dynticks and paratick leave them fully quiescent; periodic
+/// keeps waking every vCPU at the tick rate (§3.1 vs §3.2, Table 1).
+#[test]
+fn idle_vm_tick_behaviour() {
+    let periodic = Engine::run(idle_vms(1, 4, TickMode::Periodic, 2));
+    let dynticks = Engine::run(idle_vms(1, 4, TickMode::DynticksIdle, 2));
+    let paratick = Engine::run(idle_vms(1, 4, TickMode::Paratick, 2));
+
+    // Periodic: 4 vCPUs x 250 Hz x 2 s = 2000 tick wakeups (plus boot).
+    assert!(
+        (1900..2300).contains(&periodic.system.wakeups),
+        "periodic wakeups = {}",
+        periodic.system.wakeups
+    );
+    assert!(periodic.timer_exits() >= 1900);
+
+    // Dynticks/paratick: a handful of boot-time events at most.
+    assert!(dynticks.system.wakeups < 20, "{}", dynticks.system.wakeups);
+    assert!(paratick.system.wakeups < 20, "{}", paratick.system.wakeups);
+    assert!(dynticks.timer_exits() < 20);
+    assert!(paratick.timer_exits() < 20);
+}
+
+/// Execution time is reported and finite for workload runs, and equals
+/// the horizon for steady-state runs.
+#[test]
+fn execution_time_semantics() {
+    let m = Engine::run(tiny_parsec("raytrace", 1, TickMode::DynticksIdle, 4));
+    assert!(m.execution_time() > SimDuration::ZERO);
+    assert!(m.execution_time() < SimDuration::from_secs(60));
+
+    let h = Engine::run(idle_vms(1, 2, TickMode::DynticksIdle, 3));
+    assert_eq!(h.execution_time(), SimDuration::from_secs(3));
+}

@@ -1,0 +1,234 @@
+//! Property-based tests of the whole system engine: random workload
+//! compositions must uphold the structural invariants on every run —
+//! no deadlock, exact cycle conservation, deterministic replay, and the
+//! paper's §4.2 dominance guarantee.
+
+use paratick::prelude::*;
+use paratick_workloads::models::{
+    BarrierLoop, ComputeThread, FioThread, LockLoop, SleeperThread,
+};
+use paratick_workloads::{ThreadModel, VmWorkload};
+use proptest::prelude::*;
+
+/// A compact, generatable description of a random thread.
+#[derive(Clone, Debug)]
+enum ThreadKind {
+    Compute { work_us: u64, grain_us: u64 },
+    Lock { work_us: u64, grain_us: u64, cs_us: u64 },
+    Barrier { phases: u64, grain_us: u64 },
+    Io { ops: u64, block_kb: u64 },
+    Sleeper { period_us: u64, wakeups: u64 },
+}
+
+fn thread_kind() -> impl Strategy<Value = ThreadKind> {
+    prop_oneof![
+        (100u64..5_000, 20u64..400).prop_map(|(w, g)| ThreadKind::Compute {
+            work_us: w,
+            grain_us: g
+        }),
+        (100u64..3_000, 30u64..300, 1u64..20).prop_map(|(w, g, c)| ThreadKind::Lock {
+            work_us: w,
+            grain_us: g,
+            cs_us: c
+        }),
+        (2u64..30, 30u64..300).prop_map(|(p, g)| ThreadKind::Barrier {
+            phases: p,
+            grain_us: g
+        }),
+        (5u64..80, 1u64..64).prop_map(|(o, b)| ThreadKind::Io {
+            ops: o,
+            block_kb: b
+        }),
+        (200u64..4_000, 2u64..30).prop_map(|(p, n)| ThreadKind::Sleeper {
+            period_us: p,
+            wakeups: n
+        }),
+    ]
+}
+
+fn build_threads(kinds: &[ThreadKind], barrier_parties: usize) -> Vec<Box<dyn ThreadModel>> {
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(i, k)| -> Box<dyn ThreadModel> {
+            match *k {
+                ThreadKind::Compute { work_us, grain_us } => Box::new(ComputeThread::new(
+                    format!("c{i}"),
+                    SimDuration::from_micros(work_us),
+                    SimDuration::from_micros(grain_us),
+                    0.4,
+                )),
+                ThreadKind::Lock {
+                    work_us,
+                    grain_us,
+                    cs_us,
+                } => Box::new(LockLoop::new(
+                    format!("l{i}"),
+                    SimDuration::from_micros(work_us),
+                    SimDuration::from_micros(grain_us),
+                    0.4,
+                    SimDuration::from_micros(cs_us),
+                    3,
+                )),
+                ThreadKind::Barrier { phases, grain_us } => Box::new(BarrierLoop::new(
+                    format!("b{i}"),
+                    phases * barrier_parties as u64, // same arrivals per party
+                    SimDuration::from_micros(grain_us),
+                    0.0, // deterministic arrivals so counts match
+                    0,
+                )),
+                ThreadKind::Io { ops, block_kb } => Box::new(FioThread::new(
+                    format!("io{i}"),
+                    paratick_hw::IoOp::Read,
+                    i % 2 == 0,
+                    block_kb * 1024,
+                    ops * block_kb * 1024,
+                    1 << 30,
+                    SimDuration::from_micros(2),
+                )),
+                ThreadKind::Sleeper { period_us, wakeups } => Box::new(SleeperThread::new(
+                    format!("s{i}"),
+                    SimDuration::from_micros(period_us),
+                    0.2,
+                    SimDuration::from_micros(10),
+                    wakeups,
+                )),
+            }
+        })
+        .collect()
+}
+
+/// Barriers need every participant to arrive the same number of times;
+/// the simplest sound composition is "no barrier threads mixed with
+/// differently-shaped barrier threads". We sidestep it by rewriting all
+/// barrier threads to a common phase count.
+fn normalize_barriers(kinds: &mut [ThreadKind]) {
+    let common = kinds.iter().find_map(|k| match k {
+        ThreadKind::Barrier { phases, .. } => Some(*phases),
+        _ => None,
+    });
+    if let Some(p) = common {
+        for k in kinds.iter_mut() {
+            if let ThreadKind::Barrier { phases, .. } = k {
+                *phases = p;
+            }
+        }
+    }
+}
+
+fn barrier_parties(kinds: &[ThreadKind]) -> usize {
+    kinds
+        .iter()
+        .filter(|k| matches!(k, ThreadKind::Barrier { .. }))
+        .count()
+}
+
+fn scenario(kinds: &[ThreadKind], vcpus: u32, mode: TickMode, seed: u64) -> Scenario {
+    let parties = barrier_parties(kinds).max(1);
+    let threads = build_threads(kinds, parties);
+    let workload = VmWorkload {
+        name: "prop".into(),
+        threads,
+        num_locks: 3,
+        num_barriers: 1,
+    };
+    // The engine sizes barriers by *live thread count*; restrict barrier
+    // participation by replacing VmWorkload barrier semantics: barrier
+    // threads all arrive the same number of times, and non-barrier
+    // threads never arrive, so a barrier of N parties would deadlock.
+    // We therefore only emit barrier threads when *all* threads are
+    // barrier threads (enforced by the caller's filter).
+    Scenario::new(HostConfig::small(vcpus))
+        .vm(VmConfig::with_vcpus(vcpus).mode(mode), workload)
+        .seed(seed)
+}
+
+/// Mixed barrier/non-barrier compositions would deadlock by
+/// construction (a barrier waits for every live thread), so squash
+/// barrier threads into compute threads unless all threads are barriers.
+fn make_runnable(kinds: &mut [ThreadKind]) {
+    let n_barrier = barrier_parties(kinds);
+    if n_barrier != kinds.len() {
+        for k in kinds.iter_mut() {
+            if let ThreadKind::Barrier { phases, grain_us } = *k {
+                *k = ThreadKind::Compute {
+                    work_us: phases * grain_us,
+                    grain_us,
+                };
+            }
+        }
+    } else {
+        normalize_barriers(kinds);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Any random workload completes (no deadlock), conserves cycles,
+    /// and paratick never takes more timer exits than dynticks.
+    #[test]
+    fn prop_random_workloads_run_sound(
+        mut kinds in proptest::collection::vec(thread_kind(), 1..6),
+        vcpus in 1u32..5,
+        seed in 0u64..1_000,
+    ) {
+        make_runnable(&mut kinds);
+        let mut results = Vec::new();
+        for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::FullDynticks, TickMode::Paratick] {
+            let m = Engine::run(scenario(&kinds, vcpus, mode, seed));
+            // Completion.
+            prop_assert!(m.per_vm[0].finished_at.is_some(), "{mode}: deadlock");
+            // Conservation: busy + idle == accounted total (collect()
+            // already asserts per-pCPU ledger == frontier).
+            let busy = m.system.cycles.busy().as_nanos();
+            let idle = m.system.cycles.get(paratick_vmm::CycleCategory::Idle).as_nanos();
+            prop_assert_eq!(m.system.cycles.total().as_nanos(), busy + idle);
+            results.push((mode, m));
+        }
+        let timer = |mode: TickMode| {
+            results.iter().find(|(m, _)| *m == mode).unwrap().1.timer_exits()
+        };
+        // §4.2 dominance.
+        prop_assert!(
+            timer(TickMode::Paratick) <= timer(TickMode::DynticksIdle),
+            "paratick {} > dynticks {}",
+            timer(TickMode::Paratick),
+            timer(TickMode::DynticksIdle)
+        );
+        // Guest work is mode-invariant (within rounding).
+        let works: Vec<f64> = results
+            .iter()
+            .map(|(_, m)| m.system.cycles.get(paratick_vmm::CycleCategory::GuestWork).as_nanos() as f64)
+            .collect();
+        let max = works.iter().cloned().fold(0.0, f64::max);
+        let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(max > 0.0);
+        // Budgets are mode-independent; the residual slack is one
+        // jittered critical section per lock thread (consumed past the
+        // budget's end) plus the end-of-run segment flush.
+        prop_assert!((max - min) / max < 0.03, "guest work varies: {works:?}");
+    }
+
+    /// Determinism across the engine: same scenario, same seed, same
+    /// metrics — for arbitrary compositions.
+    #[test]
+    fn prop_deterministic_replay(
+        mut kinds in proptest::collection::vec(thread_kind(), 1..5),
+        seed in 0u64..1_000,
+    ) {
+        make_runnable(&mut kinds);
+        let a = Engine::run(scenario(&kinds, 2, TickMode::Paratick, seed));
+        let b = Engine::run(scenario(&kinds, 2, TickMode::Paratick, seed));
+        prop_assert_eq!(a.total_exits(), b.total_exits());
+        prop_assert_eq!(a.events_dispatched, b.events_dispatched);
+        prop_assert_eq!(a.execution_time(), b.execution_time());
+        prop_assert_eq!(
+            a.busy_cycles().get(),
+            b.busy_cycles().get()
+        );
+    }
+}
