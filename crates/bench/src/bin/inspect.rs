@@ -7,14 +7,31 @@ use paratick::prelude::*;
 use paratick_vmm::CycleCategory;
 use paratick_workloads::fio::{FioPattern, FioSpec};
 
+/// Per-VM exit-reason breakdown: one row per (VM, reason) with nonzero
+/// count, plus the VM's timer-related share.
+fn exit_breakdown(m: &RunMetrics) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for vm in &m.per_vm {
+        let total = vm.exits.total().max(1);
+        for (reason, count) in vm.exits.nonzero() {
+            rows.push(vec![
+                vm.name.clone(),
+                reason.to_string(),
+                count.to_string(),
+                format!("{:.1}%", 100.0 * count as f64 / total as f64),
+                if reason.is_timer_related() { "yes" } else { "" }.to_string(),
+            ]);
+        }
+    }
+    paratick::report::table(&["VM", "exit reason", "count", "share", "timer"], &rows)
+}
+
 fn dump(label: &str, m: &RunMetrics) {
     println!("--- {label} ---");
     println!("exec time: {}", m.execution_time());
     println!("events:    {}", m.events_dispatched);
     println!("exits: total {} timer-related {}", m.total_exits(), m.timer_exits());
-    for (r, c) in m.system.exits.nonzero() {
-        println!("    {r:<24} {c}");
-    }
+    print!("{}", exit_breakdown(m));
     println!("injections {} (virtual ticks {})", m.system.injections, m.system.virtual_ticks);
     println!("wakeups {}  idle periods {}  mean T_idle {:?}",
         m.system.wakeups, m.system.idle_periods, m.system.mean_idle_period());
@@ -27,6 +44,7 @@ fn dump(label: &str, m: &RunMetrics) {
     }
     println!("busy: {}  overhead fraction: {:.3}%",
         m.system.cycles.busy(), 100.0 * m.overhead_fraction());
+    print!("{}", paratick::report::profile_summary(&m.profile));
     println!();
 }
 

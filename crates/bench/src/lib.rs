@@ -15,6 +15,19 @@
 //! Scale knobs come from the environment so CI can run quick passes:
 //! `PARATICK_SCALE` (workload scale factor, default 0.25) and
 //! `PARATICK_ITERS` (max iterations per configuration, default 3).
+//!
+//! Observability knobs (the engine reads these itself, so every binary
+//! gets them for free; the first engine in the process claims each
+//! output path):
+//!
+//! * `PARATICK_TRACE=<path>` — write a Chrome-trace/Perfetto JSON
+//!   timeline of the first run (open in <https://ui.perfetto.dev> or
+//!   `chrome://tracing`).
+//! * `PARATICK_TIMESERIES=<path>` — windowed counters over sim time
+//!   (exits/s, busy fraction, …) as CSV, or JSON for `.json` paths;
+//!   `PARATICK_TIMESERIES_WINDOW_US` sets the window (default 1000).
+//! * `PARATICK_PROF=1` — per-event-kind wall-clock self-profiling,
+//!   surfaced in `RunMetrics::profile` and the `PARATICK_JSON` dumps.
 
 use paratick::prelude::*;
 use paratick::experiment::{aggregate, Comparison, Experiment};

@@ -25,21 +25,23 @@
 //! metrics, bit for bit.
 
 use crate::config::{RunUntil, Scenario};
-use crate::metrics::{RunMetrics, VmMetrics};
+use crate::metrics::{EngineProfile, KindProfile, RunMetrics, VmMetrics};
+use crate::obs::{self, TraceSink};
 use paratick_guest::{
     kernel::SoftTimer, BarrierOutcome, GuestBarrier, GuestCondvar, GuestKernel, GuestMutex,
     LockOutcome, ThreadId, TickMode, TimerAction, VirtualTickOutcome,
 };
 use paratick_hw::{BlockDevice, DeadlineWriteEffect, IoRequest, Vector};
-use paratick_sim::{EventQueue, SimDuration, SimRng, SimTime, TraceBuffer};
+use paratick_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use paratick_vmm::ple::Ple;
 use paratick_vmm::{
-    hypercall, CostModel, CycleCategory, ExitReason, HaltPoll, HostScheduler, Hypercall,
-    InjectDecision, KvmVcpu, PCpu, ParatickHost, PcpuId, PollOutcome, SchedDecision, SystemStats,
-    VcpuId, VcpuRunState,
+    hypercall, CostModel, CycleCategory, EventSink, ExitReason, HaltPoll, HostScheduler,
+    Hypercall, InjectDecision, KvmVcpu, PCpu, ParatickHost, PcpuId, PollOutcome, SchedDecision,
+    SimEvent, SystemStats, VcpuId, VcpuRunState,
 };
 use paratick_workloads::{Action, ThreadModel};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Engine events.
 #[derive(Clone, Copy, Debug)]
@@ -61,6 +63,33 @@ enum Ev {
     /// §5.2.1 boot: high-resolution timers arrived; switch this vCPU
     /// from the boot-time periodic tick to its configured mode.
     BootSwitch { vm: u32, vcpu: u32 },
+}
+
+impl Ev {
+    /// Number of `Ev` variants (per-kind self-profiling arrays).
+    const KIND_COUNT: usize = 7;
+
+    const KIND_NAMES: [&'static str; Self::KIND_COUNT] = [
+        "vcpu_stop",
+        "guest_timer",
+        "host_tick",
+        "io_done",
+        "kick",
+        "adapt_tick",
+        "boot_switch",
+    ];
+
+    fn kind_index(&self) -> usize {
+        match self {
+            Ev::VcpuStop { .. } => 0,
+            Ev::GuestTimer { .. } => 1,
+            Ev::HostTick { .. } => 2,
+            Ev::IoDone { .. } => 3,
+            Ev::Kick { .. } => 4,
+            Ev::AdaptTick { .. } => 5,
+            Ev::BootSwitch { .. } => 6,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -153,7 +182,14 @@ pub struct Engine {
     sched: HostScheduler,
     vms: Vec<VmState>,
     rng: SimRng,
-    pub trace: TraceBuffer,
+    /// Attached observability sinks. Emission sites guard on
+    /// `sinks.is_empty()`, so the stream costs one branch when off.
+    sinks: Vec<Box<dyn EventSink>>,
+    /// `PARATICK_PROF=1`: wall-time each event kind individually.
+    prof_wall: bool,
+    prof_counts: [u64; Ev::KIND_COUNT],
+    prof_wall_ns: [u64; Ev::KIND_COUNT],
+    wall: std::time::Duration,
     run_until: RunUntil,
     now: SimTime,
 }
@@ -274,29 +310,58 @@ impl Engine {
             vms,
             rng,
             cost,
-            trace: TraceBuffer::disabled(),
+            sinks: obs::sinks_from_env(n_pcpus),
+            prof_wall: obs::prof_wall_enabled(),
+            prof_counts: [0; Ev::KIND_COUNT],
+            prof_wall_ns: [0; Ev::KIND_COUNT],
+            wall: std::time::Duration::ZERO,
             run_until: scenario.run_until,
             now: SimTime::ZERO,
         }
     }
 
+    /// Attach an observability sink; it receives every structured event
+    /// of the run in dispatch order.
+    pub fn attach_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
     /// Run the scenario to completion and produce metrics.
     pub fn run(scenario: Scenario) -> RunMetrics {
-        let mut e = Engine::new(scenario);
-        e.start();
-        e.main_loop();
-        e.finalize()
+        Engine::new(scenario).run_to_completion()
+    }
+
+    /// Drive the assembled engine (with whatever sinks are attached) to
+    /// completion.
+    pub fn run_to_completion(mut self) -> RunMetrics {
+        let t0 = Instant::now();
+        self.start();
+        self.main_loop();
+        self.wall = t0.elapsed();
+        self.finalize()
     }
 
     /// Run with an event trace of the last `capacity` records; returns
     /// the metrics and the rendered trace (post-mortem debugging).
+    ///
+    /// Implemented as a [`TraceSink`] over the structured event stream.
     pub fn run_traced(scenario: Scenario, capacity: usize) -> (RunMetrics, String) {
         let mut e = Engine::new(scenario);
-        e.trace = TraceBuffer::with_capacity(capacity);
-        e.start();
-        e.main_loop();
-        let dump = e.trace.dump();
-        (e.finalize(), dump)
+        let (sink, buf) = TraceSink::new(capacity);
+        e.attach_sink(Box::new(sink));
+        let metrics = e.run_to_completion();
+        let dump = buf.borrow().dump();
+        (metrics, dump)
+    }
+
+    /// Fan an event out to the attached sinks. Call sites guard with
+    /// `!self.sinks.is_empty()` so event construction is skipped when
+    /// observability is off.
+    #[inline]
+    fn emit(&mut self, t: SimTime, ev: SimEvent) {
+        for s in &mut self.sinks {
+            s.on_event(t, &ev);
+        }
     }
 
     // ----------------------------------------------------------------
@@ -350,7 +415,15 @@ impl Engine {
                 return;
             };
             self.now = t;
-            self.handle(t, ev);
+            let kind = ev.kind_index();
+            self.prof_counts[kind] += 1;
+            if self.prof_wall {
+                let h0 = Instant::now();
+                self.handle(t, ev);
+                self.prof_wall_ns[kind] += h0.elapsed().as_nanos() as u64;
+            } else {
+                self.handle(t, ev);
+            }
         }
     }
 
@@ -451,21 +524,45 @@ impl Engine {
         // Kill the periodic tick's armed deadline.
         self.apply_timer_action(vm, vcpu, TimerAction::Disable);
         if switch.mode == TickMode::Paratick {
-            self.sync_exit(vm, vcpu, ExitReason::Hypercall);
-            let hz = self.vms[vm].kernel.hz;
-            match hypercall::service(Hypercall::DeclareTickFreq(hz), self.host_tick_freq) {
-                hypercall::HypercallResult::TickDeclared { period } => {
-                    self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
-                }
-                hypercall::HypercallResult::NeedsRateAdaptation { period } => {
-                    self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
-                    self.vms[vm].ctl[vcpu].rate_adapt = self.rate_adapt_enabled;
-                }
-            }
+            self.declare_tick_freq(vm, vcpu);
+        }
+        if !self.sinks.is_empty() {
+            let at = self.pcpus[p.0 as usize].frontier();
+            let ev = SimEvent::BootSwitch {
+                vcpu: self.vms[vm].vcpus[vcpu].id,
+            };
+            self.emit(at, ev);
         }
         let now = self.pcpus[p.0 as usize].frontier();
         let act = self.vms[vm].kernel.cpus[vcpu].tick.on_activate(now);
         self.apply_timer_action(vm, vcpu, act);
+    }
+
+    /// Paratick boot declaration: the guest traps into the host with its
+    /// tick frequency (§4.1), which decides whether the host tick can
+    /// carry it or §4.1 rate adaptation is needed.
+    fn declare_tick_freq(&mut self, vm: usize, vcpu: usize) {
+        self.sync_exit(vm, vcpu, ExitReason::Hypercall);
+        let hz = self.vms[vm].kernel.hz;
+        match hypercall::service(Hypercall::DeclareTickFreq(hz), self.host_tick_freq) {
+            hypercall::HypercallResult::TickDeclared { period } => {
+                self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
+            }
+            hypercall::HypercallResult::NeedsRateAdaptation { period } => {
+                self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
+                self.vms[vm].ctl[vcpu].rate_adapt = self.rate_adapt_enabled;
+            }
+        }
+        if !self.sinks.is_empty() {
+            let p = self.vms[vm].vcpus[vcpu].affinity;
+            let at = self.pcpus[p.0 as usize].frontier();
+            let ev = SimEvent::Hypercall {
+                vcpu: self.vms[vm].vcpus[vcpu].id,
+                tick_hz: hz.as_hz(),
+                rate_adapted: self.vms[vm].ctl[vcpu].rate_adapt,
+            };
+            self.emit(at, ev);
+        }
     }
 
     /// §4.1: the adaptation cadence fired. If the vCPU is in guest mode,
@@ -490,6 +587,13 @@ impl Engine {
             v.last_tick = now;
             v.lapic.request(Vector::PARATICK);
             v.record_injection(true);
+        }
+        if !self.sinks.is_empty() {
+            let ev = SimEvent::Inject {
+                vcpu: self.vms[vm].vcpus[vcpu].id,
+                virtual_tick: true,
+            };
+            self.emit(now, ev);
         }
         self.enter_guest(vm, vcpu);
         if self.vms[vm].vcpus[vcpu].is_running() {
@@ -568,9 +672,13 @@ impl Engine {
                 self.slice_start[p.0 as usize] = t;
                 self.enable_host_tick(p);
                 let (vm, vcpu) = (id.vm as usize, id.vcpu as usize);
-                if self.trace.enabled() {
-                    let vid = self.vms[vm].vcpus[vcpu].id;
-                    self.trace.record_with(t, || format!("{vid} dispatch on pcpu{}", p.0));
+                if !self.sinks.is_empty() {
+                    let ev = SimEvent::Dispatch {
+                        vcpu: self.vms[vm].vcpus[vcpu].id,
+                        pcpu: p,
+                        run_queue: self.sched.waiting(p) as u32,
+                    };
+                    self.emit(t, ev);
                 }
                 self.vms[vm].vcpus[vcpu].set_running(t);
                 self.first_activation(vm, vcpu);
@@ -652,17 +760,7 @@ impl Engine {
             return;
         }
         if self.vms[vm].mode == TickMode::Paratick {
-            self.sync_exit(vm, vcpu, ExitReason::Hypercall);
-            let hz = self.vms[vm].kernel.hz;
-            match hypercall::service(Hypercall::DeclareTickFreq(hz), self.host_tick_freq) {
-                hypercall::HypercallResult::TickDeclared { period } => {
-                    self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
-                }
-                hypercall::HypercallResult::NeedsRateAdaptation { period } => {
-                    self.vms[vm].vcpus[vcpu].declared_tick_period = Some(period);
-                    self.vms[vm].ctl[vcpu].rate_adapt = self.rate_adapt_enabled;
-                }
-            }
+            self.declare_tick_freq(vm, vcpu);
         }
         let now = self.pcpus[p.0 as usize].frontier();
         let act = self.vms[vm].kernel.cpus[vcpu].tick.on_activate(now);
@@ -678,15 +776,19 @@ impl Engine {
     /// vCPU's pollution debt.
     fn sync_exit(&mut self, vm: usize, vcpu: usize, reason: ExitReason) {
         let p = self.vms[vm].vcpus[vcpu].affinity;
-        if self.trace.enabled() {
-            let id = self.vms[vm].vcpus[vcpu].id;
-            let at = self.pcpus[p.0 as usize].frontier();
-            self.trace.record_with(at, || format!("{id} exit {reason}"));
-        }
+        let at = self.pcpus[p.0 as usize].frontier();
         self.vms[vm].vcpus[vcpu].record_exit(reason);
         self.pcpus[p.0 as usize]
             .account(CycleCategory::ExitHandling, self.cost.direct_duration(reason));
         self.vms[vm].ctl[vcpu].pollution += self.cost.indirect_duration(reason);
+        if !self.sinks.is_empty() {
+            let ev = SimEvent::VmExit {
+                vcpu: self.vms[vm].vcpus[vcpu].id,
+                reason,
+                pollution_ns: self.vms[vm].ctl[vcpu].pollution.as_nanos(),
+            };
+            self.emit(at, ev);
+        }
     }
 
     /// The VM-entry sequence: paratick host hook (Figure 2), interrupt
@@ -718,6 +820,13 @@ impl Engine {
                     v.last_tick = now;
                     v.lapic.request(Vector::PARATICK);
                     v.record_injection(true);
+                    if !self.sinks.is_empty() {
+                        let ev = SimEvent::Inject {
+                            vcpu: self.vms[vm].vcpus[vcpu].id,
+                            virtual_tick: true,
+                        };
+                        self.emit(now, ev);
+                    }
                 }
                 InjectDecision::Nothing => {}
             }
@@ -729,6 +838,14 @@ impl Engine {
                 .account(CycleCategory::ExitHandling, self.cost.injection_duration());
             if decision != InjectDecision::InjectVirtualTick {
                 self.vms[vm].vcpus[vcpu].record_injection(false);
+                if !self.sinks.is_empty() {
+                    let now = self.pcpus[p.0 as usize].frontier();
+                    let ev = SimEvent::Inject {
+                        vcpu: self.vms[vm].vcpus[vcpu].id,
+                        virtual_tick: false,
+                    };
+                    self.emit(now, ev);
+                }
             }
             self.process_pending_irqs(vm, vcpu);
             // Full dynticks: a contended run queue on a tickless busy
@@ -853,6 +970,13 @@ impl Engine {
                 self.sync_exit(vm, vcpu, ExitReason::MsrWriteTscDeadline);
                 let p = self.vms[vm].vcpus[vcpu].affinity;
                 let now = self.pcpus[p.0 as usize].frontier();
+                if !self.sinks.is_empty() {
+                    let ev = SimEvent::TimerProgram {
+                        vcpu: self.vms[vm].vcpus[vcpu].id,
+                        deadline: when,
+                    };
+                    self.emit(now, ev);
+                }
                 let tsc = self.vms[vm].vcpus[vcpu].guest_tsc;
                 let effect = self.vms[vm].vcpus[vcpu].deadline.arm_at(&tsc, now, when);
                 self.vms[vm].ctl[vcpu].timer_gen += 1;
@@ -881,6 +1005,12 @@ impl Engine {
                 self.sync_exit(vm, vcpu, ExitReason::MsrWriteTscDeadline);
                 let p = self.vms[vm].vcpus[vcpu].affinity;
                 let now = self.pcpus[p.0 as usize].frontier();
+                if !self.sinks.is_empty() {
+                    let ev = SimEvent::TimerCancel {
+                        vcpu: self.vms[vm].vcpus[vcpu].id,
+                    };
+                    self.emit(now, ev);
+                }
                 let tsc = self.vms[vm].vcpus[vcpu].guest_tsc;
                 self.vms[vm].vcpus[vcpu].deadline.disarm(&tsc, now);
                 self.vms[vm].ctl[vcpu].timer_gen += 1;
@@ -1154,6 +1284,9 @@ impl Engine {
                     if self.vms[vm].live_threads == 0 {
                         let now = self.pcpus[p.0 as usize].frontier();
                         self.vms[vm].finished_at = Some(now);
+                        if !self.sinks.is_empty() {
+                            self.emit(now, SimEvent::WorkloadDone { vm: vm as u32 });
+                        }
                     }
                     self.block_current(vm, vcpu);
                     return;
@@ -1245,6 +1378,13 @@ impl Engine {
         self.vms[vm].ctl[vcpu].pollution = SimDuration::ZERO;
         let now = self.pcpus[p.0 as usize].frontier();
         self.vms[vm].vcpus[vcpu].set_halted(now);
+        if !self.sinks.is_empty() {
+            let ev = SimEvent::IdleEnter {
+                vcpu: self.vms[vm].vcpus[vcpu].id,
+                pcpu: p,
+            };
+            self.emit(now, ev);
+        }
         self.sched.deschedule(p, false);
         self.pcpu_mode[p.0 as usize] = PcpuMode::Idle;
         self.try_dispatch(p);
@@ -1328,6 +1468,13 @@ impl Engine {
         } else {
             false
         };
+        if self.halt_poll_enabled && !self.sinks.is_empty() {
+            let ev = SimEvent::HaltPoll {
+                vcpu: self.vms[vm].vcpus[vcpu].id,
+                hit: polled_hit,
+            };
+            self.emit(t, ev);
+        }
         if self.pcpu_mode[p.0 as usize] == PcpuMode::Idle {
             self.account_gap(p, t);
             if polled_hit {
@@ -1343,9 +1490,16 @@ impl Engine {
             }
         }
         let now = self.pcpus[p.0 as usize].frontier().max(self.now);
-        if self.trace.enabled() {
-            let id = self.vms[vm].vcpus[vcpu].id;
-            self.trace.record_with(now, || format!("{id} wake"));
+        if !self.sinks.is_empty() {
+            let ev = SimEvent::IdleExit {
+                vcpu: self.vms[vm].vcpus[vcpu].id,
+                pcpu: p,
+                idle_ns: self.vms[vm].vcpus[vcpu]
+                    .halted_since()
+                    .map(|s| now.saturating_since(s).as_nanos())
+                    .unwrap_or(0),
+            };
+            self.emit(now, ev);
         }
         if let Some(since) = self.vms[vm].vcpus[vcpu].halted_since() {
             self.vms[vm]
@@ -1424,6 +1578,9 @@ impl Engine {
             }
             PcpuMode::Guest { vm, vcpu } => {
                 let (vm, vcpu) = (vm as usize, vcpu as usize);
+                if !self.sinks.is_empty() {
+                    self.emit(t, SimEvent::HostTick { pcpu: p });
+                }
                 self.interrupt_running(vm, vcpu, t.max(self.pcpus[i].frontier()));
                 self.sync_exit(vm, vcpu, ExitReason::ExternalInterrupt);
                 self.pcpus[i].account(CycleCategory::HostOs, self.cost.host_tick_duration());
@@ -1434,6 +1591,14 @@ impl Engine {
                     // Host CFS slice expiry: rotate.
                     self.vms[vm].vcpus[vcpu].set_preempted(now);
                     self.sched.deschedule(p, true);
+                    if !self.sinks.is_empty() {
+                        let ev = SimEvent::Preempt {
+                            vcpu: self.vms[vm].vcpus[vcpu].id,
+                            pcpu: p,
+                            run_queue: self.sched.waiting(p) as u32,
+                        };
+                        self.emit(now, ev);
+                    }
                     self.pcpu_mode[i] = PcpuMode::Idle;
                     self.try_dispatch(p);
                 } else {
@@ -1556,6 +1721,23 @@ impl Engine {
                 }
             }
         }
+        for s in &mut self.sinks {
+            s.finish(end);
+        }
+        let profile = EngineProfile {
+            wall_nanos: self.wall.as_nanos() as u64,
+            wall_timed_kinds: self.prof_wall,
+            queue_depth_high_water: self.queue.depth_high_water() as u64,
+            per_kind: Ev::KIND_NAMES
+                .iter()
+                .zip(self.prof_counts.iter().zip(self.prof_wall_ns.iter()))
+                .map(|(name, (&count, &wall_nanos))| KindProfile {
+                    kind: (*name).to_string(),
+                    count,
+                    wall_nanos,
+                })
+                .collect(),
+        };
         let freq = self.cost.cpu_freq;
         let per_vm: Vec<VmMetrics> = self
             .vms
@@ -1582,6 +1764,7 @@ impl Engine {
             per_vm,
             system,
             events_dispatched: self.queue.dispatched(),
+            profile,
         }
     }
 }

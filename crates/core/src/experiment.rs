@@ -39,6 +39,17 @@ pub struct ModeSummary {
     pub busy_cycles: Summary,
     pub exec_time_secs: Summary,
     pub iterations: u32,
+    /// Engine self-profiling across the iterations: DES events
+    /// dispatched per run (absent in pre-profile dumps).
+    #[serde(default)]
+    pub events_dispatched: Summary,
+    /// Event-queue depth high-water mark per run.
+    #[serde(default)]
+    pub queue_depth_hwm: Summary,
+    /// Simulator speed: DES events per wall-clock second
+    /// (non-deterministic; excluded from stability checks).
+    #[serde(default)]
+    pub events_per_wall_sec: Summary,
 }
 
 impl ModeSummary {
@@ -48,6 +59,12 @@ impl ModeSummary {
         self.busy_cycles.record(m.busy_cycles().get() as f64);
         self.exec_time_secs.record(m.execution_time().as_secs_f64());
         self.iterations += 1;
+        self.events_dispatched.record(m.events_dispatched as f64);
+        self.queue_depth_hwm
+            .record(m.profile.queue_depth_high_water as f64);
+        if let Some(eps) = m.profile.events_per_sec() {
+            self.events_per_wall_sec.record(eps);
+        }
     }
 
     fn stable(&self, cv_target: f64) -> bool {

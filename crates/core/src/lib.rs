@@ -17,6 +17,10 @@
 //!   repeat-until-stable protocol, producing comparisons.
 //! * [`analytic`] — the closed-form exit-count model of §3.1–§3.3
 //!   (Table 1 and the tick-vs-tickless crossover rule).
+//! * [`obs`] — observability sinks over the engine's structured event
+//!   stream: the legacy string trace, a Perfetto/Chrome-trace timeline
+//!   exporter (`PARATICK_TRACE=<path>`) and a windowed time-series
+//!   sampler (`PARATICK_TIMESERIES=<path>`).
 //! * [`report`] — text tables matching the paper's presentation.
 //!
 //! ## Quickstart
@@ -45,12 +49,13 @@ pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
+pub mod obs;
 pub mod report;
 
 pub use config::{HostConfig, RunUntil, Scenario, VmConfig};
 pub use engine::Engine;
 pub use experiment::{Comparison, Experiment};
-pub use metrics::{RunMetrics, VmMetrics};
+pub use metrics::{EngineProfile, RunMetrics, VmMetrics};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -58,11 +63,12 @@ pub mod prelude {
     pub use crate::config::{HostConfig, RunUntil, Scenario, VmConfig};
     pub use crate::engine::Engine;
     pub use crate::experiment::{Comparison, Experiment};
-    pub use crate::metrics::{RunMetrics, VmMetrics};
+    pub use crate::metrics::{EngineProfile, RunMetrics, VmMetrics};
+    pub use crate::obs;
     pub use crate::report;
     pub use paratick_guest::TickMode;
     pub use paratick_hw::DeviceKind;
     pub use paratick_sim::{Freq, SimDuration, SimTime};
-    pub use paratick_vmm::{CostModel, ExitReason};
+    pub use paratick_vmm::{CostModel, EventKind, EventSink, ExitReason, SimEvent};
     pub use paratick_workloads::VmWorkload;
 }

@@ -85,6 +85,45 @@ impl VmMetrics {
     }
 }
 
+/// Wall-clock cost of one engine event kind (self-profiling).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KindProfile {
+    pub kind: String,
+    /// Events of this kind dispatched (deterministic).
+    pub count: u64,
+    /// Wall-clock nanoseconds spent in this kind's handler. Zero unless
+    /// the run had `PARATICK_PROF=1` (per-event timing costs two clock
+    /// reads per event).
+    pub wall_nanos: u64,
+}
+
+/// Engine self-profiling: where the *simulator's* time goes, as opposed
+/// to where simulated time goes. Wall-clock fields vary run to run; the
+/// counts and the queue high-water mark are deterministic.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EngineProfile {
+    /// Wall-clock nanoseconds for the whole run (bootstrap + main loop).
+    pub wall_nanos: u64,
+    /// Were per-kind handlers individually timed (`PARATICK_PROF=1`)?
+    pub wall_timed_kinds: bool,
+    /// Most events ever pending in the queue at once.
+    pub queue_depth_high_water: u64,
+    /// Per-event-kind dispatch counts and (optional) wall time.
+    pub per_kind: Vec<KindProfile>,
+}
+
+impl EngineProfile {
+    /// Total events dispatched, summed over kinds.
+    pub fn events_total(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.count).sum()
+    }
+
+    /// Events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        (self.wall_nanos > 0).then(|| self.events_total() as f64 * 1e9 / self.wall_nanos as f64)
+    }
+}
+
 /// Metrics for one whole simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -96,6 +135,9 @@ pub struct RunMetrics {
     pub system: SystemStats,
     /// Number of DES events processed (engine diagnostics).
     pub events_dispatched: u64,
+    /// Engine self-profiling (absent in pre-profile dumps).
+    #[serde(default)]
+    pub profile: EngineProfile,
 }
 
 impl RunMetrics {
@@ -174,8 +216,33 @@ mod tests {
             per_vm: vec![],
             system: SystemStats::default(),
             events_dispatched: 0,
+            profile: EngineProfile::default(),
         };
         assert_eq!(rm.execution_time(), SimDuration::from_secs(10));
         assert_eq!(rm.total_exits(), 0);
+    }
+
+    #[test]
+    fn engine_profile_rates() {
+        let p = EngineProfile {
+            wall_nanos: 2_000_000_000,
+            wall_timed_kinds: false,
+            queue_depth_high_water: 5,
+            per_kind: vec![
+                KindProfile {
+                    kind: "a".into(),
+                    count: 300,
+                    wall_nanos: 0,
+                },
+                KindProfile {
+                    kind: "b".into(),
+                    count: 700,
+                    wall_nanos: 0,
+                },
+            ],
+        };
+        assert_eq!(p.events_total(), 1_000);
+        assert_eq!(p.events_per_sec(), Some(500.0));
+        assert_eq!(EngineProfile::default().events_per_sec(), None);
     }
 }

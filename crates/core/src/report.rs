@@ -1,6 +1,7 @@
 //! Text-table rendering in the paper's presentation style.
 
 use crate::experiment::Comparison;
+use crate::metrics::EngineProfile;
 
 /// Format a percentage the way the paper prints deltas: signed integer
 /// percent ("-50%", "+7%").
@@ -50,6 +51,41 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
     out.push('\n');
     for r in rows {
         out.push_str(&fmt_row(r, &widths));
+    }
+    out
+}
+
+/// Render engine self-profiling as a text block: events/sec, queue
+/// depth high-water mark, and a per-kind table (with wall time when the
+/// run had `PARATICK_PROF=1`).
+pub fn profile_summary(p: &EngineProfile) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "engine: {} events in {:.1} ms wall",
+        p.events_total(),
+        p.wall_nanos as f64 / 1e6,
+    );
+    if let Some(eps) = p.events_per_sec() {
+        let _ = write!(out, " ({:.0} events/s)", eps);
+    }
+    let _ = writeln!(out, ", queue depth high-water {}", p.queue_depth_high_water);
+    let rows: Vec<Vec<String>> = p
+        .per_kind
+        .iter()
+        .filter(|k| k.count > 0)
+        .map(|k| {
+            let wall = if p.wall_timed_kinds {
+                format!("{:.3}", k.wall_nanos as f64 / 1e6)
+            } else {
+                "-".to_string()
+            };
+            vec![k.kind.clone(), k.count.to_string(), wall]
+        })
+        .collect();
+    if !rows.is_empty() {
+        out.push_str(&table(&["event kind", "count", "wall ms"], &rows));
     }
     out
 }
@@ -120,6 +156,34 @@ mod tests {
     fn empty_table_renders_header_only() {
         let t = table(&["a", "b"], &[]);
         assert_eq!(t.lines().count(), 2, "header + separator");
+    }
+
+    #[test]
+    fn profile_summary_rendering() {
+        use crate::metrics::KindProfile;
+        let p = EngineProfile {
+            wall_nanos: 1_000_000,
+            wall_timed_kinds: true,
+            queue_depth_high_water: 42,
+            per_kind: vec![
+                KindProfile {
+                    kind: "vcpu_stop".into(),
+                    count: 10,
+                    wall_nanos: 500_000,
+                },
+                KindProfile {
+                    kind: "kick".into(),
+                    count: 0,
+                    wall_nanos: 0,
+                },
+            ],
+        };
+        let s = profile_summary(&p);
+        assert!(s.contains("10 events"), "got: {s}");
+        assert!(s.contains("queue depth high-water 42"));
+        assert!(s.contains("vcpu_stop"));
+        assert!(s.contains("0.500"), "wall ms column rendered: {s}");
+        assert!(!s.contains("kick"), "zero-count kinds omitted");
     }
 
     #[test]

@@ -73,6 +73,8 @@ pub struct EventQueue<E> {
     /// Time of the most recently popped event; pops are monotone.
     last_popped: SimTime,
     popped_count: u64,
+    /// Most live events ever queued at once (engine self-profiling).
+    depth_hwm: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -90,6 +92,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             last_popped: SimTime::ZERO,
             popped_count: 0,
+            depth_hwm: 0,
         }
     }
 
@@ -101,6 +104,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             last_popped: SimTime::ZERO,
             popped_count: 0,
+            depth_hwm: 0,
         }
     }
 
@@ -120,6 +124,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.live.insert(seq);
         self.heap.push(Entry { time, seq, event });
+        self.depth_hwm = self.depth_hwm.max(self.live.len());
         EventToken(seq)
     }
 
@@ -180,6 +185,11 @@ impl<E> EventQueue<E> {
     /// Total number of events dispatched so far.
     pub fn dispatched(&self) -> u64 {
         self.popped_count
+    }
+
+    /// Most live (non-cancelled) events ever queued at once.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_hwm
     }
 
     /// Time of the most recently popped event (the current simulation
@@ -292,6 +302,22 @@ mod tests {
         assert!(!q.is_empty());
         q.pop();
         assert!(q.is_empty());
+        assert_eq!(q.depth_high_water(), 2);
+    }
+
+    #[test]
+    fn depth_high_water_ignores_cancelled_backlog() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), ());
+        q.cancel(a);
+        q.push(t(2), ());
+        // The cancelled tombstone never counted toward live depth.
+        assert_eq!(q.depth_high_water(), 1);
+        q.push(t(3), ());
+        q.push(t(4), ());
+        assert_eq!(q.depth_high_water(), 3);
+        while q.pop().is_some() {}
+        assert_eq!(q.depth_high_water(), 3, "draining does not reset the mark");
     }
 
     proptest! {

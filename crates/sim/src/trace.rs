@@ -36,8 +36,11 @@ impl TraceBuffer {
     }
 
     pub fn with_capacity(capacity: usize) -> Self {
+        // The stored capacity must match the preallocation bound, or the
+        // ring would grow past what was reserved.
+        let capacity = capacity.min(1 << 20);
         TraceBuffer {
-            records: VecDeque::with_capacity(capacity.min(1 << 20)),
+            records: VecDeque::with_capacity(capacity),
             capacity,
             dropped: 0,
         }
@@ -91,7 +94,8 @@ impl TraceBuffer {
         use std::fmt::Write;
         let mut out = String::new();
         if self.dropped > 0 {
-            let _ = writeln!(out, "... ({} earlier records dropped)", self.dropped);
+            let s = if self.dropped == 1 { "" } else { "s" };
+            let _ = writeln!(out, "... ({} earlier record{s} dropped)", self.dropped);
         }
         for r in &self.records {
             let _ = writeln!(out, "{r}");
@@ -145,9 +149,18 @@ mod tests {
         tb.record(t(1), "first-record".into());
         tb.record(t(2), "second-record".into());
         let d = tb.dump();
-        assert!(d.contains("1 earlier records dropped"));
+        assert!(d.contains("1 earlier record dropped"));
         assert!(d.contains("second-record"));
         assert!(!d.contains("first-record"));
+
+        tb.record(t(3), "third-record".into());
+        assert!(tb.dump().contains("2 earlier records dropped"));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_reservation_bound() {
+        let tb = TraceBuffer::with_capacity(usize::MAX);
+        assert_eq!(tb.capacity, 1 << 20);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! * [`ple`] — pause-loop-exiting model (likewise disabled/ablatable).
 //! * [`hypercall`] — the guest→host call used by paratick to declare the
 //!   guest tick frequency at boot (paper §4.1).
+//! * [`event`] — the structured [`event::SimEvent`] stream and the
+//!   pluggable [`event::EventSink`] observability interface.
 //! * [`accounting`] — system-wide exit and cycle aggregation.
 //!
 //! Everything here is pure state + decision logic; the event loop that
@@ -29,6 +31,7 @@
 
 pub mod accounting;
 pub mod cost;
+pub mod event;
 pub mod exit;
 pub mod halt_poll;
 pub mod host_sched;
@@ -40,6 +43,7 @@ pub mod vcpu;
 
 pub use accounting::SystemStats;
 pub use cost::CostModel;
+pub use event::{CollectSink, CollectedEvents, EventKind, EventSink, SimEvent};
 pub use exit::{ExitCounts, ExitReason};
 pub use halt_poll::{HaltPoll, PollOutcome};
 pub use host_sched::{HostScheduler, PcpuId, SchedDecision};
