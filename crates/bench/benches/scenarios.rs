@@ -20,7 +20,7 @@ fn bench_sequential(c: &mut Criterion) {
                             parsec::workload(profile, 1, 0.05),
                         )
                         .seed(1),
-                )
+                ).unwrap()
             })
         });
     }
@@ -41,7 +41,7 @@ fn bench_parallel(c: &mut Criterion) {
                             parsec::workload(profile, 16, 0.02),
                         )
                         .seed(2),
-                )
+                ).unwrap()
             })
         });
     }
@@ -59,7 +59,7 @@ fn bench_io(c: &mut Criterion) {
                     Scenario::new(HostConfig::small(1))
                         .vm(VmConfig::with_vcpus(1).mode(mode), fio_workload(&spec))
                         .seed(3),
-                )
+                ).unwrap()
             })
         });
     }
@@ -80,7 +80,7 @@ fn bench_idle_horizon(c: &mut Criterion) {
                         )
                         .until(RunUntil::Time(SimTime::from_secs(1)))
                         .seed(4),
-                )
+                ).unwrap()
             })
         });
     }

@@ -92,7 +92,7 @@ fn compute_vm(mode: TickMode, guest_hz: u64) -> (VmConfig, VmWorkload) {
 }
 
 fn run(host: HostConfig, (cfg, wl): (VmConfig, VmWorkload)) -> RunMetrics {
-    Engine::run(Scenario::new(host).vm(cfg, wl).seed(0xAB1A7E))
+    paratick_bench::run_or_exit(Scenario::new(host).vm(cfg, wl).seed(0xAB1A7E))
 }
 
 fn row(name: &str, m: &RunMetrics) -> Vec<String> {

@@ -87,7 +87,7 @@ fn main() {
         .map(|&t_idle_us| {
             let t_idle = SimDuration::from_micros(t_idle_us);
             let run = |mode: TickMode| {
-                Engine::run(
+                paratick_bench::run_or_exit(
                     Scenario::new(HostConfig::small(2))
                         .vm(
                             VmConfig::with_vcpus(2).mode(mode),

@@ -26,7 +26,7 @@ const MODES: [TickMode; 4] = [
 ];
 
 fn run(mode: TickMode, vcpus: u32, wl: VmWorkload) -> RunMetrics {
-    Engine::run(
+    paratick_bench::run_or_exit(
         Scenario::new(HostConfig::default())
             .vm(VmConfig::with_vcpus(vcpus).mode(mode).spanning(1), wl)
             .seed(0x4B0DE5),

@@ -16,7 +16,7 @@ fn run(mode: TickMode, guest_hz: u64) -> RunMetrics {
     let profile = parsec::profile("streamcluster").unwrap();
     let mut cfg = VmConfig::with_vcpus(8).mode(mode).spanning(1);
     cfg.guest_hz = Freq::hz(guest_hz);
-    Engine::run(
+    paratick_bench::run_or_exit(
         Scenario::new(HostConfig::default())
             .vm(cfg, parsec::workload(profile, 8, 0.1))
             .seed(0x6A52EE9),

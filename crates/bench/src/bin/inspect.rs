@@ -45,6 +45,8 @@ fn dump(label: &str, m: &RunMetrics) {
     println!("busy: {}  overhead fraction: {:.3}%",
         m.system.cycles.busy(), 100.0 * m.overhead_fraction());
     print!("{}", paratick::report::profile_summary(&m.profile));
+    print!("{}", paratick::report::audit_summary(&m.audit));
+    print!("{}", paratick::report::fault_summary(&m.faults));
     println!();
 }
 
@@ -101,9 +103,9 @@ fn main() {
         Scenario::new(host).vm(cfg, workload).seed(1)
     };
 
-    let van = Engine::run(build(TickMode::DynticksIdle));
-    let par = Engine::run(build(TickMode::Paratick));
-    let full = Engine::run(build(TickMode::FullDynticks));
+    let van = paratick_bench::run_or_exit(build(TickMode::DynticksIdle));
+    let par = paratick_bench::run_or_exit(build(TickMode::Paratick));
+    let full = paratick_bench::run_or_exit(build(TickMode::FullDynticks));
     dump("dynticks", &van);
     dump("full-dynticks", &full);
     dump("paratick", &par);

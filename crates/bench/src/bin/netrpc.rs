@@ -22,7 +22,7 @@ fn run(mode: TickMode, device: DeviceKind, workers: usize) -> RunMetrics {
     };
     let mut cfg = VmConfig::with_vcpus(workers as u32).mode(mode).spanning(1);
     cfg.device = device;
-    Engine::run(
+    paratick_bench::run_or_exit(
         Scenario::new(HostConfig::default())
             .vm(cfg, workload(spec, workers))
             .seed(0x0E77),

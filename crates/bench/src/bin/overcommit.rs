@@ -58,7 +58,7 @@ fn main() {
         let mut cells = vec![format!("1 active + {idle_vms} idle VMs")];
         let mut para_busy = 0.0;
         for mode in [TickMode::Paratick, TickMode::DynticksIdle, TickMode::Periodic] {
-            let m = Engine::run(scenario(mode, idle_vms, 0x0C + u64::from(idle_vms)));
+            let m = paratick_bench::run_or_exit(scenario(mode, idle_vms, 0x0C + u64::from(idle_vms)));
             let busy = m.busy_cycles().get() as f64;
             if mode == TickMode::Paratick {
                 para_busy = busy;

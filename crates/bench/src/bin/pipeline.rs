@@ -22,7 +22,7 @@ fn run(mode: TickMode, capacity: usize) -> RunMetrics {
         service: SimDuration::from_micros(50),
         service_cv: 0.9,
     };
-    Engine::run(
+    paratick_bench::run_or_exit(
         Scenario::new(HostConfig::default())
             .vm(
                 VmConfig::with_vcpus(8).mode(mode).spanning(1),

@@ -22,7 +22,7 @@ fn simulate(mode: TickMode, workloads: Vec<VmWorkload>, horizon_s: u64) -> RunMe
     for w in workloads {
         s = s.vm(VmConfig::with_vcpus(16).mode(mode).spanning(1), w);
     }
-    Engine::run(s)
+    paratick_bench::run_or_exit(s)
 }
 
 fn main() {

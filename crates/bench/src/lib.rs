@@ -51,8 +51,27 @@ pub fn iters() -> u32 {
 
 /// Run a set of experiments in parallel (each experiment is internally
 /// sequential and deterministic; the set is embarrassingly parallel).
+/// A simulation error aborts the whole batch with the error's exit
+/// code — a bench binary has nothing sensible to report past one.
 pub fn run_all(experiments: Vec<Experiment>) -> Vec<Comparison> {
-    experiments.par_iter().map(|e| e.run()).collect()
+    let results: Vec<Result<Comparison, SimError>> =
+        experiments.par_iter().map(|e| e.run()).collect();
+    results
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap_or_else(|e| {
+            eprintln!("simulation error: {e}");
+            std::process::exit(e.exit_code());
+        })
+}
+
+/// Run one scenario, mapping a simulation error to the process exit
+/// code the error family defines (config=2, deadlock=3, invariant=4).
+pub fn run_or_exit(s: Scenario) -> RunMetrics {
+    Engine::run(s).unwrap_or_else(|e| {
+        eprintln!("simulation error: {e}");
+        std::process::exit(e.exit_code());
+    })
 }
 
 /// If `PARATICK_JSON=<dir>` is set, persist a comparison batch as

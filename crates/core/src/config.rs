@@ -9,7 +9,7 @@
 use paratick_guest::TickMode;
 use paratick_hw::DeviceKind;
 use paratick_sim::{Freq, SimDuration, SimTime};
-use paratick_vmm::CostModel;
+use paratick_vmm::{CostModel, FaultConfig};
 use paratick_workloads::VmWorkload;
 
 /// Host (hypervisor machine) configuration.
@@ -40,6 +40,10 @@ pub struct HostConfig {
     pub apicv: bool,
     /// The virtualization cost model (includes the pCPU frequency).
     pub cost: CostModel,
+    /// Deterministic fault-injection plan (default: no faults). The
+    /// `PARATICK_FAULTS` environment variable overrides this at
+    /// `Engine::new` time.
+    pub faults: FaultConfig,
 }
 
 impl Default for HostConfig {
@@ -55,6 +59,7 @@ impl Default for HostConfig {
             paratick_rate_adapt: true,
             apicv: false,
             cost: CostModel::default(),
+            faults: FaultConfig::off(),
         }
     }
 }
@@ -190,6 +195,12 @@ impl Scenario {
 
     pub fn until(mut self, until: RunUntil) -> Self {
         self.run_until = until;
+        self
+    }
+
+    /// Attach a fault-injection plan to the host.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.host.faults = faults;
         self
     }
 

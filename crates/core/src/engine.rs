@@ -22,8 +22,17 @@
 //!   into VM exits.
 //!
 //! The engine is deterministic: same scenario + same seed ⇒ identical
-//! metrics, bit for bit.
+//! metrics, bit for bit. That extends to fault injection: the fault
+//! plan draws from its own rng stream (forked from the seed with a
+//! fixed salt), so a fault campaign replays exactly and enabling it
+//! does not perturb the fault-free stream.
+//!
+//! Failures surface as values, not panics: `Engine::run` returns
+//! `Result<RunMetrics, SimError>`, and an always-on [`crate::audit::
+//! InvariantAuditor`] watches the structured event stream for broken
+//! conservation laws, reporting them in the metrics.
 
+use crate::audit::InvariantAuditor;
 use crate::config::{RunUntil, Scenario};
 use crate::metrics::{EngineProfile, KindProfile, RunMetrics, VmMetrics};
 use crate::obs::{self, TraceSink};
@@ -35,9 +44,10 @@ use paratick_hw::{BlockDevice, DeadlineWriteEffect, IoRequest, Vector};
 use paratick_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use paratick_vmm::ple::Ple;
 use paratick_vmm::{
-    hypercall, CostModel, CycleCategory, EventSink, ExitReason, HaltPoll, HostScheduler,
-    Hypercall, InjectDecision, KvmVcpu, PCpu, ParatickHost, PcpuId, PollOutcome, SchedDecision,
-    SimEvent, SystemStats, VcpuId, VcpuRunState,
+    hypercall, CostModel, CycleCategory, EventSink, ExitReason, FaultConfig, FaultKind, FaultPlan,
+    FaultStats, HaltPoll, HostScheduler, Hypercall, InjectDecision, KvmVcpu, PCpu, ParatickHost,
+    PcpuId, PollOutcome, RetryPolicy, SchedDecision, SimError, SimEvent, SystemStats, TimerBackend,
+    VcpuId, VcpuRunState,
 };
 use paratick_workloads::{Action, ThreadModel};
 use std::collections::VecDeque;
@@ -63,11 +73,18 @@ enum Ev {
     /// §5.2.1 boot: high-resolution timers arrived; switch this vCPU
     /// from the boot-time periodic tick to its configured mode.
     BootSwitch { vm: u32, vcpu: u32 },
+    /// Next arrival of the seeded fault campaign for one fault kind.
+    Fault { kind: FaultKind },
+    /// Soft-lockup watchdog deadline after a lost timer expiration: if
+    /// the guest has not recovered by itself, re-deliver the interrupt.
+    WatchdogCheck { vm: u32, vcpu: u32, gen: u64 },
+    /// Backoff expiry for a failed declare-tick-freq hypercall.
+    HypercallRetry { vm: u32, vcpu: u32 },
 }
 
 impl Ev {
     /// Number of `Ev` variants (per-kind self-profiling arrays).
-    const KIND_COUNT: usize = 7;
+    const KIND_COUNT: usize = 10;
 
     const KIND_NAMES: [&'static str; Self::KIND_COUNT] = [
         "vcpu_stop",
@@ -77,6 +94,9 @@ impl Ev {
         "kick",
         "adapt_tick",
         "boot_switch",
+        "fault",
+        "watchdog_check",
+        "hypercall_retry",
     ];
 
     fn kind_index(&self) -> usize {
@@ -88,6 +108,9 @@ impl Ev {
             Ev::Kick { .. } => 4,
             Ev::AdaptTick { .. } => 5,
             Ev::BootSwitch { .. } => 6,
+            Ev::Fault { .. } => 7,
+            Ev::WatchdogCheck { .. } => 8,
+            Ev::HypercallRetry { .. } => 9,
         }
     }
 }
@@ -127,6 +150,17 @@ struct VcpuCtl {
     /// the host tick rate).
     rate_adapt: bool,
     adapt_gen: u64,
+    /// Generation counter cancelling stale soft-lockup watchdog checks
+    /// (the guest re-arming its timer stands the watchdog down).
+    watchdog_gen: u64,
+    /// Expiry of a timer interrupt the fault layer dropped; cleared on
+    /// guest re-arm or watchdog re-delivery.
+    lost_expiry: Option<SimTime>,
+    /// Declare-tick-freq attempts made (1-based; drives retry/backoff).
+    hypercall_attempts: u32,
+    /// A hypercall retry backoff expired while the vCPU was off-CPU;
+    /// retry the declaration at the next dispatch.
+    declare_retry_due: bool,
 }
 
 struct VmState {
@@ -182,8 +216,26 @@ pub struct Engine {
     sched: HostScheduler,
     vms: Vec<VmState>,
     rng: SimRng,
-    /// Attached observability sinks. Emission sites guard on
-    /// `sinks.is_empty()`, so the stream costs one branch when off.
+    /// Deterministic fault schedule (its own rng stream; see module
+    /// docs). All rates zero ⇒ no `Ev::Fault` events are ever queued.
+    fault_plan: FaultPlan,
+    fault_stats: FaultStats,
+    /// Bounded backoff for failed declare-tick-freq hypercalls.
+    retry: RetryPolicy,
+    /// Exit-cost spike fault window: exits before this instant cost
+    /// `spike_mult` times their calibrated price.
+    spike_until: SimTime,
+    spike_mult: f64,
+    /// Always-on invariant auditor fed from the event stream; its
+    /// verdict lands in `RunMetrics::audit`.
+    audit: InvariantAuditor,
+    /// First simulation error; the main loop stops once it is set.
+    error: Option<SimError>,
+    /// Last instant a non-fault event was dispatched — recurring fault
+    /// arrivals alone must not mask a wedged workload.
+    last_progress: SimTime,
+    /// Attached observability sinks; every emitted event also feeds the
+    /// auditor.
     sinks: Vec<Box<dyn EventSink>>,
     /// `PARATICK_PROF=1`: wall-time each event kind individually.
     prof_wall: bool,
@@ -195,7 +247,12 @@ pub struct Engine {
 }
 
 impl Engine {
-    pub fn new(mut scenario: Scenario) -> Self {
+    pub fn new(mut scenario: Scenario) -> Result<Engine, SimError> {
+        // Validate before computing affinities: placement divides by the
+        // pCPU count.
+        if scenario.host.num_pcpus() == 0 {
+            return Err(SimError::Config("host with zero pCPUs".into()));
+        }
         // Affinities need the full scenario; compute them before the
         // workloads are moved out.
         let affinities: Vec<Vec<u32>> = (0..scenario.vms.len())
@@ -208,17 +265,30 @@ impl Engine {
         let vm_descs = std::mem::take(&mut scenario.vms);
         let host = &scenario.host;
         let n_pcpus = host.num_pcpus() as usize;
-        assert!(n_pcpus > 0, "host with zero pCPUs");
         let cost = host.cost.clone();
         let pcpus: Vec<PCpu> = (0..n_pcpus)
             .map(|i| PCpu::new(PcpuId(i as u32), host.socket_of(i as u32), cost.cpu_freq))
             .collect();
         let rng = SimRng::new(scenario.seed);
+        // `PARATICK_FAULTS` overrides the scenario's fault config (the
+        // CI smoke run and ad-hoc campaigns use it).
+        let fault_cfg = match std::env::var("PARATICK_FAULTS") {
+            Ok(spec) => FaultConfig::from_spec(&spec)
+                .map_err(|e| SimError::Config(format!("PARATICK_FAULTS: {e}")))?,
+            Err(_) => host.faults.clone(),
+        };
+        let retry = fault_cfg.retry_policy();
+        // Fork the fault stream from a *fresh* copy of the seed so the
+        // engine's own rng stream is identical with faults on or off.
+        let fault_rng = SimRng::new(scenario.seed).fork(FaultPlan::RNG_SALT);
+        let fault_plan = FaultPlan::new(fault_cfg, fault_rng);
 
         let mut vms = Vec::new();
         for (vm_idx, (cfg, workload)) in vm_descs.into_iter().enumerate() {
             let nv = cfg.vcpus as usize;
-            assert!(nv > 0, "VM with zero vCPUs");
+            if nv == 0 {
+                return Err(SimError::Config(format!("vm{vm_idx} with zero vCPUs")));
+            }
             let vcpus: Vec<KvmVcpu> = (0..cfg.vcpus)
                 .map(|v| {
                     KvmVcpu::new(
@@ -287,7 +357,7 @@ impl Engine {
             });
         }
 
-        Engine {
+        Ok(Engine {
             queue: EventQueue::with_capacity(1024),
             paratick_host: ParatickHost::new(host.paratick_host),
             rate_adapt_enabled: host.paratick_rate_adapt,
@@ -309,6 +379,14 @@ impl Engine {
             pcpus,
             vms,
             rng,
+            fault_plan,
+            fault_stats: FaultStats::default(),
+            retry,
+            spike_until: SimTime::ZERO,
+            spike_mult: 1.0,
+            audit: InvariantAuditor::new(),
+            error: None,
+            last_progress: SimTime::ZERO,
             cost,
             sinks: obs::sinks_from_env(n_pcpus),
             prof_wall: obs::prof_wall_enabled(),
@@ -317,7 +395,7 @@ impl Engine {
             wall: std::time::Duration::ZERO,
             run_until: scenario.run_until,
             now: SimTime::ZERO,
-        }
+        })
     }
 
     /// Attach an observability sink; it receives every structured event
@@ -327,40 +405,63 @@ impl Engine {
     }
 
     /// Run the scenario to completion and produce metrics.
-    pub fn run(scenario: Scenario) -> RunMetrics {
-        Engine::new(scenario).run_to_completion()
+    pub fn run(scenario: Scenario) -> Result<RunMetrics, SimError> {
+        Engine::new(scenario)?.run_to_completion()
     }
 
     /// Drive the assembled engine (with whatever sinks are attached) to
     /// completion.
-    pub fn run_to_completion(mut self) -> RunMetrics {
+    pub fn run_to_completion(mut self) -> Result<RunMetrics, SimError> {
         let t0 = Instant::now();
         self.start();
         self.main_loop();
         self.wall = t0.elapsed();
-        self.finalize()
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        Ok(self.finalize())
     }
 
     /// Run with an event trace of the last `capacity` records; returns
     /// the metrics and the rendered trace (post-mortem debugging).
     ///
     /// Implemented as a [`TraceSink`] over the structured event stream.
-    pub fn run_traced(scenario: Scenario, capacity: usize) -> (RunMetrics, String) {
-        let mut e = Engine::new(scenario);
+    pub fn run_traced(scenario: Scenario, capacity: usize) -> Result<(RunMetrics, String), SimError> {
+        let mut e = Engine::new(scenario)?;
         let (sink, buf) = TraceSink::new(capacity);
         e.attach_sink(Box::new(sink));
-        let metrics = e.run_to_completion();
+        let metrics = e.run_to_completion()?;
         let dump = buf.borrow().dump();
-        (metrics, dump)
+        Ok((metrics, dump))
     }
 
-    /// Fan an event out to the attached sinks. Call sites guard with
-    /// `!self.sinks.is_empty()` so event construction is skipped when
-    /// observability is off.
+    /// Feed an event to the invariant auditor and fan it out to the
+    /// attached sinks. Always called — the auditor is not optional.
     #[inline]
     fn emit(&mut self, t: SimTime, ev: SimEvent) {
+        self.audit.on_event(t, &ev);
         for s in &mut self.sinks {
             s.on_event(t, &ev);
+        }
+    }
+
+    /// Record the first simulation error; the main loop stops at the
+    /// next event boundary (handlers unwind by early return).
+    fn fail(&mut self, e: SimError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Absorb a fallible vCPU state transition: `true` on success,
+    /// `false` (with the error recorded) when it was illegal.
+    fn check(&mut self, r: Result<(), SimError>) -> bool {
+        match r {
+            Ok(()) => true,
+            Err(e) => {
+                self.fail(e);
+                false
+            }
         }
     }
 
@@ -386,6 +487,13 @@ impl Engine {
         for p in 0..self.pcpus.len() {
             self.try_dispatch(PcpuId(p as u32));
         }
+        // Seeded fault campaign: one self-rescheduling arrival per
+        // enabled kind (hypercall failures apply at the call site).
+        for kind in FaultKind::ALL {
+            if let Some(dt) = self.fault_plan.next_arrival(kind) {
+                self.queue.push(SimTime::ZERO + dt, Ev::Fault { kind });
+            }
+        }
     }
 
     fn main_loop(&mut self) {
@@ -394,6 +502,9 @@ impl Engine {
             RunUntil::AllWorkloadsDone => None,
         };
         loop {
+            if self.error.is_some() {
+                return;
+            }
             if let Some(h) = horizon {
                 match self.queue.peek_time() {
                     Some(t) if t < h => {}
@@ -407,14 +518,15 @@ impl Engine {
             }
             let Some((t, ev)) = self.queue.pop() else {
                 if horizon.is_none() && !self.vms.iter().all(|v| v.finished_at.is_some()) {
-                    panic!(
-                        "event queue drained with unfinished workloads (deadlock)\n{}",
-                        self.deadlock_report()
-                    );
+                    let report = self.deadlock_report();
+                    self.fail(SimError::Deadlock { report });
                 }
                 return;
             };
             self.now = t;
+            if !matches!(ev, Ev::Fault { .. }) {
+                self.last_progress = t;
+            }
             let kind = ev.kind_index();
             self.prof_counts[kind] += 1;
             if self.prof_wall {
@@ -453,7 +565,7 @@ impl Engine {
                     vm.kernel.sched.rq(ci).current(),
                     vm.kernel.sched.rq(ci).waiting(),
                     v.lapic.pending_count(),
-                    v.deadline.expiry(),
+                    v.armed_timer_expiry(),
                 );
             }
             for (li, l) in vm.locks.iter().enumerate() {
@@ -493,6 +605,300 @@ impl Engine {
                 self.on_adapt_tick(vm as usize, vcpu as usize, gen, t)
             }
             Ev::BootSwitch { vm, vcpu } => self.on_boot_switch(vm as usize, vcpu as usize, t),
+            Ev::Fault { kind } => self.on_fault(kind, t),
+            Ev::WatchdogCheck { vm, vcpu, gen } => {
+                self.on_watchdog_check(vm as usize, vcpu as usize, gen, t)
+            }
+            Ev::HypercallRetry { vm, vcpu } => {
+                self.on_hypercall_retry(vm as usize, vcpu as usize, t)
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Fault injection (deterministic, seeded campaign)
+    // ----------------------------------------------------------------
+
+    /// One arrival of the fault campaign. Always reschedules the next
+    /// arrival first so the cadence survives skipped injections (no
+    /// eligible target at this instant).
+    fn on_fault(&mut self, kind: FaultKind, t: SimTime) {
+        if let Some(dt) = self.fault_plan.next_arrival(kind) {
+            self.queue.push(t + dt, Ev::Fault { kind });
+        }
+        // Recurring fault arrivals keep the queue non-empty forever, so
+        // they must not mask a wedged workload that the drained-queue
+        // check would have caught: no real progress for 30 simulated
+        // seconds is a deadlock.
+        if matches!(self.run_until, RunUntil::AllWorkloadsDone)
+            && t.saturating_since(self.last_progress) > SimDuration::from_millis(30_000)
+        {
+            let report = self.deadlock_report();
+            self.fail(SimError::Deadlock { report });
+            return;
+        }
+        match kind {
+            FaultKind::TscDrift => self.inject_tsc_drift(t),
+            FaultKind::LostTimerIrq => self.inject_lost_timer(t),
+            FaultKind::CoalescedTimerIrq => self.inject_coalesced_timer(t),
+            FaultKind::ExitCostSpike => self.inject_exit_cost_spike(t),
+            FaultKind::PreemptionStorm => self.inject_preemption_storm(t),
+            FaultKind::HypercallFail => {} // applied at the hypercall site
+        }
+    }
+
+    /// vCPUs whose TSC-deadline timer is armed — the only timers the
+    /// fault layer may drop or delay. Demoted (LAPIC-oneshot) vCPUs are
+    /// immune: that is what makes the fallback a recovery.
+    fn timer_fault_targets(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (vi, vm) in self.vms.iter().enumerate() {
+            for (ci, v) in vm.vcpus.iter().enumerate() {
+                if v.timer_backend == TimerBackend::TscDeadline && v.deadline.is_armed() {
+                    out.push((vi, ci));
+                }
+            }
+        }
+        out
+    }
+
+    /// Silently drop an armed deadline expiration and start the
+    /// soft-lockup watchdog that will re-deliver it if the guest does
+    /// not recover on its own.
+    fn inject_lost_timer(&mut self, t: SimTime) {
+        let targets = self.timer_fault_targets();
+        if targets.is_empty() {
+            return;
+        }
+        let (vm, vcpu) = targets[self.fault_plan.pick_index(targets.len())];
+        let Some(expiry) = self.vms[vm].vcpus[vcpu].deadline.expiry() else {
+            return;
+        };
+        self.vms[vm].vcpus[vcpu].deadline.expire();
+        self.vms[vm].ctl[vcpu].timer_gen += 1; // cancel the queued expiry
+        self.vms[vm].vcpus[vcpu].timer_fault_score += 1;
+        self.fault_stats.record(FaultKind::LostTimerIrq);
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let at = t.max(self.pcpus[p.0 as usize].frontier());
+        let ev = SimEvent::FaultInjected {
+            kind: FaultKind::LostTimerIrq,
+            vcpu: Some(self.vms[vm].vcpus[vcpu].id),
+        };
+        self.emit(at, ev);
+        self.vms[vm].ctl[vcpu].lost_expiry = Some(expiry);
+        self.vms[vm].ctl[vcpu].watchdog_gen += 1;
+        let gen = self.vms[vm].ctl[vcpu].watchdog_gen;
+        let timeout = SimDuration::from_micros(self.fault_plan.config().watchdog_timeout_us.max(1));
+        self.queue.push(
+            (expiry.max(t) + timeout).max(self.now),
+            Ev::WatchdogCheck {
+                vm: vm as u32,
+                vcpu: vcpu as u32,
+                gen,
+            },
+        );
+    }
+
+    /// Deliver an armed deadline late: the host coalesced the backing
+    /// hrtimer. No guest exit — the deadline register still holds the
+    /// guest's value; only the delivery slips.
+    fn inject_coalesced_timer(&mut self, t: SimTime) {
+        let targets = self.timer_fault_targets();
+        if targets.is_empty() {
+            return;
+        }
+        let (vm, vcpu) = targets[self.fault_plan.pick_index(targets.len())];
+        let Some(expiry) = self.vms[vm].vcpus[vcpu].deadline.expiry() else {
+            return;
+        };
+        let delay = self.fault_plan.coalesce_delay();
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let at = t.max(self.pcpus[p.0 as usize].frontier());
+        // Strictly in the future so the re-arm can never immediate-fire.
+        let when = (expiry + delay).max(at + SimDuration::from_nanos(1));
+        let tsc = self.vms[vm].vcpus[vcpu].guest_tsc;
+        self.vms[vm].ctl[vcpu].timer_gen += 1;
+        let gen = self.vms[vm].ctl[vcpu].timer_gen;
+        match self.vms[vm].vcpus[vcpu].deadline.arm_at(&tsc, at, when) {
+            DeadlineWriteEffect::Armed(actual) => {
+                self.queue.push(
+                    actual.max(self.now),
+                    Ev::GuestTimer {
+                        vm: vm as u32,
+                        vcpu: vcpu as u32,
+                        gen,
+                    },
+                );
+            }
+            _ => {
+                // `when` is strictly future, so this cannot happen; if
+                // the model ever disagrees, deliver directly.
+                self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
+            }
+        }
+        self.fault_stats.record(FaultKind::CoalescedTimerIrq);
+        let ev = SimEvent::FaultInjected {
+            kind: FaultKind::CoalescedTimerIrq,
+            vcpu: Some(self.vms[vm].vcpus[vcpu].id),
+        };
+        self.emit(at, ev);
+    }
+
+    /// Drift one vCPU's guest TSC by a bounded random offset.
+    fn inject_tsc_drift(&mut self, t: SimTime) {
+        let n: usize = self.vms.iter().map(|v| v.vcpus.len()).sum();
+        if n == 0 {
+            return;
+        }
+        let mut pick = self.fault_plan.pick_index(n);
+        let mut target = None;
+        'outer: for vi in 0..self.vms.len() {
+            for ci in 0..self.vms[vi].vcpus.len() {
+                if pick == 0 {
+                    target = Some((vi, ci));
+                    break 'outer;
+                }
+                pick -= 1;
+            }
+        }
+        let Some((vm, vcpu)) = target else { return };
+        let drift = self.fault_plan.drift_ns();
+        self.vms[vm].vcpus[vcpu].guest_tsc.apply_drift_ns(drift);
+        self.fault_stats.record(FaultKind::TscDrift);
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let at = t.max(self.pcpus[p.0 as usize].frontier());
+        let ev = SimEvent::FaultInjected {
+            kind: FaultKind::TscDrift,
+            vcpu: Some(self.vms[vm].vcpus[vcpu].id),
+        };
+        self.emit(at, ev);
+    }
+
+    /// Open an exit-cost spike window: every exit taken before it closes
+    /// costs a multiple of its calibrated price.
+    fn inject_exit_cost_spike(&mut self, t: SimTime) {
+        self.spike_mult = self.fault_plan.config().spike_mult.max(1.0);
+        let window = SimDuration::from_micros(self.fault_plan.config().spike_window_us.max(1));
+        self.spike_until = t + window;
+        self.fault_stats.record(FaultKind::ExitCostSpike);
+        let ev = SimEvent::FaultInjected {
+            kind: FaultKind::ExitCostSpike,
+            vcpu: None,
+        };
+        self.emit(t, ev);
+    }
+
+    /// A burst of host activity repeatedly interrupts one busy pCPU,
+    /// stealing guest time (ksoftirqd storm, migration threads).
+    fn inject_preemption_storm(&mut self, t: SimTime) {
+        let busy: Vec<usize> = (0..self.pcpus.len())
+            .filter(|&i| matches!(self.pcpu_mode[i], PcpuMode::Guest { .. }))
+            .collect();
+        if busy.is_empty() {
+            return;
+        }
+        let i = busy[self.fault_plan.pick_index(busy.len())];
+        let p = PcpuId(i as u32);
+        let victim = match self.pcpu_mode[i] {
+            PcpuMode::Guest { vm, vcpu } => self.vms[vm as usize].vcpus[vcpu as usize].id,
+            PcpuMode::Idle => return,
+        };
+        self.fault_stats.record(FaultKind::PreemptionStorm);
+        let at = t.max(self.pcpus[i].frontier());
+        let ev = SimEvent::FaultInjected {
+            kind: FaultKind::PreemptionStorm,
+            vcpu: Some(victim),
+        };
+        self.emit(at, ev);
+        let bursts = self.fault_plan.config().storm_bursts.max(1);
+        for _ in 0..bursts {
+            if self.error.is_some() {
+                return;
+            }
+            let steal = self.fault_plan.storm_steal();
+            let tt = self.pcpus[i].frontier().max(self.now);
+            let resume = self.host_touch_begin(p, tt);
+            self.pcpus[i].account(CycleCategory::HostOs, steal);
+            self.host_touch_end(p, resume);
+        }
+    }
+
+    /// Soft-lockup watchdog deadline: the guest never re-armed after a
+    /// lost expiration. Re-deliver the interrupt and, when this vCPU has
+    /// been burnt `fallback_threshold` times, demote it one rung down
+    /// the timer degradation ladder (TSC-deadline → LAPIC oneshot).
+    fn on_watchdog_check(&mut self, vm: usize, vcpu: usize, gen: u64, t: SimTime) {
+        if self.vms[vm].ctl[vcpu].watchdog_gen != gen {
+            return; // the guest re-armed on its own: stand down
+        }
+        if self.vms[vm].ctl[vcpu].lost_expiry.take().is_none() {
+            return;
+        }
+        self.fault_stats.watchdog_recoveries += 1;
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let at = t.max(self.pcpus[p.0 as usize].frontier());
+        let id = self.vms[vm].vcpus[vcpu].id;
+        let threshold = self.fault_plan.config().fallback_threshold.max(1);
+        if self.vms[vm].vcpus[vcpu].timer_fault_score >= threshold
+            && self.vms[vm].vcpus[vcpu].demote_timer_backend()
+        {
+            self.fault_stats.oneshot_fallbacks += 1;
+            self.emit(at, SimEvent::TimerFallback { vcpu: id });
+        }
+        self.emit(at, SimEvent::WatchdogRecovery { vcpu: id });
+        self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
+        match self.vms[vm].vcpus[vcpu].state() {
+            VcpuRunState::Running => {
+                self.interrupt_running(vm, vcpu, at);
+                self.sync_exit(vm, vcpu, ExitReason::ExternalInterrupt);
+                self.enter_guest(vm, vcpu);
+                if self.vms[vm].vcpus[vcpu].is_running() {
+                    self.resume(vm, vcpu);
+                }
+            }
+            VcpuRunState::Halted | VcpuRunState::Runnable => {
+                let resume = self.host_touch_begin(p, t);
+                self.pcpus[p.0 as usize]
+                    .account(CycleCategory::HostOs, self.cost.host_tick_duration() / 2);
+                if self.vms[vm].vcpus[vcpu].state() == VcpuRunState::Halted {
+                    self.wake_vcpu(vm, vcpu, false);
+                }
+                self.host_touch_end(p, resume);
+            }
+        }
+    }
+
+    /// Backoff expiry for a failed declare-tick-freq hypercall: retry
+    /// the declaration if it is still pending and still wanted.
+    fn on_hypercall_retry(&mut self, vm: usize, vcpu: usize, t: SimTime) {
+        if self.vms[vm].vcpus[vcpu].declared_tick_period.is_some()
+            || !matches!(
+                self.vms[vm].kernel.cpus[vcpu].tick,
+                paratick_guest::TickSched::Paratick(_)
+            )
+        {
+            return; // declared meanwhile, or already degraded away
+        }
+        match self.vms[vm].vcpus[vcpu].state() {
+            VcpuRunState::Running => {
+                let p = self.vms[vm].vcpus[vcpu].affinity;
+                self.interrupt_running(vm, vcpu, t.max(self.pcpus[p.0 as usize].frontier()));
+                self.declare_tick_freq(vm, vcpu);
+                self.enter_guest(vm, vcpu);
+                if self.vms[vm].vcpus[vcpu].is_running() {
+                    self.schedule_adapt_tick(vm, vcpu);
+                    self.resume(vm, vcpu);
+                }
+            }
+            VcpuRunState::Halted => {
+                // Retried from first_activation at the dispatch the wake
+                // triggers.
+                self.vms[vm].ctl[vcpu].declare_retry_due = true;
+                self.wake_vcpu(vm, vcpu, false);
+            }
+            VcpuRunState::Runnable => {
+                self.vms[vm].ctl[vcpu].declare_retry_due = true;
+            }
         }
     }
 
@@ -526,13 +932,11 @@ impl Engine {
         if switch.mode == TickMode::Paratick {
             self.declare_tick_freq(vm, vcpu);
         }
-        if !self.sinks.is_empty() {
-            let at = self.pcpus[p.0 as usize].frontier();
-            let ev = SimEvent::BootSwitch {
-                vcpu: self.vms[vm].vcpus[vcpu].id,
-            };
-            self.emit(at, ev);
-        }
+        let at = self.pcpus[p.0 as usize].frontier();
+        let ev = SimEvent::BootSwitch {
+            vcpu: self.vms[vm].vcpus[vcpu].id,
+        };
+        self.emit(at, ev);
         let now = self.pcpus[p.0 as usize].frontier();
         let act = self.vms[vm].kernel.cpus[vcpu].tick.on_activate(now);
         self.apply_timer_action(vm, vcpu, act);
@@ -541,8 +945,45 @@ impl Engine {
     /// Paratick boot declaration: the guest traps into the host with its
     /// tick frequency (§4.1), which decides whether the host tick can
     /// carry it or §4.1 rate adaptation is needed.
+    ///
+    /// Under a `HypercallFail` fault campaign the first attempts fail
+    /// transiently: the guest retries with bounded exponential backoff
+    /// and, once the budget is exhausted, degrades to dynticks-idle
+    /// instead of hanging boot (the paravirt rung of the ladder).
     fn declare_tick_freq(&mut self, vm: usize, vcpu: usize) {
         self.sync_exit(vm, vcpu, ExitReason::Hypercall);
+        let attempt = {
+            let c = &mut self.vms[vm].ctl[vcpu];
+            c.hypercall_attempts += 1;
+            c.hypercall_attempts
+        };
+        if self.fault_plan.hypercall_should_fail(attempt) {
+            self.fault_stats.record(FaultKind::HypercallFail);
+            let p = self.vms[vm].vcpus[vcpu].affinity;
+            let at = self.pcpus[p.0 as usize].frontier();
+            let id = self.vms[vm].vcpus[vcpu].id;
+            self.emit(at, SimEvent::HypercallFailed { vcpu: id, attempt });
+            match self.retry.backoff_after(attempt) {
+                Some(backoff) => {
+                    self.fault_stats.hypercall_retries += 1;
+                    self.queue.push(
+                        (at + backoff).max(self.now),
+                        Ev::HypercallRetry {
+                            vm: vm as u32,
+                            vcpu: vcpu as u32,
+                        },
+                    );
+                }
+                None => {
+                    // Retry budget exhausted: degrade gracefully.
+                    self.fault_stats.paravirt_fallbacks += 1;
+                    self.emit(at, SimEvent::ParavirtFallback { vcpu: id });
+                    let act = self.vms[vm].kernel.fallback_to_dynticks(vcpu, at);
+                    self.apply_timer_action(vm, vcpu, act);
+                }
+            }
+            return;
+        }
         let hz = self.vms[vm].kernel.hz;
         match hypercall::service(Hypercall::DeclareTickFreq(hz), self.host_tick_freq) {
             hypercall::HypercallResult::TickDeclared { period } => {
@@ -553,16 +994,14 @@ impl Engine {
                 self.vms[vm].ctl[vcpu].rate_adapt = self.rate_adapt_enabled;
             }
         }
-        if !self.sinks.is_empty() {
-            let p = self.vms[vm].vcpus[vcpu].affinity;
-            let at = self.pcpus[p.0 as usize].frontier();
-            let ev = SimEvent::Hypercall {
-                vcpu: self.vms[vm].vcpus[vcpu].id,
-                tick_hz: hz.as_hz(),
-                rate_adapted: self.vms[vm].ctl[vcpu].rate_adapt,
-            };
-            self.emit(at, ev);
-        }
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let at = self.pcpus[p.0 as usize].frontier();
+        let ev = SimEvent::Hypercall {
+            vcpu: self.vms[vm].vcpus[vcpu].id,
+            tick_hz: hz.as_hz(),
+            rate_adapted: self.vms[vm].ctl[vcpu].rate_adapt,
+        };
+        self.emit(at, ev);
     }
 
     /// §4.1: the adaptation cadence fired. If the vCPU is in guest mode,
@@ -588,13 +1027,11 @@ impl Engine {
             v.lapic.request(Vector::PARATICK);
             v.record_injection(true);
         }
-        if !self.sinks.is_empty() {
-            let ev = SimEvent::Inject {
-                vcpu: self.vms[vm].vcpus[vcpu].id,
-                virtual_tick: true,
-            };
-            self.emit(now, ev);
-        }
+        let ev = SimEvent::Inject {
+            vcpu: self.vms[vm].vcpus[vcpu].id,
+            virtual_tick: true,
+        };
+        self.emit(now, ev);
         self.enter_guest(vm, vcpu);
         if self.vms[vm].vcpus[vcpu].is_running() {
             self.schedule_adapt_tick(vm, vcpu); // next beat of the cadence
@@ -672,15 +1109,16 @@ impl Engine {
                 self.slice_start[p.0 as usize] = t;
                 self.enable_host_tick(p);
                 let (vm, vcpu) = (id.vm as usize, id.vcpu as usize);
-                if !self.sinks.is_empty() {
-                    let ev = SimEvent::Dispatch {
-                        vcpu: self.vms[vm].vcpus[vcpu].id,
-                        pcpu: p,
-                        run_queue: self.sched.waiting(p) as u32,
-                    };
-                    self.emit(t, ev);
+                let ev = SimEvent::Dispatch {
+                    vcpu: self.vms[vm].vcpus[vcpu].id,
+                    pcpu: p,
+                    run_queue: self.sched.waiting(p) as u32,
+                };
+                self.emit(t, ev);
+                let r = self.vms[vm].vcpus[vcpu].set_running(t);
+                if !self.check(r) {
+                    return;
                 }
-                self.vms[vm].vcpus[vcpu].set_running(t);
                 self.first_activation(vm, vcpu);
                 self.enter_guest(vm, vcpu);
                 if self.vms[vm].vcpus[vcpu].is_running() {
@@ -726,6 +1164,17 @@ impl Engine {
     /// later dispatch, a pending switch is applied lazily.
     fn first_activation(&mut self, vm: usize, vcpu: usize) {
         if self.vms[vm].ctl[vcpu].activated {
+            // A hypercall-retry backoff that expired while this vCPU
+            // was off-CPU: retry the declaration now that it runs.
+            if std::mem::take(&mut self.vms[vm].ctl[vcpu].declare_retry_due)
+                && self.vms[vm].vcpus[vcpu].declared_tick_period.is_none()
+                && matches!(
+                    self.vms[vm].kernel.cpus[vcpu].tick,
+                    paratick_guest::TickSched::Paratick(_)
+                )
+            {
+                self.declare_tick_freq(vm, vcpu);
+            }
             // A switch that fired while this vCPU was off-CPU applies
             // at dispatch.
             if !self.vms[vm].kernel.cpus[vcpu].boot.is_switched() {
@@ -778,17 +1227,21 @@ impl Engine {
         let p = self.vms[vm].vcpus[vcpu].affinity;
         let at = self.pcpus[p.0 as usize].frontier();
         self.vms[vm].vcpus[vcpu].record_exit(reason);
-        self.pcpus[p.0 as usize]
-            .account(CycleCategory::ExitHandling, self.cost.direct_duration(reason));
-        self.vms[vm].ctl[vcpu].pollution += self.cost.indirect_duration(reason);
-        if !self.sinks.is_empty() {
-            let ev = SimEvent::VmExit {
-                vcpu: self.vms[vm].vcpus[vcpu].id,
-                reason,
-                pollution_ns: self.vms[vm].ctl[vcpu].pollution.as_nanos(),
-            };
-            self.emit(at, ev);
+        let mut direct = self.cost.direct_duration(reason);
+        let mut indirect = self.cost.indirect_duration(reason);
+        if at < self.spike_until {
+            // Inside an exit-cost spike fault window.
+            direct = direct.mul_f64(self.spike_mult);
+            indirect = indirect.mul_f64(self.spike_mult);
         }
+        self.pcpus[p.0 as usize].account(CycleCategory::ExitHandling, direct);
+        self.vms[vm].ctl[vcpu].pollution += indirect;
+        let ev = SimEvent::VmExit {
+            vcpu: self.vms[vm].vcpus[vcpu].id,
+            reason,
+            pollution_ns: self.vms[vm].ctl[vcpu].pollution.as_nanos(),
+        };
+        self.emit(at, ev);
     }
 
     /// The VM-entry sequence: paratick host hook (Figure 2), interrupt
@@ -820,13 +1273,11 @@ impl Engine {
                     v.last_tick = now;
                     v.lapic.request(Vector::PARATICK);
                     v.record_injection(true);
-                    if !self.sinks.is_empty() {
-                        let ev = SimEvent::Inject {
-                            vcpu: self.vms[vm].vcpus[vcpu].id,
-                            virtual_tick: true,
-                        };
-                        self.emit(now, ev);
-                    }
+                    let ev = SimEvent::Inject {
+                        vcpu: self.vms[vm].vcpus[vcpu].id,
+                        virtual_tick: true,
+                    };
+                    self.emit(now, ev);
                 }
                 InjectDecision::Nothing => {}
             }
@@ -838,14 +1289,12 @@ impl Engine {
                 .account(CycleCategory::ExitHandling, self.cost.injection_duration());
             if decision != InjectDecision::InjectVirtualTick {
                 self.vms[vm].vcpus[vcpu].record_injection(false);
-                if !self.sinks.is_empty() {
-                    let now = self.pcpus[p.0 as usize].frontier();
-                    let ev = SimEvent::Inject {
-                        vcpu: self.vms[vm].vcpus[vcpu].id,
-                        virtual_tick: false,
-                    };
-                    self.emit(now, ev);
-                }
+                let now = self.pcpus[p.0 as usize].frontier();
+                let ev = SimEvent::Inject {
+                    vcpu: self.vms[vm].vcpus[vcpu].id,
+                    virtual_tick: false,
+                };
+                self.emit(now, ev);
             }
             self.process_pending_irqs(vm, vcpu);
             // Full dynticks: a contended run queue on a tickless busy
@@ -861,7 +1310,8 @@ impl Engine {
                 return;
             }
         }
-        panic!("enter_guest did not quiesce for {}", self.vms[vm].vcpus[vcpu].id);
+        let id = self.vms[vm].vcpus[vcpu].id;
+        self.fail(SimError::NonQuiescent { vcpu: id });
     }
 
     /// Drain and handle all pending LAPIC vectors in priority order.
@@ -877,7 +1327,10 @@ impl Engine {
                 Vector::PARATICK => self.handle_virtual_tick(vm, vcpu),
                 Vector::BLOCK_IO => self.handle_io_irq(vm, vcpu),
                 Vector::RESCHEDULE => { /* the wake already enqueued the thread */ }
-                other => panic!("unexpected vector {other:?}"),
+                other => {
+                    self.fail(SimError::internal(format!("unexpected vector {other:?}")));
+                    return;
+                }
             }
             // End-of-interrupt: traps unless the hardware virtualizes
             // the APIC (paper-era machines do not).
@@ -942,7 +1395,10 @@ impl Engine {
         // at tick granularity (jiffy RR).
         if !self.vms[vm].kernel.is_idle(vcpu) && self.vms[vm].kernel.sched.is_contended(vcpu) {
             let prev = self.vms[vm].kernel.sched.yield_current(vcpu);
-            let next = self.vms[vm].kernel.sched.pick_next(vcpu).expect("contended rq");
+            let Some(next) = self.vms[vm].kernel.sched.pick_next(vcpu) else {
+                self.fail(SimError::internal("contended run queue had no next thread"));
+                return;
+            };
             self.vms[vm].threads[prev.0 as usize].status = ThreadStatus::Ready;
             self.vms[vm].threads[next.0 as usize].status = ThreadStatus::Running;
             self.pcpus[p.0 as usize]
@@ -961,61 +1417,120 @@ impl Engine {
         }
     }
 
-    /// Apply a tick-strategy timer action. `Program`/`Disable` are
-    /// `TSC_DEADLINE` writes: each is a synchronous VM exit.
+    /// Apply a tick-strategy timer action through whichever backend the
+    /// vCPU currently sits on. On the pristine rung `Program`/`Disable`
+    /// are `TSC_DEADLINE` writes; a demoted vCPU programs the LAPIC
+    /// initial count instead. Each is a synchronous VM exit.
     fn apply_timer_action(&mut self, vm: usize, vcpu: usize, action: TimerAction) {
         match action {
             TimerAction::None => {}
             TimerAction::Program(when) => {
-                self.sync_exit(vm, vcpu, ExitReason::MsrWriteTscDeadline);
-                let p = self.vms[vm].vcpus[vcpu].affinity;
-                let now = self.pcpus[p.0 as usize].frontier();
-                if !self.sinks.is_empty() {
-                    let ev = SimEvent::TimerProgram {
-                        vcpu: self.vms[vm].vcpus[vcpu].id,
-                        deadline: when,
-                    };
-                    self.emit(now, ev);
-                }
-                let tsc = self.vms[vm].vcpus[vcpu].guest_tsc;
-                let effect = self.vms[vm].vcpus[vcpu].deadline.arm_at(&tsc, now, when);
-                self.vms[vm].ctl[vcpu].timer_gen += 1;
-                let gen = self.vms[vm].ctl[vcpu].timer_gen;
-                match effect {
-                    DeadlineWriteEffect::Armed(t) => {
-                        self.queue.push(
-                            t.max(self.now),
-                            Ev::GuestTimer {
-                                vm: vm as u32,
-                                vcpu: vcpu as u32,
-                                gen,
-                            },
-                        );
-                    }
-                    DeadlineWriteEffect::FiresImmediately => {
-                        self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
-                    }
-                    DeadlineWriteEffect::Disarmed => unreachable!("arm_at never disarms"),
+                // The guest re-arming stands down any pending
+                // soft-lockup watchdog: it recovered on its own.
+                self.vms[vm].ctl[vcpu].lost_expiry = None;
+                self.vms[vm].ctl[vcpu].watchdog_gen += 1;
+                match self.vms[vm].vcpus[vcpu].timer_backend {
+                    TimerBackend::TscDeadline => self.program_deadline(vm, vcpu, when),
+                    TimerBackend::LapicOneshot => self.program_oneshot(vm, vcpu, when),
                 }
             }
             TimerAction::Disable => {
-                if !self.vms[vm].vcpus[vcpu].deadline.is_armed() {
+                let backend = self.vms[vm].vcpus[vcpu].timer_backend;
+                let armed = match backend {
+                    TimerBackend::TscDeadline => self.vms[vm].vcpus[vcpu].deadline.is_armed(),
+                    TimerBackend::LapicOneshot => self.vms[vm].vcpus[vcpu].oneshot.is_armed(),
+                };
+                if !armed {
                     return; // nothing armed: the guest skips the write
                 }
-                self.sync_exit(vm, vcpu, ExitReason::MsrWriteTscDeadline);
+                let reason = match backend {
+                    TimerBackend::TscDeadline => ExitReason::MsrWriteTscDeadline,
+                    TimerBackend::LapicOneshot => ExitReason::ApicTimerWrite,
+                };
+                self.sync_exit(vm, vcpu, reason);
                 let p = self.vms[vm].vcpus[vcpu].affinity;
                 let now = self.pcpus[p.0 as usize].frontier();
-                if !self.sinks.is_empty() {
-                    let ev = SimEvent::TimerCancel {
-                        vcpu: self.vms[vm].vcpus[vcpu].id,
-                    };
-                    self.emit(now, ev);
+                let ev = SimEvent::TimerCancel {
+                    vcpu: self.vms[vm].vcpus[vcpu].id,
+                };
+                self.emit(now, ev);
+                match backend {
+                    TimerBackend::TscDeadline => {
+                        let tsc = self.vms[vm].vcpus[vcpu].guest_tsc;
+                        self.vms[vm].vcpus[vcpu].deadline.disarm(&tsc, now);
+                    }
+                    TimerBackend::LapicOneshot => self.vms[vm].vcpus[vcpu].oneshot.disarm(),
                 }
-                let tsc = self.vms[vm].vcpus[vcpu].guest_tsc;
-                self.vms[vm].vcpus[vcpu].deadline.disarm(&tsc, now);
                 self.vms[vm].ctl[vcpu].timer_gen += 1;
             }
         }
+    }
+
+    /// Program the `TSC_DEADLINE` MSR (pristine timer backend).
+    fn program_deadline(&mut self, vm: usize, vcpu: usize, when: SimTime) {
+        self.sync_exit(vm, vcpu, ExitReason::MsrWriteTscDeadline);
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let now = self.pcpus[p.0 as usize].frontier();
+        let ev = SimEvent::TimerProgram {
+            vcpu: self.vms[vm].vcpus[vcpu].id,
+            deadline: when,
+        };
+        self.emit(now, ev);
+        let tsc = self.vms[vm].vcpus[vcpu].guest_tsc;
+        let effect = self.vms[vm].vcpus[vcpu].deadline.arm_at(&tsc, now, when);
+        self.vms[vm].ctl[vcpu].timer_gen += 1;
+        let gen = self.vms[vm].ctl[vcpu].timer_gen;
+        match effect {
+            DeadlineWriteEffect::Armed(t) => {
+                self.queue.push(
+                    t.max(self.now),
+                    Ev::GuestTimer {
+                        vm: vm as u32,
+                        vcpu: vcpu as u32,
+                        gen,
+                    },
+                );
+            }
+            DeadlineWriteEffect::FiresImmediately => {
+                // Already due: the interrupt raises right away (closes
+                // the program/fire lifecycle for the auditor too).
+                self.emit(
+                    now,
+                    SimEvent::TimerFire {
+                        vcpu: self.vms[vm].vcpus[vcpu].id,
+                    },
+                );
+                self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
+            }
+            DeadlineWriteEffect::Disarmed => {
+                self.fail(SimError::internal("deadline arm_at reported Disarmed"));
+            }
+        }
+    }
+
+    /// Program the LAPIC oneshot initial count (demoted backend). The
+    /// divider quantizes the interval — coarser, but immune to the
+    /// deadline faults that forced the demotion.
+    fn program_oneshot(&mut self, vm: usize, vcpu: usize, when: SimTime) {
+        self.sync_exit(vm, vcpu, ExitReason::ApicTimerWrite);
+        let p = self.vms[vm].vcpus[vcpu].affinity;
+        let now = self.pcpus[p.0 as usize].frontier();
+        let ev = SimEvent::TimerProgram {
+            vcpu: self.vms[vm].vcpus[vcpu].id,
+            deadline: when,
+        };
+        self.emit(now, ev);
+        let actual = self.vms[vm].vcpus[vcpu].oneshot.arm_at(now, when);
+        self.vms[vm].ctl[vcpu].timer_gen += 1;
+        let gen = self.vms[vm].ctl[vcpu].timer_gen;
+        self.queue.push(
+            actual.max(self.now),
+            Ev::GuestTimer {
+                vm: vm as u32,
+                vcpu: vcpu as u32,
+                gen,
+            },
+        );
     }
 
     // ----------------------------------------------------------------
@@ -1054,7 +1569,10 @@ impl Engine {
                 }
             }
         }
-        let tid = self.vms[vm].kernel.sched.rq(vcpu).current().unwrap();
+        let Some(tid) = self.vms[vm].kernel.sched.rq(vcpu).current() else {
+            self.fail(SimError::internal("resume without a current thread"));
+            return;
+        };
         if self.vms[vm].threads[tid.0 as usize].seg_remaining.is_zero() {
             self.fetch_actions(vm, vcpu);
         } else {
@@ -1065,12 +1583,10 @@ impl Engine {
     /// Schedule the stop event for the current segment (remaining work
     /// plus outstanding pollution debt).
     fn schedule_stop(&mut self, vm: usize, vcpu: usize) {
-        let tid = self.vms[vm]
-            .kernel
-            .sched
-            .rq(vcpu)
-            .current()
-            .expect("schedule_stop without a current thread");
+        let Some(tid) = self.vms[vm].kernel.sched.rq(vcpu).current() else {
+            self.fail(SimError::internal("schedule_stop without a current thread"));
+            return;
+        };
         let rem = self.vms[vm].threads[tid.0 as usize].seg_remaining;
         let p = self.vms[vm].vcpus[vcpu].affinity;
         let start = self.pcpus[p.0 as usize].frontier();
@@ -1284,9 +1800,7 @@ impl Engine {
                     if self.vms[vm].live_threads == 0 {
                         let now = self.pcpus[p.0 as usize].frontier();
                         self.vms[vm].finished_at = Some(now);
-                        if !self.sinks.is_empty() {
-                            self.emit(now, SimEvent::WorkloadDone { vm: vm as u32 });
-                        }
+                        self.emit(now, SimEvent::WorkloadDone { vm: vm as u32 });
                     }
                     self.block_current(vm, vcpu);
                     return;
@@ -1355,7 +1869,7 @@ impl Engine {
         self.pcpus[p.0 as usize]
             .account(CycleCategory::GuestOs, self.cost.idle_entry_duration());
         let now = self.pcpus[p.0 as usize].frontier();
-        let armed = self.vms[vm].vcpus[vcpu].deadline.expiry();
+        let armed = self.vms[vm].vcpus[vcpu].armed_timer_expiry();
         let ctx = self.vms[vm].kernel.idle_entry_ctx(vcpu, now, armed);
         let act = self.vms[vm].kernel.cpus[vcpu].tick.on_idle_entry(ctx);
         self.vms[vm].kernel.set_idle(vcpu, true);
@@ -1377,14 +1891,15 @@ impl Engine {
         // by guest execution slow the workload down.
         self.vms[vm].ctl[vcpu].pollution = SimDuration::ZERO;
         let now = self.pcpus[p.0 as usize].frontier();
-        self.vms[vm].vcpus[vcpu].set_halted(now);
-        if !self.sinks.is_empty() {
-            let ev = SimEvent::IdleEnter {
-                vcpu: self.vms[vm].vcpus[vcpu].id,
-                pcpu: p,
-            };
-            self.emit(now, ev);
+        let r = self.vms[vm].vcpus[vcpu].set_halted(now);
+        if !self.check(r) {
+            return;
         }
+        let ev = SimEvent::IdleEnter {
+            vcpu: self.vms[vm].vcpus[vcpu].id,
+            pcpu: p,
+        };
+        self.emit(now, ev);
         self.sched.deschedule(p, false);
         self.pcpu_mode[p.0 as usize] = PcpuMode::Idle;
         self.try_dispatch(p);
@@ -1460,15 +1975,16 @@ impl Engine {
         // Halt polling is decided retroactively at wake time: if the
         // wake landed inside the poll window, the vCPU never blocked.
         let polled_hit = if self.halt_poll_enabled {
-            let halted_at = self.vms[vm].vcpus[vcpu]
-                .halted_since()
-                .expect("halted vCPU without halt timestamp");
+            let Some(halted_at) = self.vms[vm].vcpus[vcpu].halted_since() else {
+                self.fail(SimError::internal("halted vCPU without halt timestamp"));
+                return;
+            };
             let hp = &mut self.vms[vm].halt_poll[vcpu];
             matches!(hp.on_halt(halted_at, Some(t)), PollOutcome::Success { .. })
         } else {
             false
         };
-        if self.halt_poll_enabled && !self.sinks.is_empty() {
+        if self.halt_poll_enabled {
             let ev = SimEvent::HaltPoll {
                 vcpu: self.vms[vm].vcpus[vcpu].id,
                 hit: polled_hit,
@@ -1490,23 +2006,24 @@ impl Engine {
             }
         }
         let now = self.pcpus[p.0 as usize].frontier().max(self.now);
-        if !self.sinks.is_empty() {
-            let ev = SimEvent::IdleExit {
-                vcpu: self.vms[vm].vcpus[vcpu].id,
-                pcpu: p,
-                idle_ns: self.vms[vm].vcpus[vcpu]
-                    .halted_since()
-                    .map(|s| now.saturating_since(s).as_nanos())
-                    .unwrap_or(0),
-            };
-            self.emit(now, ev);
-        }
+        let ev = SimEvent::IdleExit {
+            vcpu: self.vms[vm].vcpus[vcpu].id,
+            pcpu: p,
+            idle_ns: self.vms[vm].vcpus[vcpu]
+                .halted_since()
+                .map(|s| now.saturating_since(s).as_nanos())
+                .unwrap_or(0),
+        };
+        self.emit(now, ev);
         if let Some(since) = self.vms[vm].vcpus[vcpu].halted_since() {
             self.vms[vm]
                 .t_idle_hist
                 .record(now.saturating_since(since).as_nanos());
         }
-        self.vms[vm].vcpus[vcpu].wake(now);
+        let r = self.vms[vm].vcpus[vcpu].wake(now);
+        if !self.check(r) {
+            return;
+        }
         self.sched.enqueue(VcpuId::new(vm as u32, vcpu as u32), p);
         self.try_dispatch(p);
     }
@@ -1521,12 +2038,10 @@ impl Engine {
         }
         debug_assert!(self.vms[vm].vcpus[vcpu].is_running());
         self.account_guest_span(vm, vcpu, t);
-        let tid = self.vms[vm]
-            .kernel
-            .sched
-            .rq(vcpu)
-            .current()
-            .expect("stop without a thread");
+        let Some(tid) = self.vms[vm].kernel.sched.rq(vcpu).current() else {
+            self.fail(SimError::internal("stop without a thread"));
+            return;
+        };
         debug_assert!(self.vms[vm].threads[tid.0 as usize].seg_remaining.is_zero());
         self.fetch_actions(vm, vcpu);
     }
@@ -1535,13 +2050,21 @@ impl Engine {
         if self.vms[vm].ctl[vcpu].timer_gen != gen {
             return; // re-armed or disarmed since
         }
-        self.vms[vm].vcpus[vcpu].deadline.expire();
+        match self.vms[vm].vcpus[vcpu].timer_backend {
+            TimerBackend::TscDeadline => self.vms[vm].vcpus[vcpu].deadline.expire(),
+            TimerBackend::LapicOneshot => self.vms[vm].vcpus[vcpu].oneshot.expire(),
+        }
         match self.vms[vm].vcpus[vcpu].state() {
             VcpuRunState::Running => {
                 // Preemption-timer exit on the vCPU itself.
                 let p = self.vms[vm].vcpus[vcpu].affinity;
                 self.interrupt_running(vm, vcpu, t.max(self.pcpus[p.0 as usize].frontier()));
                 self.sync_exit(vm, vcpu, ExitReason::PreemptionTimer);
+                let at = self.pcpus[p.0 as usize].frontier();
+                let ev = SimEvent::TimerFire {
+                    vcpu: self.vms[vm].vcpus[vcpu].id,
+                };
+                self.emit(at, ev);
                 self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
                 self.enter_guest(vm, vcpu);
                 if self.vms[vm].vcpus[vcpu].is_running() {
@@ -1553,8 +2076,13 @@ impl Engine {
                 // interrupting whoever runs there (§3.1: "the running
                 // vCPU is suspended whenever a tick interrupt arrives
                 // for a descheduled vCPU").
-                self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
                 let p = self.vms[vm].vcpus[vcpu].affinity;
+                let at = t.max(self.pcpus[p.0 as usize].frontier());
+                let ev = SimEvent::TimerFire {
+                    vcpu: self.vms[vm].vcpus[vcpu].id,
+                };
+                self.emit(at, ev);
+                self.vms[vm].vcpus[vcpu].lapic.request(Vector::LOCAL_TIMER);
                 let resume = self.host_touch_begin(p, t);
                 self.pcpus[p.0 as usize]
                     .account(CycleCategory::HostOs, self.cost.host_tick_duration() / 2);
@@ -1578,9 +2106,7 @@ impl Engine {
             }
             PcpuMode::Guest { vm, vcpu } => {
                 let (vm, vcpu) = (vm as usize, vcpu as usize);
-                if !self.sinks.is_empty() {
-                    self.emit(t, SimEvent::HostTick { pcpu: p });
-                }
+                self.emit(t, SimEvent::HostTick { pcpu: p });
                 self.interrupt_running(vm, vcpu, t.max(self.pcpus[i].frontier()));
                 self.sync_exit(vm, vcpu, ExitReason::ExternalInterrupt);
                 self.pcpus[i].account(CycleCategory::HostOs, self.cost.host_tick_duration());
@@ -1589,16 +2115,17 @@ impl Engine {
                     && now.since(self.slice_start[i]) >= self.sched.slice()
                 {
                     // Host CFS slice expiry: rotate.
-                    self.vms[vm].vcpus[vcpu].set_preempted(now);
-                    self.sched.deschedule(p, true);
-                    if !self.sinks.is_empty() {
-                        let ev = SimEvent::Preempt {
-                            vcpu: self.vms[vm].vcpus[vcpu].id,
-                            pcpu: p,
-                            run_queue: self.sched.waiting(p) as u32,
-                        };
-                        self.emit(now, ev);
+                    let r = self.vms[vm].vcpus[vcpu].set_preempted(now);
+                    if !self.check(r) {
+                        return;
                     }
+                    self.sched.deschedule(p, true);
+                    let ev = SimEvent::Preempt {
+                        vcpu: self.vms[vm].vcpus[vcpu].id,
+                        pcpu: p,
+                        run_queue: self.sched.waiting(p) as u32,
+                    };
+                    self.emit(now, ev);
                     self.pcpu_mode[i] = PcpuMode::Idle;
                     self.try_dispatch(p);
                 } else {
@@ -1724,6 +2251,7 @@ impl Engine {
         for s in &mut self.sinks {
             s.finish(end);
         }
+        let audit = std::mem::take(&mut self.audit).finalize(&self.pcpus, end);
         let profile = EngineProfile {
             wall_nanos: self.wall.as_nanos() as u64,
             wall_timed_kinds: self.prof_wall,
@@ -1765,6 +2293,8 @@ impl Engine {
             system,
             events_dispatched: self.queue.dispatched(),
             profile,
+            audit,
+            faults: self.fault_stats,
         }
     }
 }

@@ -124,14 +124,15 @@ impl Experiment {
         self
     }
 
-    /// Run the paired experiment.
-    pub fn run(&self) -> Comparison {
+    /// Run the paired experiment. Fails on the first simulation error
+    /// (bad configuration, deadlock, invariant breach).
+    pub fn run(&self) -> Result<Comparison, paratick_vmm::SimError> {
         let mut base = ModeSummary::default();
         let mut treat = ModeSummary::default();
         for i in 0..self.max_iterations {
             let seed = 0xE1E7_0000 + u64::from(i);
-            base.record(&Engine::run((self.builder)(self.baseline, seed)));
-            treat.record(&Engine::run((self.builder)(self.treatment, seed)));
+            base.record(&Engine::run((self.builder)(self.baseline, seed))?);
+            treat.record(&Engine::run((self.builder)(self.treatment, seed))?);
             if i + 1 >= self.min_iterations
                 && base.stable(self.cv_target)
                 && treat.stable(self.cv_target)
@@ -139,7 +140,7 @@ impl Experiment {
                 break;
             }
         }
-        Comparison::from_summaries(&self.name, base, treat)
+        Ok(Comparison::from_summaries(&self.name, base, treat))
     }
 }
 
@@ -204,7 +205,7 @@ mod tests {
                 .seed(seed)
         })
         .iterations(2, 3);
-        let c = exp.run();
+        let c = exp.run().unwrap();
         assert!(c.baseline.iterations >= 2);
         assert!(
             c.exits_pct < 0.0,

@@ -21,7 +21,16 @@
 //!   stream: the legacy string trace, a Perfetto/Chrome-trace timeline
 //!   exporter (`PARATICK_TRACE=<path>`) and a windowed time-series
 //!   sampler (`PARATICK_TIMESERIES=<path>`).
+//! * [`audit`] — the always-on runtime invariant auditor: conservation,
+//!   state-machine and timer-lifecycle checks over the event stream,
+//!   reported in [`RunMetrics::audit`](metrics::RunMetrics::audit).
 //! * [`report`] — text tables matching the paper's presentation.
+//!
+//! Fault injection (`HostConfig::faults` / `PARATICK_FAULTS=<spec>`)
+//! deterministically schedules timer-path faults — lost and coalesced
+//! timer IRQs, TSC drift, exit-cost spikes, preemption storms, failing
+//! hypercalls — and the guest degrades gracefully (TSC-deadline →
+//! LAPIC oneshot, paratick → dynticks-idle). See `docs/ROBUSTNESS.md`.
 //!
 //! ## Quickstart
 //!
@@ -39,12 +48,14 @@
 //!         )
 //!         .seed(7)
 //! };
-//! let vanilla = Engine::run(build(TickMode::DynticksIdle));
-//! let para = Engine::run(build(TickMode::Paratick));
+//! let vanilla = Engine::run(build(TickMode::DynticksIdle)).unwrap();
+//! let para = Engine::run(build(TickMode::Paratick)).unwrap();
 //! assert!(para.total_exits() < vanilla.total_exits());
+//! assert!(vanilla.audit.is_clean() && para.audit.is_clean());
 //! ```
 
 pub mod analytic;
+pub mod audit;
 pub mod config;
 pub mod engine;
 pub mod experiment;
@@ -52,14 +63,17 @@ pub mod metrics;
 pub mod obs;
 pub mod report;
 
+pub use audit::{AuditReport, AuditViolation};
 pub use config::{HostConfig, RunUntil, Scenario, VmConfig};
 pub use engine::Engine;
 pub use experiment::{Comparison, Experiment};
 pub use metrics::{EngineProfile, RunMetrics, VmMetrics};
+pub use paratick_vmm::{FaultConfig, FaultKind, FaultStats, SimError, TimerBackend};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::analytic;
+    pub use crate::audit::{AuditReport, AuditViolation};
     pub use crate::config::{HostConfig, RunUntil, Scenario, VmConfig};
     pub use crate::engine::Engine;
     pub use crate::experiment::{Comparison, Experiment};
@@ -69,6 +83,9 @@ pub mod prelude {
     pub use paratick_guest::TickMode;
     pub use paratick_hw::DeviceKind;
     pub use paratick_sim::{Freq, SimDuration, SimTime};
-    pub use paratick_vmm::{CostModel, EventKind, EventSink, ExitReason, SimEvent};
+    pub use paratick_vmm::{
+        CostModel, EventKind, EventSink, ExitReason, FaultConfig, FaultKind, FaultStats, SimError,
+        SimEvent, TimerBackend,
+    };
     pub use paratick_workloads::VmWorkload;
 }

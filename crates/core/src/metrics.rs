@@ -138,6 +138,13 @@ pub struct RunMetrics {
     /// Engine self-profiling (absent in pre-profile dumps).
     #[serde(default)]
     pub profile: EngineProfile,
+    /// Invariant-audit report (absent in pre-audit dumps).
+    #[serde(default)]
+    pub audit: crate::audit::AuditReport,
+    /// Fault-injection and recovery counters (all zero unless the run
+    /// had a fault plan).
+    #[serde(default)]
+    pub faults: paratick_vmm::FaultStats,
 }
 
 impl RunMetrics {
@@ -189,12 +196,12 @@ mod tests {
         let freq = Freq::ghz(2);
         let mut a = KvmVcpu::new(VcpuId::new(0, 0), PcpuId(0), freq, SimTime::ZERO);
         let mut b = KvmVcpu::new(VcpuId::new(0, 1), PcpuId(1), freq, SimTime::ZERO);
-        a.set_running(SimTime::ZERO);
+        a.set_running(SimTime::ZERO).unwrap();
         a.record_exit(paratick_vmm::ExitReason::Hlt);
         a.record_injection(true);
-        b.set_running(SimTime::ZERO);
-        b.set_halted(SimTime::from_millis(1));
-        b.wake(SimTime::from_millis(5));
+        b.set_running(SimTime::ZERO).unwrap();
+        b.set_halted(SimTime::from_millis(1)).unwrap();
+        b.wake(SimTime::from_millis(5)).unwrap();
         let m = VmMetrics::collect(
             "test",
             TickMode::Paratick,
@@ -217,6 +224,8 @@ mod tests {
             system: SystemStats::default(),
             events_dispatched: 0,
             profile: EngineProfile::default(),
+            audit: Default::default(),
+            faults: Default::default(),
         };
         assert_eq!(rm.execution_time(), SimDuration::from_secs(10));
         assert_eq!(rm.total_exits(), 0);

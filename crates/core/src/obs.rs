@@ -83,6 +83,17 @@ impl TraceSink {
             }
             SimEvent::BootSwitch { vcpu } => format!("{vcpu} boot switch"),
             SimEvent::WorkloadDone { vm } => format!("vm{vm} workload done"),
+            SimEvent::TimerFire { vcpu } => format!("{vcpu} timer fire"),
+            SimEvent::FaultInjected { kind, vcpu } => match vcpu {
+                Some(v) => format!("{v} fault {}", kind.name()),
+                None => format!("fault {}", kind.name()),
+            },
+            SimEvent::WatchdogRecovery { vcpu } => format!("{vcpu} watchdog recovery"),
+            SimEvent::TimerFallback { vcpu } => format!("{vcpu} timer fallback lapic-oneshot"),
+            SimEvent::ParavirtFallback { vcpu } => format!("{vcpu} paravirt fallback dynticks"),
+            SimEvent::HypercallFailed { vcpu, attempt } => {
+                format!("{vcpu} hypercall failed (attempt {attempt})")
+            }
         }
     }
 }
@@ -313,6 +324,39 @@ impl EventSink for PerfettoSink {
             }
             SimEvent::WorkloadDone { vm } => {
                 self.instant(t, 0, "workload_done", &format!("\"vm\":{vm}"));
+            }
+            SimEvent::TimerFire { vcpu } => {
+                let tid = self.tid_of(vcpu).unwrap_or(99);
+                self.instant(t, tid, "timer_fire", &format!("\"vcpu\":\"{vcpu}\""));
+            }
+            SimEvent::FaultInjected { kind, vcpu } => {
+                let tid = vcpu.and_then(|v| self.tid_of(v)).unwrap_or(0);
+                let args = match vcpu {
+                    Some(v) => format!("\"kind\":\"{}\",\"vcpu\":\"{v}\"", kind.name()),
+                    None => format!("\"kind\":\"{}\"", kind.name()),
+                };
+                self.instant(t, tid, "fault", &args);
+            }
+            SimEvent::WatchdogRecovery { vcpu } => {
+                let tid = self.tid_of(vcpu).unwrap_or(99);
+                self.instant(t, tid, "watchdog_recovery", &format!("\"vcpu\":\"{vcpu}\""));
+            }
+            SimEvent::TimerFallback { vcpu } => {
+                let tid = self.tid_of(vcpu).unwrap_or(99);
+                self.instant(t, tid, "timer_fallback", &format!("\"vcpu\":\"{vcpu}\""));
+            }
+            SimEvent::ParavirtFallback { vcpu } => {
+                let tid = self.tid_of(vcpu).unwrap_or(99);
+                self.instant(t, tid, "paravirt_fallback", &format!("\"vcpu\":\"{vcpu}\""));
+            }
+            SimEvent::HypercallFailed { vcpu, attempt } => {
+                let tid = self.tid_of(vcpu).unwrap_or(99);
+                self.instant(
+                    t,
+                    tid,
+                    "hypercall_failed",
+                    &format!("\"vcpu\":\"{vcpu}\",\"attempt\":{attempt}"),
+                );
             }
         }
     }

@@ -1,7 +1,9 @@
 //! Text-table rendering in the paper's presentation style.
 
+use crate::audit::AuditReport;
 use crate::experiment::Comparison;
 use crate::metrics::EngineProfile;
+use paratick_vmm::{FaultKind, FaultStats};
 
 /// Format a percentage the way the paper prints deltas: signed integer
 /// percent ("-50%", "+7%").
@@ -87,6 +89,70 @@ pub fn profile_summary(p: &EngineProfile) -> String {
     if !rows.is_empty() {
         out.push_str(&table(&["event kind", "count", "wall ms"], &rows));
     }
+    out
+}
+
+/// Render the invariant-audit report: one line when clean, otherwise a
+/// violation table (invariant, time, detail), truncated past the
+/// recording cap.
+pub fn audit_summary(a: &AuditReport) -> String {
+    use std::fmt::Write;
+    if a.is_clean() {
+        return format!("audit: clean ({} events checked)\n", a.events_checked);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "audit: {} violation(s) over {} events",
+        a.total_violations, a.events_checked
+    );
+    let rows: Vec<Vec<String>> = a
+        .violations
+        .iter()
+        .map(|v| {
+            vec![
+                v.invariant.clone(),
+                format!("{:.3} ms", v.at_ns as f64 / 1e6),
+                v.detail.clone(),
+            ]
+        })
+        .collect();
+    out.push_str(&table(&["invariant", "at", "detail"], &rows));
+    let recorded = a.violations.len() as u64;
+    if a.total_violations > recorded {
+        let _ = writeln!(out, "... and {} more", a.total_violations - recorded);
+    }
+    out
+}
+
+/// Render fault-injection and recovery counters. Empty string when the
+/// run had no fault plan (nothing injected, nothing recovered).
+pub fn fault_summary(f: &FaultStats) -> String {
+    use std::fmt::Write;
+    if f.total_injected() == 0
+        && f.watchdog_recoveries == 0
+        && f.oneshot_fallbacks == 0
+        && f.hypercall_retries == 0
+        && f.paravirt_fallbacks == 0
+    {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "faults: {} injected", f.total_injected());
+    let rows: Vec<Vec<String>> = FaultKind::ALL
+        .into_iter()
+        .filter(|k| f.injected[k.index()] > 0)
+        .map(|k| vec![k.name().to_string(), f.injected[k.index()].to_string()])
+        .collect();
+    if !rows.is_empty() {
+        out.push_str(&table(&["fault kind", "injected"], &rows));
+    }
+    let _ = writeln!(
+        out,
+        "recovery: {} watchdog re-deliveries, {} lapic-oneshot fallbacks, \
+         {} hypercall retries, {} dynticks fallbacks",
+        f.watchdog_recoveries, f.oneshot_fallbacks, f.hypercall_retries, f.paravirt_fallbacks
+    );
     out
 }
 
@@ -184,6 +250,42 @@ mod tests {
         assert!(s.contains("vcpu_stop"));
         assert!(s.contains("0.500"), "wall ms column rendered: {s}");
         assert!(!s.contains("kick"), "zero-count kinds omitted");
+    }
+
+    #[test]
+    fn audit_summary_clean_and_dirty() {
+        let mut a = AuditReport::default();
+        a.events_checked = 1234;
+        let s = audit_summary(&a);
+        assert!(s.contains("clean"), "got: {s}");
+        assert!(s.contains("1234"));
+
+        a.total_violations = 2;
+        a.violations = vec![crate::audit::AuditViolation {
+            at_ns: 5_000_000,
+            invariant: "timer-lifecycle".into(),
+            detail: "fire without arm".into(),
+        }];
+        let s = audit_summary(&a);
+        assert!(s.contains("2 violation(s)"), "got: {s}");
+        assert!(s.contains("timer-lifecycle"));
+        assert!(s.contains("5.000 ms"));
+        assert!(s.contains("and 1 more"), "truncation noted: {s}");
+    }
+
+    #[test]
+    fn fault_summary_rendering() {
+        let mut f = FaultStats::default();
+        assert_eq!(fault_summary(&f), "", "silent when nothing happened");
+        f.record(FaultKind::LostTimerIrq);
+        f.record(FaultKind::LostTimerIrq);
+        f.watchdog_recoveries = 2;
+        f.oneshot_fallbacks = 1;
+        let s = fault_summary(&f);
+        assert!(s.contains("2 injected"), "got: {s}");
+        assert!(s.contains("lost_timer_irq"), "got: {s}");
+        assert!(s.contains("2 watchdog re-deliveries"), "got: {s}");
+        assert!(s.contains("1 lapic-oneshot fallbacks"), "got: {s}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn run_metrics_serialize_to_json_and_back() {
                 parsec::workload(profile, 2, 0.01),
             )
             .seed(1),
-    );
+    ).unwrap();
     let json = serde_json::to_string_pretty(&m).expect("serialize");
     assert!(json.contains("exits"));
     let back: RunMetrics = serde_json::from_str(&json).expect("deserialize");
@@ -39,7 +39,7 @@ fn experiment_stability_protocol_respects_bounds() {
             .seed(seed)
     })
     .iterations(2, 4);
-    let c = exp.run();
+    let c = exp.run().unwrap();
     assert!(c.baseline.iterations >= 2);
     assert!(c.baseline.iterations <= 4);
     assert_eq!(c.baseline.iterations, c.treatment.iterations);
@@ -60,7 +60,7 @@ fn analytic_and_simulation_agree_on_w1_periodic() {
         VmConfig::with_vcpus(16).mode(TickMode::Periodic).spanning(1),
         VmWorkload::idle("w1"),
     );
-    let m = Engine::run(s);
+    let m = Engine::run(s).unwrap();
     // Published-table accounting: 1 timer exit per vCPU per tick.
     let expected = 16 * 250 * 2;
     assert_eq!(m.timer_exits(), expected);
@@ -78,7 +78,7 @@ fn analytic_and_simulation_agree_on_w1_periodic() {
             .spanning(1),
         VmWorkload::idle("w1"),
     );
-    let m2 = Engine::run(s2);
+    let m2 = Engine::run(s2).unwrap();
     assert!(m2.timer_exits() < 40);
 }
 
@@ -106,7 +106,7 @@ fn report_renders_full_comparison_pipeline() {
             .seed(seed)
     })
     .iterations(2, 2);
-    let c = exp.run();
+    let c = exp.run().unwrap();
     let table = paratick::report::comparison_table(std::slice::from_ref(&c));
     assert!(table.contains("canneal"));
     assert!(table.contains('%'));
@@ -124,7 +124,7 @@ fn t_idle_percentiles_populated() {
                 parsec::workload(profile, 4, 0.02),
             )
             .seed(5),
-    );
+    ).unwrap();
     let vm = &m.per_vm[0];
     let p50 = vm.p50_idle_period().expect("idle periods recorded");
     let p99 = vm.p99_idle_period().unwrap();

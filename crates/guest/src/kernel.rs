@@ -197,6 +197,22 @@ impl GuestKernel {
         cl.tick = TickSched::for_cpu(switch.mode, period, cpu);
         Some(switch)
     }
+
+    /// Degradation ladder, paravirt rung: the declare-tick-freq
+    /// hypercall retry budget is exhausted, so `cpu` abandons paratick
+    /// and falls back to plain dynticks-idle — the mode it would run
+    /// without the paravirt interface. Returns the timer action that
+    /// re-arms the tick under the new strategy, or `TimerAction::None`
+    /// if the CPU was not on paratick (the fallback is idempotent).
+    pub fn fallback_to_dynticks(&mut self, cpu: usize, now: SimTime) -> crate::tick::TimerAction {
+        let period = self.period;
+        let cl = &mut self.cpus[cpu];
+        if !matches!(cl.tick, TickSched::Paratick(_)) {
+            return crate::tick::TimerAction::None;
+        }
+        cl.tick = TickSched::for_cpu(TickMode::DynticksIdle, period, cpu);
+        cl.tick.on_activate(now)
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +315,21 @@ mod tests {
         assert!(k.is_idle(0));
         k.set_idle(0, false);
         assert!(!k.is_idle(0));
+    }
+
+    #[test]
+    fn paravirt_fallback_swaps_to_dynticks() {
+        let mut k = kernel(TickMode::Paratick);
+        let now = SimTime::from_millis(8);
+        assert!(matches!(k.cpus[0].tick, TickSched::Paratick(_)));
+        let action = k.fallback_to_dynticks(0, now);
+        assert!(matches!(k.cpus[0].tick, TickSched::Dynticks(_)));
+        // The new strategy re-arms the tick at the next jiffy boundary.
+        assert_eq!(action, TimerAction::Program(SimTime::from_millis(12)));
+        // Idempotent: a second fallback is a no-op.
+        assert_eq!(k.fallback_to_dynticks(0, now), TimerAction::None);
+        // Other CPUs untouched.
+        assert!(matches!(k.cpus[1].tick, TickSched::Paratick(_)));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   (the central overhead source in the paper, §3).
 //! * [`lapic`] — the local APIC's interrupt request/in-service state:
 //!   pending vector bitmap with fixed-priority delivery.
+//! * [`oneshot`] — the LAPIC initial-count oneshot timer: the coarser
+//!   fallback backend the guest demotes to when fault injection makes
+//!   the TSC-deadline path unreliable.
 //! * [`preemption_timer`] — the VMX preemption timer KVM uses to deliver
 //!   guest timer deadlines without a LAPIC-timer exit (§3, \[1\]).
 //! * [`hrtimer`] — host high-resolution timer slots, the mechanism KVM
@@ -27,6 +30,7 @@ pub mod deadline;
 pub mod hrtimer;
 pub mod iodev;
 pub mod lapic;
+pub mod oneshot;
 pub mod preemption_timer;
 pub mod tsc;
 
@@ -34,5 +38,6 @@ pub use deadline::{DeadlineWriteEffect, TscDeadline};
 pub use hrtimer::{HrTimer, HrTimerState};
 pub use iodev::{BlockDevice, DeviceKind, IoOp, IoRequest};
 pub use lapic::{Lapic, Vector};
+pub use oneshot::LapicOneshot;
 pub use preemption_timer::PreemptionTimer;
 pub use tsc::Tsc;

@@ -1,0 +1,147 @@
+//! LAPIC oneshot (initial-count) timer model.
+//!
+//! The local APIC timer's classic mode: software programs a divided
+//! initial count into `TMICT` and the timer fires once when the count
+//! reaches zero. Compared to TSC-deadline mode it is coarser — the
+//! divider quantizes the programmed interval — and programming it is an
+//! APIC register write, which traps in a VM just like the deadline MSR.
+//!
+//! The simulator uses it as the **fallback rung** of the timer
+//! degradation ladder: when fault injection makes the TSC-deadline path
+//! unreliable (lost expirations), the guest demotes to this backend,
+//! mirroring Linux's clocksource watchdog demoting TSC to a slower but
+//! trustworthy clock. The fault layer never drops oneshot expirations,
+//! so a demoted vCPU demonstrably recovers.
+
+use paratick_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One LAPIC oneshot timer (per vCPU).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LapicOneshot {
+    /// Programming granularity: intervals round **up** to a multiple of
+    /// this (the divided timer clock period).
+    granularity: SimDuration,
+    /// Armed expiry, if any.
+    expiry: Option<SimTime>,
+    /// Initial-count writes observed (each traps when virtualized).
+    pub write_count: u64,
+}
+
+impl Default for LapicOneshot {
+    fn default() -> Self {
+        Self::new(SimDuration::from_micros(1))
+    }
+}
+
+impl LapicOneshot {
+    pub fn new(granularity: SimDuration) -> Self {
+        assert!(!granularity.is_zero(), "zero oneshot granularity");
+        LapicOneshot {
+            granularity,
+            expiry: None,
+            write_count: 0,
+        }
+    }
+
+    pub fn granularity(&self) -> SimDuration {
+        self.granularity
+    }
+
+    /// Program the timer to fire at (or as soon after as the divider
+    /// allows) `when`. Returns the actual expiry: `when` rounded up to
+    /// the granularity grid, never earlier than requested and at least
+    /// one granule in the future. Replaces any armed expiry (one-shot).
+    pub fn arm_at(&mut self, now: SimTime, when: SimTime) -> SimTime {
+        self.write_count += 1;
+        let gran = self.granularity.as_nanos();
+        let want = when.max(now).as_nanos().saturating_sub(now.as_nanos());
+        let granules = want.div_ceil(gran).max(1);
+        let actual = now + SimDuration::from_nanos(granules * gran);
+        self.expiry = Some(actual);
+        actual
+    }
+
+    /// Write an initial count of zero: stop the timer.
+    pub fn disarm(&mut self) {
+        self.write_count += 1;
+        self.expiry = None;
+    }
+
+    pub fn is_armed(&self) -> bool {
+        self.expiry.is_some()
+    }
+
+    pub fn expiry(&self) -> Option<SimTime> {
+        self.expiry
+    }
+
+    /// The count reached zero and the interrupt fired.
+    pub fn expire(&mut self) {
+        debug_assert!(self.expiry.is_some(), "expire() on a disarmed oneshot");
+        self.expiry = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn arms_on_granularity_grid_rounding_up() {
+        let mut os = LapicOneshot::new(SimDuration::from_micros(1));
+        let now = t(100);
+        let actual = os.arm_at(now, now + SimDuration::from_nanos(1_500));
+        assert_eq!(actual, now + SimDuration::from_micros(2), "rounds up");
+        assert_eq!(os.expiry(), Some(actual));
+        assert!(actual >= now + SimDuration::from_nanos(1_500));
+    }
+
+    #[test]
+    fn exact_multiple_not_rounded() {
+        let mut os = LapicOneshot::default();
+        let now = t(100);
+        let actual = os.arm_at(now, now + SimDuration::from_micros(3));
+        assert_eq!(actual, now + SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn past_or_immediate_deadline_fires_one_granule_out() {
+        let mut os = LapicOneshot::default();
+        let now = t(100);
+        // A LAPIC count is always >= 1: no immediate-fire semantics.
+        assert_eq!(os.arm_at(now, now), now + SimDuration::from_micros(1));
+        assert_eq!(os.arm_at(now, t(50)), now + SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn rearm_replaces_and_disarm_stops() {
+        let mut os = LapicOneshot::default();
+        let now = t(10);
+        os.arm_at(now, now + SimDuration::from_micros(100));
+        let second = os.arm_at(now, now + SimDuration::from_micros(5));
+        assert_eq!(os.expiry(), Some(second), "one-shot: last write wins");
+        os.disarm();
+        assert!(!os.is_armed());
+        assert_eq!(os.write_count, 3);
+    }
+
+    #[test]
+    fn expire_clears() {
+        let mut os = LapicOneshot::default();
+        let now = t(10);
+        os.arm_at(now, now + SimDuration::from_micros(2));
+        os.expire();
+        assert!(!os.is_armed());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero oneshot granularity")]
+    fn zero_granularity_rejected() {
+        LapicOneshot::new(SimDuration::ZERO);
+    }
+}

@@ -77,6 +77,20 @@ impl Tsc {
     pub fn deadline_after(&self, now: SimTime, d: SimDuration) -> u64 {
         self.read(now).wrapping_add(self.ticks_in(d))
     }
+
+    /// Shift the counter by a signed nanosecond amount (fault injection:
+    /// calibration drift, unsynchronized sockets). Future reads — and
+    /// therefore future deadline conversions — see the shifted value;
+    /// the underlying rate is unchanged, matching how a real drifting
+    /// TSC stays monotone per CPU but disagrees with wall time.
+    pub fn apply_drift_ns(&mut self, drift_ns: i64) {
+        let ticks = self.ticks_in(SimDuration::from_nanos(drift_ns.unsigned_abs()));
+        self.offset = if drift_ns >= 0 {
+            self.offset.wrapping_add(ticks)
+        } else {
+            self.offset.wrapping_sub(ticks)
+        };
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +142,20 @@ mod tests {
         let when = tsc.time_of(now, ticks).unwrap();
         // Round-trips exactly at a 2.5 GHz clock and ms-aligned spans.
         assert_eq!(when, now + d);
+    }
+
+    #[test]
+    fn drift_shifts_reads_both_ways() {
+        let mut tsc = Tsc::new(Freq::ghz(2)); // 2 ticks per ns
+        let now = SimTime::from_micros(10);
+        let base = tsc.read(now);
+        tsc.apply_drift_ns(500);
+        assert_eq!(tsc.read(now), base + 1_000);
+        tsc.apply_drift_ns(-700);
+        assert_eq!(tsc.read(now), base - 400);
+        // Drift does not change the rate.
+        let later = now + SimDuration::from_nanos(1);
+        assert_eq!(tsc.read(later) - tsc.read(now), 2);
     }
 
     #[test]

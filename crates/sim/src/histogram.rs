@@ -65,12 +65,7 @@ impl Histogram {
 
     #[inline]
     pub fn record(&mut self, value: u64) {
-        let idx = Self::index_of(value);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += value as u128;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
+        self.record_n(value, 1);
     }
 
     pub fn record_n(&mut self, value: u64, n: u64) {
@@ -78,9 +73,9 @@ impl Histogram {
             return;
         }
         let idx = Self::index_of(value);
-        self.buckets[idx] += n;
-        self.count += n;
-        self.sum += value as u128 * n as u128;
+        self.buckets[idx] = self.buckets[idx].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value as u128 * n as u128);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -111,8 +106,11 @@ impl Histogram {
 
     /// Value at quantile `q` in `[0,1]` (bucket lower bound, clamped to the
     /// observed min/max so tiny histograms behave intuitively).
+    ///
+    /// Degenerate input never panics: an empty histogram or a NaN `q`
+    /// returns `None`; out-of-range `q` is clamped into `[0,1]`.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
@@ -137,10 +135,10 @@ impl Histogram {
 
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -175,6 +173,70 @@ mod tests {
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.min(), None);
         assert!(h.mean().is_nan());
+    }
+
+    #[test]
+    fn empty_histogram_all_queries_degenerate() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(h.quantile(-3.0), None);
+    }
+
+    #[test]
+    fn nan_quantile_is_none_even_when_populated() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(h.quantile(0.5), Some(42));
+    }
+
+    #[test]
+    fn out_of_range_quantile_clamps() {
+        let mut h = Histogram::new();
+        h.record(7);
+        h.record(9);
+        assert_eq!(h.quantile(-1.0), Some(7));
+        assert_eq!(h.quantile(2.0), Some(9));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), Some(7));
+        assert_eq!(h.quantile(f64::INFINITY), Some(9));
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn single_value_histogram_quantiles_collapse() {
+        let mut h = Histogram::new();
+        h.record(12345);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(12345));
+        }
+    }
+
+    #[test]
+    fn huge_record_n_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new();
+        h.record_n(1, u64::MAX);
+        h.record_n(1, u64::MAX); // would overflow count without saturation
+        assert_eq!(h.count(), u64::MAX);
+        let mut other = Histogram::new();
+        other.record_n(2, u64::MAX);
+        h.merge(&other); // and again on merge
+        assert_eq!(h.count(), u64::MAX);
+        assert!(h.quantile(0.5).is_some());
     }
 
     #[test]

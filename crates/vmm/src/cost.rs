@@ -86,6 +86,7 @@ impl Default for CostModel {
             (Hypercall, 2_000),
             (PauseLoop, 1_400),
             (EoiWrite, 1_600),
+            (ApicTimerWrite, 5_000), // APIC reg emulation + hrtimer arm
         ] {
             direct[reason.index()] = d;
             indirect[reason.index()] = d * 3;

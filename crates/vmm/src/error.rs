@@ -1,0 +1,138 @@
+//! Typed simulation errors.
+//!
+//! The engine used to `panic!` whenever its state machine was driven
+//! wrong — acceptable for internal invariants during bring-up, but a
+//! production-scale harness needs user-reachable failures (bad configs,
+//! deadlocked scenarios, fault campaigns that wedge a guest) to surface
+//! as values the caller can match on and map to exit codes. `SimError`
+//! is that type; `Engine::run` returns `Result<RunMetrics, SimError>`.
+
+use crate::vcpu::{VcpuId, VcpuRunState};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simulation-level failure.
+///
+/// Every variant carries enough context to diagnose the failure without
+/// a debugger: ids, the offending state, and (for deadlocks) the full
+/// wait-for report the engine used to print before aborting.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimError {
+    /// The scenario is malformed (zero pCPUs, zero vCPUs, bad fault
+    /// spec, ...). Raised before the simulation starts.
+    Config(String),
+    /// A vCPU run-state transition that the state machine forbids.
+    IllegalTransition {
+        vcpu: VcpuId,
+        from: VcpuRunState,
+        to: &'static str,
+    },
+    /// The event queue drained while workloads still had runnable or
+    /// blocked threads: the scenario deadlocked. The report lists every
+    /// unfinished VM with per-vCPU state, mirroring the old panic text.
+    Deadlock { report: String },
+    /// A vCPU failed to quiesce: `enter_guest` looped more than the
+    /// bound allows without the guest reaching a stable state.
+    NonQuiescent { vcpu: VcpuId },
+    /// An engine-internal invariant broke (missing thread, empty run
+    /// queue where one was guaranteed, unexpected vector...). These are
+    /// engine bugs, but they are reported instead of crashing so a long
+    /// campaign can salvage its other runs.
+    Internal { context: String },
+}
+
+impl SimError {
+    /// Shorthand for [`SimError::Internal`].
+    pub fn internal(context: impl Into<String>) -> Self {
+        SimError::Internal {
+            context: context.into(),
+        }
+    }
+
+    /// Process exit code for binaries that surface this error:
+    /// config errors are usage errors (2), deadlocks get their own code
+    /// (3) so harnesses can retry with different parameters, everything
+    /// else is an engine failure (4).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            SimError::Config(_) => 2,
+            SimError::Deadlock { .. } => 3,
+            SimError::IllegalTransition { .. }
+            | SimError::NonQuiescent { .. }
+            | SimError::Internal { .. } => 4,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid scenario: {msg}"),
+            SimError::IllegalTransition { vcpu, from, to } => {
+                write!(f, "{vcpu}: illegal transition {from:?} -> {to}")
+            }
+            SimError::Deadlock { report } => {
+                write!(
+                    f,
+                    "event queue drained with unfinished workloads (deadlock)\n{report}"
+                )
+            }
+            SimError::NonQuiescent { vcpu } => {
+                write!(f, "enter_guest did not quiesce for {vcpu}")
+            }
+            SimError::Internal { context } => write!(f, "engine invariant violated: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SimError::IllegalTransition {
+            vcpu: VcpuId::new(1, 2),
+            from: VcpuRunState::Running,
+            to: "Running",
+        };
+        let s = e.to_string();
+        assert!(s.contains("vm1:vcpu2"), "got: {s}");
+        assert!(s.contains("illegal transition"), "got: {s}");
+    }
+
+    #[test]
+    fn exit_codes_stable() {
+        assert_eq!(SimError::Config("x".into()).exit_code(), 2);
+        assert_eq!(
+            SimError::Deadlock {
+                report: String::new()
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(SimError::internal("x").exit_code(), 4);
+    }
+
+    #[test]
+    fn deadlock_display_carries_report() {
+        let e = SimError::Deadlock {
+            report: "vm0: 1 runnable".into(),
+        };
+        assert!(e.to_string().contains("vm0: 1 runnable"));
+    }
+
+    #[test]
+    fn internal_shorthand() {
+        let e = SimError::internal("rq empty");
+        assert_eq!(
+            e,
+            SimError::Internal {
+                context: "rq empty".into()
+            }
+        );
+        assert!(e.to_string().contains("rq empty"));
+    }
+}

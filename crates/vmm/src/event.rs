@@ -16,6 +16,7 @@
 //! runs produce byte-identical streams (`Debug`/`PartialEq` derived).
 
 use crate::exit::ExitReason;
+use crate::fault::FaultKind;
 use crate::host_sched::PcpuId;
 use crate::vcpu::VcpuId;
 use paratick_sim::SimTime;
@@ -81,6 +82,25 @@ pub enum SimEvent {
     BootSwitch { vcpu: VcpuId },
     /// Every thread of a VM's workload finished.
     WorkloadDone { vm: u32 },
+    /// A programmed oneshot timer expired and its interrupt was raised
+    /// (closes the `TimerProgram` lifecycle for the auditor).
+    TimerFire { vcpu: VcpuId },
+    /// The fault layer injected a disturbance. `vcpu` is set when the
+    /// fault targets exactly one vCPU (lost/coalesced IRQs, drift).
+    FaultInjected {
+        kind: FaultKind,
+        vcpu: Option<VcpuId>,
+    },
+    /// The soft-lockup watchdog re-delivered a lost timer expiration.
+    WatchdogRecovery { vcpu: VcpuId },
+    /// Degradation ladder: the vCPU fell back from TSC-deadline to the
+    /// LAPIC oneshot timer backend.
+    TimerFallback { vcpu: VcpuId },
+    /// Degradation ladder: the vCPU abandoned paratick for dynticks
+    /// after exhausting the declare-hypercall retry budget.
+    ParavirtFallback { vcpu: VcpuId },
+    /// The declare-tick-freq hypercall failed (attempt is 1-based).
+    HypercallFailed { vcpu: VcpuId, attempt: u32 },
 }
 
 /// The kind of a [`SimEvent`], for per-kind counters and filtering.
@@ -100,10 +120,16 @@ pub enum EventKind {
     HaltPoll,
     BootSwitch,
     WorkloadDone,
+    TimerFire,
+    FaultInjected,
+    WatchdogRecovery,
+    TimerFallback,
+    ParavirtFallback,
+    HypercallFailed,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 19;
 
     pub const ALL: [EventKind; Self::COUNT] = [
         EventKind::VmExit,
@@ -119,6 +145,12 @@ impl EventKind {
         EventKind::HaltPoll,
         EventKind::BootSwitch,
         EventKind::WorkloadDone,
+        EventKind::TimerFire,
+        EventKind::FaultInjected,
+        EventKind::WatchdogRecovery,
+        EventKind::TimerFallback,
+        EventKind::ParavirtFallback,
+        EventKind::HypercallFailed,
     ];
 
     #[inline]
@@ -141,6 +173,12 @@ impl EventKind {
             EventKind::HaltPoll => "halt_poll",
             EventKind::BootSwitch => "boot_switch",
             EventKind::WorkloadDone => "workload_done",
+            EventKind::TimerFire => "timer_fire",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::WatchdogRecovery => "watchdog_recovery",
+            EventKind::TimerFallback => "timer_fallback",
+            EventKind::ParavirtFallback => "paravirt_fallback",
+            EventKind::HypercallFailed => "hypercall_failed",
         }
     }
 }
@@ -161,6 +199,12 @@ impl SimEvent {
             SimEvent::HaltPoll { .. } => EventKind::HaltPoll,
             SimEvent::BootSwitch { .. } => EventKind::BootSwitch,
             SimEvent::WorkloadDone { .. } => EventKind::WorkloadDone,
+            SimEvent::TimerFire { .. } => EventKind::TimerFire,
+            SimEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            SimEvent::WatchdogRecovery { .. } => EventKind::WatchdogRecovery,
+            SimEvent::TimerFallback { .. } => EventKind::TimerFallback,
+            SimEvent::ParavirtFallback { .. } => EventKind::ParavirtFallback,
+            SimEvent::HypercallFailed { .. } => EventKind::HypercallFailed,
         }
     }
 
@@ -177,7 +221,13 @@ impl SimEvent {
             | SimEvent::Preempt { vcpu, .. }
             | SimEvent::Hypercall { vcpu, .. }
             | SimEvent::HaltPoll { vcpu, .. }
-            | SimEvent::BootSwitch { vcpu } => Some(vcpu),
+            | SimEvent::BootSwitch { vcpu }
+            | SimEvent::TimerFire { vcpu }
+            | SimEvent::WatchdogRecovery { vcpu }
+            | SimEvent::TimerFallback { vcpu }
+            | SimEvent::ParavirtFallback { vcpu }
+            | SimEvent::HypercallFailed { vcpu, .. } => Some(vcpu),
+            SimEvent::FaultInjected { vcpu, .. } => vcpu,
             SimEvent::HostTick { .. } | SimEvent::WorkloadDone { .. } => None,
         }
     }

@@ -50,10 +50,14 @@ pub enum ExitReason {
     /// Traps on hardware without APICv (the paper's test machine class);
     /// free when APIC virtualization is available.
     EoiWrite,
+    /// Guest programmed the LAPIC initial-count oneshot timer — the
+    /// degraded timer backend used after a TSC-deadline fallback. An
+    /// APIC register write, so it traps like the deadline MSR.
+    ApicTimerWrite,
 }
 
 impl ExitReason {
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     pub const ALL: [ExitReason; Self::COUNT] = [
         ExitReason::MsrWriteTscDeadline,
@@ -65,6 +69,7 @@ impl ExitReason {
         ExitReason::Hypercall,
         ExitReason::PauseLoop,
         ExitReason::EoiWrite,
+        ExitReason::ApicTimerWrite,
     ];
 
     #[inline]
@@ -78,7 +83,9 @@ impl ExitReason {
     pub fn is_timer_related(self) -> bool {
         matches!(
             self,
-            ExitReason::MsrWriteTscDeadline | ExitReason::PreemptionTimer
+            ExitReason::MsrWriteTscDeadline
+                | ExitReason::PreemptionTimer
+                | ExitReason::ApicTimerWrite
         )
     }
 
@@ -93,6 +100,7 @@ impl ExitReason {
             ExitReason::Hypercall => "hypercall",
             ExitReason::PauseLoop => "pause_loop",
             ExitReason::EoiWrite => "eoi_write",
+            ExitReason::ApicTimerWrite => "apic_timer_write",
         }
     }
 }

@@ -1,0 +1,557 @@
+//! Deterministic fault injection.
+//!
+//! Real hosts perturb guests constantly: TSC calibration drifts, timer
+//! interrupts get lost or coalesced under load, exit handling slows
+//! down when the host is cache-cold, co-tenants cause preemption
+//! storms, and paravirt interfaces can be briefly unavailable. The
+//! paper's argument (§3.1–§3.3) is precisely that timer bookkeeping
+//! must survive this weather, so the simulator models it:
+//!
+//! * [`FaultKind`] enumerates the six modelled disturbances.
+//! * [`FaultConfig`] holds per-kind rates and shape parameters, with a
+//!   text spec format for the `PARATICK_FAULTS` env knob.
+//! * [`FaultPlan`] turns a config plus a forked [`SimRng`] into a
+//!   fully deterministic schedule: identical seed + identical config
+//!   produce identical fault arrival times and magnitudes, so faulted
+//!   runs replay byte-for-byte.
+//! * [`FaultStats`] counts injections and recoveries for reports.
+//!
+//! The engine consumes the plan by scheduling `Fault` events in its
+//! queue; recovery follows Linux's clocksource-watchdog degradation
+//! ladder ([`TimerBackend`]): TSC-deadline → LAPIC oneshot, with a
+//! soft-lockup watchdog re-delivering lost expirations, and the
+//! paratick hypercall path retrying with bounded exponential backoff
+//! ([`RetryPolicy`]) before falling back to dynticks.
+
+use paratick_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One kind of injected disturbance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum FaultKind {
+    /// The guest TSC drifts by a bounded random offset (calibration
+    /// error, unsynchronized sockets).
+    TscDrift,
+    /// An armed deadline-timer interrupt is silently dropped.
+    LostTimerIrq,
+    /// An armed timer interrupt is delivered late (host coalescing).
+    CoalescedTimerIrq,
+    /// Exit handling temporarily costs a multiple of its normal price
+    /// (cache-cold host, SMI, contended locks).
+    ExitCostSpike,
+    /// A burst of host activity steals time from every busy pCPU.
+    PreemptionStorm,
+    /// The paratick declare-tick-freq hypercall fails transiently.
+    HypercallFail,
+}
+
+impl FaultKind {
+    pub const COUNT: usize = 6;
+
+    pub const ALL: [FaultKind; Self::COUNT] = [
+        FaultKind::TscDrift,
+        FaultKind::LostTimerIrq,
+        FaultKind::CoalescedTimerIrq,
+        FaultKind::ExitCostSpike,
+        FaultKind::PreemptionStorm,
+        FaultKind::HypercallFail,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TscDrift => "tsc_drift",
+            FaultKind::LostTimerIrq => "lost_timer_irq",
+            FaultKind::CoalescedTimerIrq => "coalesced_timer_irq",
+            FaultKind::ExitCostSpike => "exit_cost_spike",
+            FaultKind::PreemptionStorm => "preemption_storm",
+            FaultKind::HypercallFail => "hypercall_fail",
+        }
+    }
+
+    /// Parse a kind from its canonical name or a short alias.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "tsc_drift" | "drift" => Some(FaultKind::TscDrift),
+            "lost_timer_irq" | "lost" => Some(FaultKind::LostTimerIrq),
+            "coalesced_timer_irq" | "coalesce" => Some(FaultKind::CoalescedTimerIrq),
+            "exit_cost_spike" | "spike" => Some(FaultKind::ExitCostSpike),
+            "preemption_storm" | "storm" => Some(FaultKind::PreemptionStorm),
+            "hypercall_fail" | "hypercall" => Some(FaultKind::HypercallFail),
+            _ => None,
+        }
+    }
+
+    /// Default arrival rate (faults per simulated second) used when a
+    /// spec enables a kind without giving an explicit rate.
+    fn default_rate(self) -> f64 {
+        match self {
+            FaultKind::TscDrift => 50.0,
+            FaultKind::LostTimerIrq => 200.0,
+            FaultKind::CoalescedTimerIrq => 200.0,
+            FaultKind::ExitCostSpike => 20.0,
+            FaultKind::PreemptionStorm => 10.0,
+            // Count-based, not rate-based: any nonzero value enables it.
+            FaultKind::HypercallFail => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which hardware backend currently drives a vCPU's oneshot timer —
+/// the degradation ladder's rungs (Linux's clocksource watchdog demotes
+/// TSC-deadline to the LAPIC oneshot timer the same way).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimerBackend {
+    /// `TSC_DEADLINE` MSR (precise, but trusts the deadline path).
+    #[default]
+    TscDeadline,
+    /// LAPIC initial-count oneshot (coarser, survives deadline faults).
+    LapicOneshot,
+}
+
+impl TimerBackend {
+    pub fn name(self) -> &'static str {
+        match self {
+            TimerBackend::TscDeadline => "tsc-deadline",
+            TimerBackend::LapicOneshot => "lapic-oneshot",
+        }
+    }
+}
+
+/// Bounded exponential backoff for the paravirt retry path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (first try + retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Delay before the next attempt after `failed_attempts` failures
+    /// (1-based count), or `None` when the budget is exhausted and the
+    /// caller must degrade instead of retrying.
+    pub fn backoff_after(&self, failed_attempts: u32) -> Option<SimDuration> {
+        if failed_attempts >= self.max_attempts {
+            return None;
+        }
+        let shift = (failed_attempts.saturating_sub(1)).min(16);
+        Some(SimDuration::from_nanos(
+            self.base_backoff.as_nanos() << shift,
+        ))
+    }
+}
+
+/// Fault campaign configuration. All-zero rates (the default) disable
+/// injection entirely; [`FaultConfig::campaign`] is the standard
+/// all-kinds stress mix used by tests and the `PARATICK_FAULTS=1` knob.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Arrival rate per kind, in faults per simulated second. 0 = off.
+    /// (`HypercallFail` is count-based; nonzero merely enables it.)
+    pub rate_hz: [f64; FaultKind::COUNT],
+    /// Maximum |TSC drift| per event, in guest nanoseconds.
+    pub drift_max_ns: u64,
+    /// Mean extra delivery delay for a coalesced timer IRQ, in µs.
+    pub coalesce_delay_us: u64,
+    /// Exit-cost multiplier while a spike window is open.
+    pub spike_mult: f64,
+    /// Spike window length, in µs.
+    pub spike_window_us: u64,
+    /// Host steal per busy pCPU per storm tick, in µs.
+    pub storm_steal_us: u64,
+    /// Storm ticks per storm event.
+    pub storm_bursts: u32,
+    /// Gap between storm ticks, in µs.
+    pub storm_gap_us: u64,
+    /// Soft-lockup watchdog delay after a lost deadline, in µs.
+    pub watchdog_timeout_us: u64,
+    /// Lost deadlines a vCPU tolerates before falling back from
+    /// TSC-deadline to the LAPIC oneshot backend.
+    pub fallback_threshold: u32,
+    /// With `HypercallFail` enabled, the first N declare attempts per
+    /// vCPU fail (then the interface recovers).
+    pub hypercall_fail_first: u32,
+    /// Retry budget for the declare hypercall (total attempts).
+    pub hypercall_max_attempts: u32,
+    /// Base retry backoff, in µs (doubles per retry).
+    pub hypercall_backoff_us: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            rate_hz: [0.0; FaultKind::COUNT],
+            drift_max_ns: 2_000,
+            coalesce_delay_us: 200,
+            spike_mult: 4.0,
+            spike_window_us: 500,
+            storm_steal_us: 150,
+            storm_bursts: 4,
+            storm_gap_us: 250,
+            watchdog_timeout_us: 10_000,
+            fallback_threshold: 3,
+            hypercall_fail_first: 2,
+            hypercall_max_attempts: 4,
+            hypercall_backoff_us: 100,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// No faults (the default).
+    pub fn off() -> Self {
+        FaultConfig::default()
+    }
+
+    /// The standard stress campaign: every kind enabled at its default
+    /// rate.
+    pub fn campaign() -> Self {
+        let mut c = FaultConfig::default();
+        for k in FaultKind::ALL {
+            c.rate_hz[k.index()] = k.default_rate();
+        }
+        c
+    }
+
+    /// Enable one kind at a given rate (builder-style).
+    pub fn with(mut self, kind: FaultKind, rate_hz: f64) -> Self {
+        self.rate_hz[kind.index()] = rate_hz;
+        self
+    }
+
+    pub fn is_enabled(&self, kind: FaultKind) -> bool {
+        self.rate_hz[kind.index()] > 0.0
+    }
+
+    /// Whether any kind is enabled.
+    pub fn any_enabled(&self) -> bool {
+        FaultKind::ALL.iter().any(|&k| self.is_enabled(k))
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.hypercall_max_attempts.max(1),
+            base_backoff: SimDuration::from_micros(self.hypercall_backoff_us.max(1)),
+        }
+    }
+
+    /// Parse a `PARATICK_FAULTS` spec.
+    ///
+    /// * `""`, `"0"`, `"off"` — no faults
+    /// * `"1"`, `"all"`, `"campaign"` — [`FaultConfig::campaign`]
+    /// * comma list of `kind` or `kind=rate_hz` entries, e.g.
+    ///   `"lost=300,storm=20"` (aliases per [`FaultKind::parse`])
+    pub fn from_spec(spec: &str) -> Result<FaultConfig, String> {
+        let spec = spec.trim();
+        match spec {
+            "" | "0" | "off" => return Ok(FaultConfig::off()),
+            "1" | "all" | "campaign" => return Ok(FaultConfig::campaign()),
+            _ => {}
+        }
+        let mut cfg = FaultConfig::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, rate) = match entry.split_once('=') {
+                Some((n, r)) => {
+                    let rate: f64 = r
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault rate in `{entry}`"))?;
+                    if !rate.is_finite() || rate < 0.0 {
+                        return Err(format!("fault rate must be finite and >= 0 in `{entry}`"));
+                    }
+                    (n.trim(), Some(rate))
+                }
+                None => (entry, None),
+            };
+            let kind = FaultKind::parse(name)
+                .ok_or_else(|| format!("unknown fault kind `{name}` in `{entry}`"))?;
+            cfg.rate_hz[kind.index()] = rate.unwrap_or_else(|| kind.default_rate());
+        }
+        Ok(cfg)
+    }
+}
+
+/// A deterministic, seeded fault schedule.
+///
+/// The plan owns a [`SimRng`] forked from the engine's root rng with a
+/// fixed salt, so enabling faults perturbs nothing else and two runs
+/// with the same seed draw identical arrival times and magnitudes.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: SimRng,
+}
+
+impl FaultPlan {
+    /// Salt used to fork the plan's rng from the engine's root rng.
+    pub const RNG_SALT: u64 = 0x00fa_170f_fa17_0f00;
+
+    pub fn new(cfg: FaultConfig, rng: SimRng) -> Self {
+        FaultPlan { cfg, rng }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Delay until the next arrival of `kind` (exponential inter-arrival
+    /// times — a Poisson process per kind). `None` when the kind is
+    /// disabled or not event-scheduled (`HypercallFail`).
+    pub fn next_arrival(&mut self, kind: FaultKind) -> Option<SimDuration> {
+        if kind == FaultKind::HypercallFail || !self.cfg.is_enabled(kind) {
+            return None;
+        }
+        let mean_ns = 1e9 / self.cfg.rate_hz[kind.index()];
+        let dt = self.rng.exponential(mean_ns);
+        // Floor at 1 µs so a huge rate cannot wedge the event loop at
+        // one sim instant.
+        Some(SimDuration::from_nanos((dt as u64).max(1_000)))
+    }
+
+    /// Signed TSC drift for one `TscDrift` event, in guest nanoseconds.
+    pub fn drift_ns(&mut self) -> i64 {
+        let max = self.cfg.drift_max_ns.max(1);
+        let mag = self.rng.gen_range(1, max + 1) as i64;
+        if self.rng.gen_bool(0.5) {
+            mag
+        } else {
+            -mag
+        }
+    }
+
+    /// Extra delivery delay for one coalesced timer IRQ.
+    pub fn coalesce_delay(&mut self) -> SimDuration {
+        let mean = (self.cfg.coalesce_delay_us.max(1) * 1_000) as f64;
+        SimDuration::from_nanos((self.rng.exponential(mean) as u64).max(1_000))
+    }
+
+    /// Host steal charged to one busy pCPU during one storm tick.
+    pub fn storm_steal(&mut self) -> SimDuration {
+        let us = self.cfg.storm_steal_us.max(1);
+        SimDuration::from_micros(self.rng.gen_range(us / 2 + 1, us * 2))
+    }
+
+    /// Uniform pick among `n` candidates.
+    pub fn pick_index(&mut self, n: usize) -> usize {
+        self.rng.gen_below(n as u64) as usize
+    }
+
+    /// Whether a declare-tick-freq attempt (1-based) should fail.
+    pub fn hypercall_should_fail(&mut self, attempt: u32) -> bool {
+        self.cfg.is_enabled(FaultKind::HypercallFail) && attempt <= self.cfg.hypercall_fail_first
+    }
+}
+
+/// Injection and recovery counters for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faults actually injected, per kind.
+    pub injected: [u64; FaultKind::COUNT],
+    /// Lost deadlines re-delivered by the soft-lockup watchdog.
+    pub watchdog_recoveries: u64,
+    /// vCPUs demoted from TSC-deadline to the LAPIC oneshot backend.
+    pub oneshot_fallbacks: u64,
+    /// vCPUs that abandoned paratick for dynticks after exhausting the
+    /// hypercall retry budget.
+    pub paravirt_fallbacks: u64,
+    /// Declare-hypercall retries performed (successful or not).
+    pub hypercall_retries: u64,
+}
+
+impl FaultStats {
+    pub fn record(&mut self, kind: FaultKind) {
+        self.injected[kind.index()] += 1;
+    }
+
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// (kind, count) pairs with nonzero counts, in `ALL` order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (FaultKind, u64)> + '_ {
+        FaultKind::ALL
+            .into_iter()
+            .map(|k| (k, self.injected[k.index()]))
+            .filter(|&(_, n)| n > 0)
+    }
+
+    pub fn merge(&mut self, other: &FaultStats) {
+        for i in 0..FaultKind::COUNT {
+            self.injected[i] += other.injected[i];
+        }
+        self.watchdog_recoveries += other.watchdog_recoveries;
+        self.oneshot_fallbacks += other.oneshot_fallbacks;
+        self.paravirt_fallbacks += other.paravirt_fallbacks;
+        self.hypercall_retries += other.hypercall_retries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paratick_sim::SimRng;
+
+    #[test]
+    fn kind_roundtrip_and_uniqueness() {
+        let mut names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultKind::COUNT);
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.name()), Some(k));
+            assert_eq!(k.index(), FaultKind::ALL[k.index()].index());
+        }
+        assert_eq!(FaultKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn spec_off_and_campaign() {
+        assert!(!FaultConfig::from_spec("").unwrap().any_enabled());
+        assert!(!FaultConfig::from_spec("off").unwrap().any_enabled());
+        assert!(!FaultConfig::from_spec("0").unwrap().any_enabled());
+        for s in ["1", "all", "campaign"] {
+            let c = FaultConfig::from_spec(s).unwrap();
+            assert_eq!(c, FaultConfig::campaign());
+            assert!(c.any_enabled());
+        }
+    }
+
+    #[test]
+    fn spec_list_with_rates_and_aliases() {
+        let c = FaultConfig::from_spec("lost=300, storm").unwrap();
+        assert_eq!(c.rate_hz[FaultKind::LostTimerIrq.index()], 300.0);
+        assert_eq!(
+            c.rate_hz[FaultKind::PreemptionStorm.index()],
+            FaultKind::PreemptionStorm.default_rate()
+        );
+        assert!(!c.is_enabled(FaultKind::TscDrift));
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(FaultConfig::from_spec("wat=3").is_err());
+        assert!(FaultConfig::from_spec("lost=abc").is_err());
+        assert!(FaultConfig::from_spec("lost=-1").is_err());
+        assert!(FaultConfig::from_spec("lost=inf").is_err());
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let cfg = FaultConfig::campaign();
+        let mut a = FaultPlan::new(cfg.clone(), SimRng::new(7).fork(FaultPlan::RNG_SALT));
+        let mut b = FaultPlan::new(cfg, SimRng::new(7).fork(FaultPlan::RNG_SALT));
+        for _ in 0..64 {
+            for k in FaultKind::ALL {
+                assert_eq!(a.next_arrival(k), b.next_arrival(k));
+            }
+            assert_eq!(a.drift_ns(), b.drift_ns());
+            assert_eq!(a.coalesce_delay(), b.coalesce_delay());
+            assert_eq!(a.storm_steal(), b.storm_steal());
+        }
+    }
+
+    #[test]
+    fn disabled_kind_never_arrives() {
+        let mut p = FaultPlan::new(FaultConfig::off(), SimRng::new(1));
+        for k in FaultKind::ALL {
+            assert_eq!(p.next_arrival(k), None);
+        }
+        // HypercallFail is count-based: enabled config still schedules
+        // no events for it.
+        let mut p = FaultPlan::new(FaultConfig::campaign(), SimRng::new(1));
+        assert_eq!(p.next_arrival(FaultKind::HypercallFail), None);
+        assert!(p.next_arrival(FaultKind::LostTimerIrq).is_some());
+    }
+
+    #[test]
+    fn arrival_floor_prevents_zero_dt() {
+        let cfg = FaultConfig::default().with(FaultKind::LostTimerIrq, 1e12);
+        let mut p = FaultPlan::new(cfg, SimRng::new(3));
+        for _ in 0..100 {
+            let dt = p.next_arrival(FaultKind::LostTimerIrq).unwrap();
+            assert!(dt >= SimDuration::from_micros(1));
+        }
+    }
+
+    #[test]
+    fn hypercall_failure_window() {
+        let cfg = FaultConfig::campaign();
+        let mut p = FaultPlan::new(cfg, SimRng::new(5));
+        assert!(p.hypercall_should_fail(1));
+        assert!(p.hypercall_should_fail(2));
+        assert!(!p.hypercall_should_fail(3));
+        let mut off = FaultPlan::new(FaultConfig::off(), SimRng::new(5));
+        assert!(!off.hypercall_should_fail(1));
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_then_exhausts() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_micros(100),
+        };
+        assert_eq!(p.backoff_after(1), Some(SimDuration::from_micros(100)));
+        assert_eq!(p.backoff_after(2), Some(SimDuration::from_micros(200)));
+        assert_eq!(p.backoff_after(3), Some(SimDuration::from_micros(400)));
+        assert_eq!(p.backoff_after(4), None);
+        assert_eq!(p.backoff_after(40), None);
+    }
+
+    #[test]
+    fn stats_record_and_merge() {
+        let mut a = FaultStats::default();
+        a.record(FaultKind::TscDrift);
+        a.record(FaultKind::TscDrift);
+        a.record(FaultKind::PreemptionStorm);
+        let mut b = FaultStats::default();
+        b.record(FaultKind::TscDrift);
+        b.watchdog_recoveries = 3;
+        a.merge(&b);
+        assert_eq!(a.total_injected(), 4);
+        assert_eq!(a.watchdog_recoveries, 3);
+        let nz: Vec<_> = a.nonzero().collect();
+        assert_eq!(
+            nz,
+            vec![(FaultKind::TscDrift, 3), (FaultKind::PreemptionStorm, 1)]
+        );
+    }
+
+    #[test]
+    fn drift_is_bounded_and_two_sided() {
+        let mut p = FaultPlan::new(FaultConfig::campaign(), SimRng::new(11));
+        let (mut pos, mut neg) = (false, false);
+        for _ in 0..256 {
+            let d = p.drift_ns();
+            assert!(d != 0 && d.unsigned_abs() <= p.config().drift_max_ns);
+            pos |= d > 0;
+            neg |= d < 0;
+        }
+        assert!(pos && neg, "drift should go both ways");
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(TimerBackend::default(), TimerBackend::TscDeadline);
+        assert_ne!(
+            TimerBackend::TscDeadline.name(),
+            TimerBackend::LapicOneshot.name()
+        );
+    }
+}

@@ -25,14 +25,21 @@
 //! * [`event`] — the structured [`event::SimEvent`] stream and the
 //!   pluggable [`event::EventSink`] observability interface.
 //! * [`accounting`] — system-wide exit and cycle aggregation.
+//! * [`error`] — the typed [`error::SimError`] returned by fallible
+//!   engine entry points instead of panicking.
+//! * [`fault`] — deterministic fault injection: seeded [`fault::FaultPlan`]
+//!   schedules, the `PARATICK_FAULTS` spec, retry/backoff policy and the
+//!   TSC-deadline → LAPIC-oneshot degradation ladder.
 //!
 //! Everything here is pure state + decision logic; the event loop that
 //! drives it lives in the `paratick` core crate's engine.
 
 pub mod accounting;
 pub mod cost;
+pub mod error;
 pub mod event;
 pub mod exit;
+pub mod fault;
 pub mod halt_poll;
 pub mod host_sched;
 pub mod hypercall;
@@ -43,8 +50,10 @@ pub mod vcpu;
 
 pub use accounting::SystemStats;
 pub use cost::CostModel;
+pub use error::SimError;
 pub use event::{CollectSink, CollectedEvents, EventKind, EventSink, SimEvent};
 pub use exit::{ExitCounts, ExitReason};
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultStats, RetryPolicy, TimerBackend};
 pub use halt_poll::{HaltPoll, PollOutcome};
 pub use host_sched::{HostScheduler, PcpuId, SchedDecision};
 pub use hypercall::{Hypercall, HypercallResult};

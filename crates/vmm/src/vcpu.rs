@@ -16,12 +16,15 @@
 //!                     wake (irq / timer)
 //! ```
 //!
-//! Illegal transitions panic: a simulation that mis-drives the state
-//! machine must fail loudly, not skew the statistics.
+//! Illegal transitions return a typed [`SimError`]: a simulation that
+//! mis-drives the state machine must fail loudly — but as a value the
+//! caller can surface, not a panic that aborts a whole campaign.
 
+use crate::error::SimError;
 use crate::exit::{ExitCounts, ExitReason};
+use crate::fault::TimerBackend;
 use crate::host_sched::PcpuId;
-use paratick_hw::{HrTimer, Lapic, PreemptionTimer, Tsc, TscDeadline};
+use paratick_hw::{HrTimer, Lapic, LapicOneshot, PreemptionTimer, Tsc, TscDeadline};
 use paratick_sim::{Freq, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -104,6 +107,14 @@ pub struct KvmVcpu {
     pub lapic: Lapic,
     /// The trapped guest `TSC_DEADLINE` register.
     pub deadline: TscDeadline,
+    /// LAPIC initial-count oneshot timer — the fallback backend when
+    /// the deadline path proves unreliable under fault injection.
+    pub oneshot: LapicOneshot,
+    /// Which rung of the timer degradation ladder this vCPU is on.
+    pub timer_backend: TimerBackend,
+    /// Deadline-timer faults observed (lost expirations); drives the
+    /// TSC-deadline → LAPIC-oneshot demotion decision.
+    pub timer_fault_score: u32,
     /// VMX preemption timer mirroring the armed deadline in guest mode.
     pub preemption_timer: PreemptionTimer,
     /// Host hrtimer carrying the deadline while not in guest mode.
@@ -127,6 +138,9 @@ impl KvmVcpu {
             guest_tsc: Tsc::for_guest(tsc_freq, guest_boot),
             lapic: Lapic::new(),
             deadline: TscDeadline::new(),
+            oneshot: LapicOneshot::default(),
+            timer_backend: TimerBackend::TscDeadline,
+            timer_fault_score: 0,
             preemption_timer: PreemptionTimer::new(tsc_freq, 5),
             hrtimer: HrTimer::new(),
             last_tick: guest_boot,
@@ -148,45 +162,56 @@ impl KvmVcpu {
         self.state == VcpuRunState::Halted
     }
 
+    fn illegal(&self, to: &'static str) -> SimError {
+        SimError::IllegalTransition {
+            vcpu: self.id,
+            from: self.state,
+            to,
+        }
+    }
+
     /// Host scheduler dispatched this vCPU onto a pCPU.
-    pub fn set_running(&mut self, now: SimTime) {
+    pub fn set_running(&mut self, now: SimTime) -> Result<(), SimError> {
         match self.state {
             VcpuRunState::Runnable => {
                 self.state = VcpuRunState::Running;
                 self.stats.entries += 1;
                 self.preemption_timer.resume_on_entry(now);
+                Ok(())
             }
-            other => panic!("{}: illegal transition {other:?} -> Running", self.id),
+            _ => Err(self.illegal("Running")),
         }
     }
 
     /// The vCPU was descheduled (slice end / preemption) but remains
     /// runnable.
-    pub fn set_preempted(&mut self, now: SimTime) {
+    pub fn set_preempted(&mut self, now: SimTime) -> Result<(), SimError> {
         match self.state {
             VcpuRunState::Running => {
                 self.state = VcpuRunState::Runnable;
                 self.preemption_timer.save_on_exit(now);
+                Ok(())
             }
-            other => panic!("{}: illegal transition {other:?} -> Runnable", self.id),
+            _ => Err(self.illegal("Runnable")),
         }
     }
 
     /// The guest executed HLT.
-    pub fn set_halted(&mut self, now: SimTime) {
+    pub fn set_halted(&mut self, now: SimTime) -> Result<(), SimError> {
         match self.state {
             VcpuRunState::Running => {
                 self.state = VcpuRunState::Halted;
                 self.halted_since = Some(now);
                 self.stats.idle_periods += 1;
                 self.preemption_timer.save_on_exit(now);
+                Ok(())
             }
-            other => panic!("{}: illegal transition {other:?} -> Halted", self.id),
+            _ => Err(self.illegal("Halted")),
         }
     }
 
     /// An interrupt (or timer) woke the halted vCPU.
-    pub fn wake(&mut self, now: SimTime) {
+    pub fn wake(&mut self, now: SimTime) -> Result<(), SimError> {
         match self.state {
             VcpuRunState::Halted => {
                 self.state = VcpuRunState::Runnable;
@@ -194,8 +219,29 @@ impl KvmVcpu {
                 if let Some(since) = self.halted_since.take() {
                     self.stats.halted_time += now.since(since);
                 }
+                Ok(())
             }
-            other => panic!("{}: illegal transition {other:?} -> wake", self.id),
+            _ => Err(self.illegal("wake")),
+        }
+    }
+
+    /// Expiry of whichever timer backend is currently armed, if any.
+    pub fn armed_timer_expiry(&self) -> Option<SimTime> {
+        match self.timer_backend {
+            TimerBackend::TscDeadline => self.deadline.expiry(),
+            TimerBackend::LapicOneshot => self.oneshot.expiry(),
+        }
+    }
+
+    /// Demote this vCPU one rung down the timer degradation ladder
+    /// (TSC-deadline → LAPIC oneshot). Returns `true` if a demotion
+    /// actually happened.
+    pub fn demote_timer_backend(&mut self) -> bool {
+        if self.timer_backend == TimerBackend::TscDeadline {
+            self.timer_backend = TimerBackend::LapicOneshot;
+            true
+        } else {
+            false
         }
     }
 
@@ -251,11 +297,11 @@ mod tests {
     fn lifecycle_runnable_running_halted_wake() {
         let mut v = vcpu();
         assert_eq!(v.state(), VcpuRunState::Runnable);
-        v.set_running(t(2));
+        v.set_running(t(2)).unwrap();
         assert!(v.is_running());
-        v.set_halted(t(5));
+        v.set_halted(t(5)).unwrap();
         assert!(v.is_halted());
-        v.wake(t(9));
+        v.wake(t(9)).unwrap();
         assert_eq!(v.state(), VcpuRunState::Runnable);
         assert_eq!(v.stats.wakeups, 1);
         assert_eq!(v.stats.halted_time, SimDuration::from_millis(4));
@@ -265,47 +311,81 @@ mod tests {
     #[test]
     fn preemption_keeps_runnable() {
         let mut v = vcpu();
-        v.set_running(t(2));
-        v.set_preempted(t(3));
+        v.set_running(t(2)).unwrap();
+        v.set_preempted(t(3)).unwrap();
         assert_eq!(v.state(), VcpuRunState::Runnable);
-        v.set_running(t(4));
+        v.set_running(t(4)).unwrap();
         assert!(v.is_running());
         assert_eq!(v.stats.entries, 2);
     }
 
     #[test]
-    #[should_panic(expected = "illegal transition")]
-    fn double_running_panics() {
+    fn double_running_is_error() {
         let mut v = vcpu();
-        v.set_running(t(2));
-        v.set_running(t(3));
+        v.set_running(t(2)).unwrap();
+        let err = v.set_running(t(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::IllegalTransition {
+                from: VcpuRunState::Running,
+                to: "Running",
+                ..
+            }
+        ));
+        // The failed transition left the state untouched.
+        assert!(v.is_running());
+        assert_eq!(v.stats.entries, 1);
     }
 
     #[test]
-    #[should_panic(expected = "illegal transition")]
-    fn wake_when_running_panics() {
+    fn wake_when_running_is_error() {
         let mut v = vcpu();
-        v.set_running(t(2));
-        v.wake(t(3));
+        v.set_running(t(2)).unwrap();
+        let err = v.wake(t(3)).unwrap_err();
+        assert!(err.to_string().contains("illegal transition"));
+        assert_eq!(v.stats.wakeups, 0);
     }
 
     #[test]
-    #[should_panic(expected = "illegal transition")]
-    fn halt_when_runnable_panics() {
+    fn halt_when_runnable_is_error() {
         let mut v = vcpu();
-        v.set_halted(t(2));
+        assert!(v.set_halted(t(2)).is_err());
+        assert_eq!(v.state(), VcpuRunState::Runnable);
+        assert_eq!(v.stats.idle_periods, 0);
+    }
+
+    #[test]
+    fn timer_backend_demotion_ladder() {
+        let mut v = vcpu();
+        assert_eq!(v.timer_backend, crate::fault::TimerBackend::TscDeadline);
+        assert!(v.demote_timer_backend());
+        assert_eq!(v.timer_backend, crate::fault::TimerBackend::LapicOneshot);
+        assert!(!v.demote_timer_backend(), "already at the bottom rung");
+    }
+
+    #[test]
+    fn armed_timer_expiry_follows_backend() {
+        let mut v = vcpu();
+        assert_eq!(v.armed_timer_expiry(), None);
+        let when = t(5);
+        v.deadline.arm_at(&v.guest_tsc.clone(), t(2), when);
+        assert_eq!(v.armed_timer_expiry(), Some(when));
+        v.demote_timer_backend();
+        assert_eq!(v.armed_timer_expiry(), None, "oneshot not armed yet");
+        let actual = v.oneshot.arm_at(t(2), when);
+        assert_eq!(v.armed_timer_expiry(), Some(actual));
     }
 
     #[test]
     fn mean_idle_period() {
         let mut v = vcpu();
         assert_eq!(v.stats.mean_idle_period(), None);
-        v.set_running(t(2));
-        v.set_halted(t(3));
-        v.wake(t(5)); // 2 ms idle
-        v.set_running(t(5));
-        v.set_halted(t(6));
-        v.wake(t(12)); // 6 ms idle
+        v.set_running(t(2)).unwrap();
+        v.set_halted(t(3)).unwrap();
+        v.wake(t(5)).unwrap(); // 2 ms idle
+        v.set_running(t(5)).unwrap();
+        v.set_halted(t(6)).unwrap();
+        v.wake(t(12)).unwrap(); // 6 ms idle
         assert_eq!(
             v.stats.mean_idle_period(),
             Some(SimDuration::from_millis(4))
@@ -315,7 +395,7 @@ mod tests {
     #[test]
     fn exit_recording() {
         let mut v = vcpu();
-        v.set_running(t(2));
+        v.set_running(t(2)).unwrap();
         v.record_exit(ExitReason::Hlt);
         v.record_exit(ExitReason::MsrWriteTscDeadline);
         assert_eq!(v.stats.exits.total(), 2);
@@ -348,12 +428,12 @@ mod tests {
     #[test]
     fn preemption_timer_pauses_across_halt() {
         let mut v = vcpu();
-        v.set_running(t(2));
+        v.set_running(t(2)).unwrap();
         v.preemption_timer
             .arm_on_entry(t(2), SimDuration::from_millis(10));
-        v.set_halted(t(4)); // 8 ms remain, frozen
-        v.wake(t(50));
-        v.set_running(t(50));
+        v.set_halted(t(4)).unwrap(); // 8 ms remain, frozen
+        v.wake(t(50)).unwrap();
+        v.set_running(t(50)).unwrap();
         let e = v.preemption_timer.expiry().unwrap();
         assert!(e >= t(58));
         assert!(e <= t(58) + SimDuration::from_micros(1));

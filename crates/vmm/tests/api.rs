@@ -148,15 +148,20 @@ fn delta_helpers_symmetry() {
 
 #[test]
 fn timer_related_classification_is_stable() {
-    // The paper's metric: deadline writes + preemption-timer exits, and
-    // nothing else. A change here silently redefines every reproduced
-    // number, so pin it.
+    // The paper's metric: deadline writes + preemption-timer exits,
+    // plus the LAPIC-oneshot programming exits of the degraded timer
+    // backend (zero in every fault-free reproduction run). A change
+    // here silently redefines every reproduced number, so pin it.
     let timer: Vec<ExitReason> = ExitReason::ALL
         .into_iter()
         .filter(|r| r.is_timer_related())
         .collect();
     assert_eq!(
         timer,
-        vec![ExitReason::MsrWriteTscDeadline, ExitReason::PreemptionTimer]
+        vec![
+            ExitReason::MsrWriteTscDeadline,
+            ExitReason::PreemptionTimer,
+            ExitReason::ApicTimerWrite
+        ]
     );
 }

@@ -31,7 +31,7 @@ fn main() {
                 Scenario::new(HostConfig::default())
                     .vm(cfg, workload(&spec))
                     .seed(99),
-            )
+            ).unwrap()
         };
         let vanilla = run(TickMode::DynticksIdle);
         let para = run(TickMode::Paratick);

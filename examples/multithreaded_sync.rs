@@ -29,7 +29,7 @@ fn main() {
                 Scenario::new(HostConfig::default())
                     .vm(cfg.clone().mode(mode), parsec::workload(profile, threads, 0.1))
                     .seed(7),
-            );
+            ).unwrap();
             println!(
                 "{:<22} {:>10} {:>12} {:>12} {:>10}",
                 format!("{label} {mode}"),

@@ -29,7 +29,7 @@ fn main() {
                 VmWorkload::idle(format!("idle-vm{i}")),
             );
         }
-        let m = Engine::run(s);
+        let m = Engine::run(s).unwrap();
         println!(
             "{:<10} {:>12} {:>12} {:>14} {:>12}",
             mode.to_string(),

@@ -37,7 +37,7 @@ fn main() {
                     workload(spec),
                 )
                 .seed(1234),
-        );
+        ).unwrap();
         let vm = &m.per_vm[0];
         println!(
             "{:<14} {:>9} {:>12} {:>10} {:>11} {:>11} {:>11.0}",

@@ -22,9 +22,9 @@ fn main() {
     };
 
     println!("running dedup (sequential) under dynticks ...");
-    let vanilla = Engine::run(build(TickMode::DynticksIdle));
+    let vanilla = Engine::run(build(TickMode::DynticksIdle)).unwrap();
     println!("running dedup (sequential) under paratick ...");
-    let para = Engine::run(build(TickMode::Paratick));
+    let para = Engine::run(build(TickMode::Paratick)).unwrap();
 
     for (name, m) in [("dynticks", &vanilla), ("paratick", &para)] {
         println!();

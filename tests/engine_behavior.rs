@@ -22,7 +22,7 @@ fn halt_polling_burns_cycles() {
                     paratick_workloads::fio::workload(&spec),
                 )
                 .seed(5),
-        )
+        ).unwrap()
     };
     let off = run(false);
     let on = run(true);
@@ -40,7 +40,7 @@ fn apicv_removes_eoi_exits() {
     let run = |apicv: bool| {
         let mut s = tiny_fio(TickMode::DynticksIdle, 6);
         s.host.apicv = apicv;
-        Engine::run(s)
+        Engine::run(s).unwrap()
     };
     let legacy = run(false);
     let virt = run(true);
@@ -70,8 +70,8 @@ fn ple_exit_generation() {
         s.host.ple = ple;
         s
     };
-    let off = Engine::run(build(false));
-    let on = Engine::run(build(true));
+    let off = Engine::run(build(false)).unwrap();
+    let on = Engine::run(build(true)).unwrap();
     assert_eq!(off.system.exits.get(ExitReason::PauseLoop), 0);
     assert!(
         on.system.exits.get(ExitReason::PauseLoop) > 0,
@@ -82,9 +82,9 @@ fn ple_exit_generation() {
 /// Paratick costs a single boot hypercall per vCPU.
 #[test]
 fn paratick_boot_hypercalls() {
-    let m = Engine::run(tiny_parsec("swaptions", 4, TickMode::Paratick, 8));
+    let m = Engine::run(tiny_parsec("swaptions", 4, TickMode::Paratick, 8)).unwrap();
     assert_eq!(m.system.exits.get(ExitReason::Hypercall), 4);
-    let v = Engine::run(tiny_parsec("swaptions", 4, TickMode::DynticksIdle, 8));
+    let v = Engine::run(tiny_parsec("swaptions", 4, TickMode::DynticksIdle, 8)).unwrap();
     assert_eq!(v.system.exits.get(ExitReason::Hypercall), 0);
 }
 
@@ -106,8 +106,8 @@ fn overcommit_time_sharing() {
         }
         s
     };
-    let van = Engine::run(build(TickMode::DynticksIdle));
-    let par = Engine::run(build(TickMode::Paratick));
+    let van = Engine::run(build(TickMode::DynticksIdle)).unwrap();
+    let par = Engine::run(build(TickMode::Paratick)).unwrap();
     assert!(van.per_vm.iter().all(|v| v.finished_at.is_some()));
     assert!(par.timer_exits() < van.timer_exits());
     // Time-sharing means external-interrupt (host tick) exits exist.
@@ -127,7 +127,7 @@ fn device_classes_order_execution_time() {
             Scenario::new(HostConfig::small(1))
                 .vm(cfg, paratick_workloads::fio::workload(&spec))
                 .seed(10),
-        );
+        ).unwrap();
         times.push(m.execution_time());
     }
     assert!(times[0] > times[1], "HDD {} !> SATA {}", times[0], times[1]);
@@ -154,7 +154,7 @@ fn sleepers_complete_in_all_modes() {
                 0.2,
             )),
         ];
-        let m = Engine::run(custom_vm(threads, 2, mode, 12));
+        let m = Engine::run(custom_vm(threads, 2, mode, 12)).unwrap();
         assert!(
             m.per_vm[0].finished_at.is_some(),
             "{mode}: sleeper workload deadlocked"
@@ -168,7 +168,7 @@ fn sleepers_complete_in_all_modes() {
 /// takes (almost) none.
 #[test]
 fn host_tick_paused_on_idle_pcpus() {
-    let m = Engine::run(idle_vms(1, 4, TickMode::DynticksIdle, 5));
+    let m = Engine::run(idle_vms(1, 4, TickMode::DynticksIdle, 5)).unwrap();
     assert!(
         m.system.exits.get(ExitReason::ExternalInterrupt) < 10,
         "idle pCPUs must not take host-tick exits: {}",
@@ -192,7 +192,7 @@ fn mixed_mode_vms_coexist() {
                 paratick_workloads::parsec::workload(profile, 2, 0.02),
             )
             .seed(13),
-    );
+    ).unwrap();
     let para_vm = &m.per_vm[0];
     let dyn_vm = &m.per_vm[1];
     assert!(para_vm.virtual_ticks > 0, "paratick VM got no virtual ticks");
@@ -222,7 +222,7 @@ fn io_completion_follows_thread() {
             0.5,
         )),
     ];
-    let m = Engine::run(custom_vm(threads, 2, TickMode::Paratick, 14));
+    let m = Engine::run(custom_vm(threads, 2, TickMode::Paratick, 14)).unwrap();
     assert!(m.per_vm[0].finished_at.is_some());
     assert_eq!(m.system.exits.get(ExitReason::IoKick), 200);
 }
@@ -231,14 +231,14 @@ fn io_completion_follows_thread() {
 /// order (post-mortem debugging surface).
 #[test]
 fn trace_captures_event_stream() {
-    let (m, dump) = Engine::run_traced(tiny_fio(TickMode::Paratick, 15), 4096);
+    let (m, dump) = Engine::run_traced(tiny_fio(TickMode::Paratick, 15), 4096).unwrap();
     assert!(m.per_vm[0].finished_at.is_some());
     assert!(dump.contains("exit io_kick"), "kick exits traced");
     assert!(dump.contains("exit hlt"), "hlt exits traced");
     assert!(dump.contains("wake"), "wakes traced");
     assert!(dump.contains("dispatch on pcpu0"), "dispatches traced");
     // Untraced runs are unaffected and produce identical metrics.
-    let plain = Engine::run(tiny_fio(TickMode::Paratick, 15));
+    let plain = Engine::run(tiny_fio(TickMode::Paratick, 15)).unwrap();
     assert_eq!(plain.total_exits(), m.total_exits());
     assert_eq!(plain.execution_time(), m.execution_time());
 }
@@ -256,7 +256,7 @@ fn overcommitted_vms_progress_fairly() {
             paratick_workloads::parsec::workload(profile, 2, 0.02),
         );
     }
-    let m = Engine::run(s);
+    let m = Engine::run(s).unwrap();
     let t0 = m.per_vm[0].execution_time().unwrap().as_secs_f64();
     let t1 = m.per_vm[1].execution_time().unwrap().as_secs_f64();
     let ratio = t0.max(t1) / t0.min(t1);
@@ -267,7 +267,7 @@ fn overcommitted_vms_progress_fairly() {
             VmConfig::with_vcpus(2).mode(TickMode::DynticksIdle).spanning(1),
             paratick_workloads::parsec::workload(profile, 2, 0.02),
         ),
-    );
+    ).unwrap();
     let solo_t = solo.execution_time().as_secs_f64();
     assert!(
         t0 / solo_t > 1.5 && t0 / solo_t < 3.0,
@@ -312,7 +312,7 @@ fn soak_sixty_seconds_mixed_system() {
         VmConfig::with_vcpus(8).mode(TickMode::Periodic).spanning(1),
         VmWorkload::idle("bg"),
     );
-    let m = Engine::run(s);
+    let m = Engine::run(s).unwrap();
     assert_eq!(m.duration, SimTime::from_secs(60));
     // The periodic idle VM alone contributes 8 x 250 x 60 timer exits.
     assert!(m.timer_exits() > 100_000, "{}", m.timer_exits());
@@ -345,7 +345,7 @@ fn fast_host_tick_carries_slow_guest() {
                 },
             )
             .seed(23),
-    );
+    ).unwrap();
     // ~100 virtual ticks over 400 ms at the guest's 250 Hz — not 400.
     assert!(
         (80..=130).contains(&m.system.virtual_ticks),
@@ -374,7 +374,7 @@ fn horizon_truncates_unfinished_workload() {
             )
             .until(RunUntil::Time(SimTime::from_millis(50)))
             .seed(29),
-    );
+    ).unwrap();
     assert_eq!(m.duration, SimTime::from_millis(50));
     assert!(m.per_vm[0].finished_at.is_none(), "cannot have finished");
     assert_eq!(m.execution_time(), SimDuration::from_millis(50));

@@ -31,7 +31,7 @@ fn full_dynticks_solo_compute_ordering() {
             4,
             mode,
             3,
-        ))
+        )).unwrap()
     };
     let dynticks = run(TickMode::DynticksIdle);
     let full = run(TickMode::FullDynticks);
@@ -61,7 +61,7 @@ fn full_dynticks_no_starvation_under_oversubscription() {
         2,
         TickMode::FullDynticks,
         4,
-    ));
+    )).unwrap();
     assert!(m.per_vm[0].finished_at.is_some(), "starved");
     // Time-slicing happened: the run is roughly 2x the per-thread work.
     assert!(m.execution_time() >= SimDuration::from_millis(110));
@@ -72,7 +72,7 @@ fn full_dynticks_no_starvation_under_oversubscription() {
 #[test]
 fn full_dynticks_runs_parsec() {
     for name in ["dedup", "streamcluster", "swaptions"] {
-        let m = Engine::run(tiny_parsec(name, 4, TickMode::FullDynticks, 5));
+        let m = Engine::run(tiny_parsec(name, 4, TickMode::FullDynticks, 5)).unwrap();
         assert!(m.per_vm[0].finished_at.is_some(), "{name} did not finish");
     }
 }
@@ -98,7 +98,7 @@ fn rate_adaptation_restores_guest_tick_rate() {
                     },
                 )
                 .seed(6),
-        )
+        ).unwrap()
     };
     let without = run(false);
     let with = run(true);
@@ -146,7 +146,7 @@ fn matching_rates_use_entry_injection_only() {
                 },
             )
             .seed(7),
-    );
+    ).unwrap();
     assert_eq!(m.system.exits.get(ExitReason::PreemptionTimer), 0);
     // ~50 virtual ticks over 200 ms.
     assert!((35..=65).contains(&m.system.virtual_ticks), "{}", m.system.virtual_ticks);
@@ -158,7 +158,7 @@ fn matching_rates_use_entry_injection_only() {
 fn full_dynticks_context_tracking_tax() {
     use paratick_vmm::CycleCategory;
     let run = |mode: TickMode| {
-        Engine::run(tiny_parsec("fluidanimate", 4, mode, 8))
+        Engine::run(tiny_parsec("fluidanimate", 4, mode, 8)).unwrap()
             .system
             .cycles
             .get(CycleCategory::GuestOs)
@@ -191,7 +191,7 @@ fn staged_boot_switches_from_periodic_to_paratick() {
                     },
                 )
                 .seed(77),
-        )
+        ).unwrap()
     };
     let staged = run(100);
     let immediate = run(0);
@@ -240,7 +240,7 @@ fn staged_boot_dynticks_and_idle_vcpus() {
                 },
             )
             .seed(78),
-    );
+    ).unwrap();
     assert!(m.per_vm[0].finished_at.is_some());
     assert_eq!(m.system.exits.get(ExitReason::Hypercall), 0);
     // The idle vCPU ticked periodically during boot: wakeups happened.
@@ -266,7 +266,7 @@ fn condvar_pipeline_end_to_end() {
             Scenario::new(HostConfig::small(6))
                 .vm(VmConfig::with_vcpus(6).mode(mode), workload(spec))
                 .seed(91),
-        )
+        ).unwrap()
     };
     let mut results = Vec::new();
     for mode in [
@@ -330,7 +330,7 @@ fn pipeline_backpressure_with_tiny_queues() {
         Scenario::new(HostConfig::small(2))
             .vm(VmConfig::with_vcpus(2).mode(TickMode::Paratick), workload(spec))
             .seed(92),
-    );
+    ).unwrap();
     assert!(m.per_vm[0].finished_at.is_some());
     // Capacity-1 handoff: blocking is frequent (the exact count depends
     // on how often the peer wakes in time).
@@ -373,7 +373,7 @@ fn paratick_reuse_counters_surface() {
                 },
             )
             .seed(333),
-    );
+    ).unwrap();
     let vm = &m.per_vm[0];
     assert!(vm.paratick_timers_programmed > 0, "daemon timers must arm");
     assert!(
@@ -383,6 +383,6 @@ fn paratick_reuse_counters_surface() {
         vm.paratick_timers_programmed
     );
     // Dynticks guests report zero.
-    let d = Engine::run(paratick_suite::tiny_fio(TickMode::DynticksIdle, 3));
+    let d = Engine::run(paratick_suite::tiny_fio(TickMode::DynticksIdle, 3)).unwrap();
     assert_eq!(d.per_vm[0].paratick_timer_reuse, 0);
 }

@@ -7,8 +7,8 @@ use paratick_suite::{idle_vms, tiny_fio, tiny_parsec};
 #[test]
 fn determinism_bit_for_bit() {
     for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::Paratick] {
-        let a = Engine::run(tiny_parsec("dedup", 4, mode, 77));
-        let b = Engine::run(tiny_parsec("dedup", 4, mode, 77));
+        let a = Engine::run(tiny_parsec("dedup", 4, mode, 77)).unwrap();
+        let b = Engine::run(tiny_parsec("dedup", 4, mode, 77)).unwrap();
         assert_eq!(a.total_exits(), b.total_exits(), "{mode}: exits differ");
         assert_eq!(
             a.busy_cycles().get(),
@@ -30,8 +30,8 @@ fn determinism_bit_for_bit() {
 /// Different seeds produce different (but valid) runs.
 #[test]
 fn seeds_matter() {
-    let a = Engine::run(tiny_parsec("dedup", 4, TickMode::DynticksIdle, 1));
-    let b = Engine::run(tiny_parsec("dedup", 4, TickMode::DynticksIdle, 2));
+    let a = Engine::run(tiny_parsec("dedup", 4, TickMode::DynticksIdle, 1)).unwrap();
+    let b = Engine::run(tiny_parsec("dedup", 4, TickMode::DynticksIdle, 2)).unwrap();
     assert_ne!(
         (a.total_exits(), a.events_dispatched),
         (b.total_exits(), b.events_dispatched)
@@ -45,7 +45,7 @@ fn seeds_matter() {
 fn guest_work_invariant_across_modes() {
     let mut work = Vec::new();
     for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::Paratick] {
-        let m = Engine::run(tiny_parsec("swaptions", 2, mode, 5));
+        let m = Engine::run(tiny_parsec("swaptions", 2, mode, 5)).unwrap();
         work.push(
             m.system
                 .cycles
@@ -74,8 +74,8 @@ fn paratick_never_worse_than_dynticks() {
     ];
     for (name, threads) in cases {
         for seed in [1, 2, 3] {
-            let van = Engine::run(tiny_parsec(name, threads, TickMode::DynticksIdle, seed));
-            let par = Engine::run(tiny_parsec(name, threads, TickMode::Paratick, seed));
+            let van = Engine::run(tiny_parsec(name, threads, TickMode::DynticksIdle, seed)).unwrap();
+            let par = Engine::run(tiny_parsec(name, threads, TickMode::Paratick, seed)).unwrap();
             assert!(
                 par.timer_exits() <= van.timer_exits(),
                 "{name}/{threads}t seed{seed}: paratick {} > dynticks {}",
@@ -85,8 +85,8 @@ fn paratick_never_worse_than_dynticks() {
         }
     }
     // And on I/O workloads.
-    let van = Engine::run(tiny_fio(TickMode::DynticksIdle, 9));
-    let par = Engine::run(tiny_fio(TickMode::Paratick, 9));
+    let van = Engine::run(tiny_fio(TickMode::DynticksIdle, 9)).unwrap();
+    let par = Engine::run(tiny_fio(TickMode::Paratick, 9)).unwrap();
     assert!(par.timer_exits() <= van.timer_exits());
 }
 
@@ -96,7 +96,7 @@ fn paratick_never_worse_than_dynticks() {
 #[test]
 fn cycle_conservation_holds() {
     for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::Paratick] {
-        let m = Engine::run(tiny_parsec("ferret", 4, mode, 3));
+        let m = Engine::run(tiny_parsec("ferret", 4, mode, 3)).unwrap();
         // Busy + idle == total accounted.
         let busy = m.system.cycles.busy().as_nanos();
         let idle = m
@@ -122,7 +122,7 @@ fn cycle_conservation_holds() {
         );
         let _ = i;
     }
-    let m = Engine::run(s);
+    let m = Engine::run(s).unwrap();
     assert!(m.total_exits() > 0);
 }
 
@@ -150,7 +150,7 @@ fn busy_guest_receives_ticks() {
                     },
                 )
                 .seed(11),
-        );
+        ).unwrap();
         // 400 ms at 250 Hz = ~100 ticks. Periodic/dynticks deliver them
         // as timer interrupts; paratick as virtual ticks.
         let delivered = match mode {
@@ -168,9 +168,9 @@ fn busy_guest_receives_ticks() {
 /// keeps waking every vCPU at the tick rate (§3.1 vs §3.2, Table 1).
 #[test]
 fn idle_vm_tick_behaviour() {
-    let periodic = Engine::run(idle_vms(1, 4, TickMode::Periodic, 2));
-    let dynticks = Engine::run(idle_vms(1, 4, TickMode::DynticksIdle, 2));
-    let paratick = Engine::run(idle_vms(1, 4, TickMode::Paratick, 2));
+    let periodic = Engine::run(idle_vms(1, 4, TickMode::Periodic, 2)).unwrap();
+    let dynticks = Engine::run(idle_vms(1, 4, TickMode::DynticksIdle, 2)).unwrap();
+    let paratick = Engine::run(idle_vms(1, 4, TickMode::Paratick, 2)).unwrap();
 
     // Periodic: 4 vCPUs x 250 Hz x 2 s = 2000 tick wakeups (plus boot).
     assert!(
@@ -191,10 +191,10 @@ fn idle_vm_tick_behaviour() {
 /// the horizon for steady-state runs.
 #[test]
 fn execution_time_semantics() {
-    let m = Engine::run(tiny_parsec("raytrace", 1, TickMode::DynticksIdle, 4));
+    let m = Engine::run(tiny_parsec("raytrace", 1, TickMode::DynticksIdle, 4)).unwrap();
     assert!(m.execution_time() > SimDuration::ZERO);
     assert!(m.execution_time() < SimDuration::from_secs(60));
 
-    let h = Engine::run(idle_vms(1, 2, TickMode::DynticksIdle, 3));
+    let h = Engine::run(idle_vms(1, 2, TickMode::DynticksIdle, 3)).unwrap();
     assert_eq!(h.execution_time(), SimDuration::from_secs(3));
 }

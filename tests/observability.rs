@@ -326,9 +326,9 @@ fn temp_path(tag: &str) -> PathBuf {
 #[test]
 fn perfetto_sink_writes_valid_chrome_trace() {
     let path = temp_path("direct");
-    let mut e = Engine::new(tiny_fio(TickMode::Paratick, 15));
+    let mut e = Engine::new(tiny_fio(TickMode::Paratick, 15)).unwrap();
     e.attach_sink(Box::new(obs::PerfettoSink::create(path.clone()).unwrap()));
-    let m = e.run_to_completion();
+    let m = e.run_to_completion().unwrap();
     assert!(m.per_vm[0].finished_at.is_some());
     let text = std::fs::read_to_string(&path).unwrap();
     let _ = std::fs::remove_file(&path);
@@ -342,7 +342,7 @@ fn paratick_trace_env_knob_writes_valid_chrome_trace() {
     if std::env::var_os("PARATICK_OBS_CHILD").is_some() {
         // Child: the engine picks the sink up from PARATICK_TRACE on
         // its own — nothing is attached explicitly.
-        let m = Engine::run(tiny_fio(TickMode::Paratick, 15));
+        let m = Engine::run(tiny_fio(TickMode::Paratick, 15)).unwrap();
         assert!(m.per_vm[0].finished_at.is_some());
         return;
     }
@@ -364,7 +364,7 @@ fn paratick_trace_env_knob_writes_valid_chrome_trace() {
 #[test]
 fn paratick_timeseries_env_knob_writes_csv() {
     if std::env::var_os("PARATICK_OBS_CHILD").is_some() {
-        let _ = Engine::run(tiny_fio(TickMode::Paratick, 15));
+        let _ = Engine::run(tiny_fio(TickMode::Paratick, 15)).unwrap();
         return;
     }
     let path = std::env::temp_dir().join(format!("paratick_obs_ts_{}.csv", std::process::id()));
@@ -396,10 +396,10 @@ fn paratick_timeseries_env_knob_writes_csv() {
 // ---------------------------------------------------------------------
 
 fn collected_run(seed: u64) -> (RunMetrics, String) {
-    let mut e = Engine::new(tiny_fio(TickMode::Paratick, seed));
+    let mut e = Engine::new(tiny_fio(TickMode::Paratick, seed)).unwrap();
     let (sink, events) = CollectSink::new();
     e.attach_sink(Box::new(sink));
-    let m = e.run_to_completion();
+    let m = e.run_to_completion().unwrap();
     let stream = events
         .borrow()
         .iter()
@@ -447,11 +447,11 @@ fn seeded_runs_are_byte_identical() {
 #[test]
 fn event_stream_covers_taxonomy() {
     let (m, _) = collected_run(15);
-    let mut e = Engine::new(tiny_fio(TickMode::Paratick, 15));
+    let mut e = Engine::new(tiny_fio(TickMode::Paratick, 15)).unwrap();
     let (sink, events) = CollectSink::new();
     e.attach_sink(Box::new(sink));
-    let traced = e.run_to_completion();
-    let plain = Engine::run(tiny_fio(TickMode::Paratick, 15));
+    let traced = e.run_to_completion().unwrap();
+    let plain = Engine::run(tiny_fio(TickMode::Paratick, 15)).unwrap();
     assert_eq!(plain.total_exits(), traced.total_exits());
     assert_eq!(plain.execution_time(), traced.execution_time());
     assert_eq!(plain.events_dispatched, m.events_dispatched);

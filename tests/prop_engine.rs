@@ -179,7 +179,7 @@ proptest! {
         make_runnable(&mut kinds);
         let mut results = Vec::new();
         for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::FullDynticks, TickMode::Paratick] {
-            let m = Engine::run(scenario(&kinds, vcpus, mode, seed));
+            let m = Engine::run(scenario(&kinds, vcpus, mode, seed)).unwrap();
             // Completion.
             prop_assert!(m.per_vm[0].finished_at.is_some(), "{mode}: deadlock");
             // Conservation: busy + idle == accounted total (collect()
@@ -221,8 +221,8 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         make_runnable(&mut kinds);
-        let a = Engine::run(scenario(&kinds, 2, TickMode::Paratick, seed));
-        let b = Engine::run(scenario(&kinds, 2, TickMode::Paratick, seed));
+        let a = Engine::run(scenario(&kinds, 2, TickMode::Paratick, seed)).unwrap();
+        let b = Engine::run(scenario(&kinds, 2, TickMode::Paratick, seed)).unwrap();
         prop_assert_eq!(a.total_exits(), b.total_exits());
         prop_assert_eq!(a.events_dispatched, b.events_dispatched);
         prop_assert_eq!(a.execution_time(), b.execution_time());
@@ -230,5 +230,109 @@ proptest! {
             a.busy_cycles().get(),
             b.busy_cycles().get()
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-plan determinism. Faults are first-class sim events drawn from a
+// dedicated rng fork, so a (seed, FaultConfig) pair fully determines the
+// run: the raw event stream must replay byte-for-byte, and the injected
+// chaos must never break an audited invariant.
+
+use paratick_vmm::CollectSink;
+
+const ALL_MODES: [TickMode; 4] = [
+    TickMode::Periodic,
+    TickMode::DynticksIdle,
+    TickMode::FullDynticks,
+    TickMode::Paratick,
+];
+
+fn faulted_scenario(mode: TickMode, seed: u64) -> Scenario {
+    let kinds = [
+        ThreadKind::Compute {
+            work_us: 3_000,
+            grain_us: 100,
+        },
+        ThreadKind::Sleeper {
+            period_us: 800,
+            wakeups: 10,
+        },
+        ThreadKind::Io {
+            ops: 20,
+            block_kb: 8,
+        },
+    ];
+    scenario(&kinds, 2, mode, seed).faults(FaultConfig::campaign())
+}
+
+/// Run a faulted scenario and render its full event stream as text —
+/// timestamps plus Debug of every event, the strongest equality we can
+/// assert without serde.
+fn faulted_stream(mode: TickMode, seed: u64) -> (String, RunMetrics) {
+    let mut e = Engine::new(faulted_scenario(mode, seed)).unwrap();
+    let (sink, events) = CollectSink::new();
+    e.attach_sink(Box::new(sink));
+    let m = e.run_to_completion().unwrap();
+    let stream = events
+        .borrow()
+        .iter()
+        .map(|(t, ev)| format!("{} {ev:?}\n", t.as_nanos()))
+        .collect::<String>();
+    (stream, m)
+}
+
+/// Identical seed + identical FaultPlan ⇒ byte-identical event stream
+/// and equal metrics, in every tick mode.
+#[test]
+fn fault_plan_replays_byte_identically() {
+    for mode in ALL_MODES {
+        for seed in [0u64, 17, 911] {
+            let (sa, ma) = faulted_stream(mode, seed);
+            let (sb, mb) = faulted_stream(mode, seed);
+            assert!(!sa.is_empty(), "{mode}/{seed}: empty stream");
+            assert_eq!(sa, sb, "{mode}/{seed}: streams diverge");
+            assert_eq!(ma.total_exits(), mb.total_exits());
+            assert_eq!(ma.events_dispatched, mb.events_dispatched);
+            assert_eq!(ma.execution_time(), mb.execution_time());
+            assert_eq!(ma.faults.total_injected(), mb.faults.total_injected());
+            assert_eq!(ma.faults.injected, mb.faults.injected);
+        }
+    }
+}
+
+/// A different seed must actually change the fault schedule (otherwise
+/// the replay test above proves nothing).
+#[test]
+fn fault_plan_seed_matters() {
+    let a = Engine::run(faulted_scenario(TickMode::Paratick, 3)).unwrap();
+    let b = Engine::run(faulted_scenario(TickMode::Paratick, 4)).unwrap();
+    assert!(a.faults.total_injected() > 0, "campaign injected nothing");
+    assert_ne!(
+        (a.events_dispatched, a.faults.injected),
+        (b.events_dispatched, b.faults.injected),
+        "different seeds produced identical fault schedules"
+    );
+}
+
+/// The full default campaign — every fault kind at once — completes and
+/// stays auditor-clean in all four tick modes.
+#[test]
+fn fault_campaign_is_audit_clean_in_all_modes() {
+    for mode in ALL_MODES {
+        for seed in [1u64, 23] {
+            let m = Engine::run(faulted_scenario(mode, seed))
+                .unwrap_or_else(|e| panic!("{mode}/{seed}: {e}"));
+            assert!(
+                m.per_vm[0].finished_at.is_some(),
+                "{mode}/{seed}: did not finish"
+            );
+            assert!(
+                m.audit.is_clean(),
+                "{mode}/{seed}: violations {:?}",
+                m.audit.violations
+            );
+            assert!(m.audit.events_checked > 0);
+        }
     }
 }
