@@ -1,249 +1,13 @@
-//! Ablations of the design choices DESIGN.md calls out.
-//!
-//! 1. **Idle-exit heuristic** (§4.1 / §5.2.5): paratick deliberately
-//!    leaves its one-shot wakeup timer armed across idle exits. The
-//!    naive variant disarms it; the paper predicts extra exits.
-//! 2. **Halt polling** (§6): the paper disables it because it burns
-//!    cycles for marginal latency. Measure both.
-//! 3. **PLE** (§6): disabled in the paper for non-overcommitted hosts.
-//! 4. **APICv**: EOI virtualization changes the exit mix and shrinks the
-//!    relative benefit of paratick (fewer total exits to begin with).
-//! 5. **Exit-cost sensitivity**: paratick's benefit as a function of the
-//!    hardware's exit cost (the paper's "benefits will only increase"
-//!    claim runs the other way: cheaper exits, smaller benefit).
-//! 6. **Tick-rate mismatch** (§4.1/§5.1): with a guest HZ above the host
-//!    rate, entry-time injection alone under-delivers ticks — the case
-//!    the paper leaves for future work.
+//! Deprecated shim: the `ablations` binary now lives in the unified CLI as
+//! `paratick ablations`. This wrapper stays so existing scripts keep
+//! working; it delegates straight to the shared implementation.
 
-use paratick::prelude::*;
-use paratick::report;
-use paratick_workloads::fio::{FioPattern, FioSpec};
-use paratick_workloads::models::{ComputeThread, SleeperThread};
-use paratick_workloads::ThreadModel;
-
-fn fio_vm(mode: TickMode) -> (VmConfig, VmWorkload) {
-    let spec = FioSpec::new(FioPattern::SeqRead, 16 * 1024, 16 << 20);
-    let mut cfg = VmConfig::with_vcpus(1).mode(mode).spanning(1);
-    cfg.device = DeviceKind::VirtioCached;
-    (cfg, paratick_workloads::fio::workload(&spec))
-}
-
-/// A timer-rich workload: an I/O loop whose completions wake the vCPU
-/// while a sleeping daemon's 2 ms wakeup timer is still armed — the
-/// exact situation where paratick's keep-vs-disarm heuristic decides.
-fn timer_mix_vm(mode: TickMode) -> (VmConfig, VmWorkload) {
-    use paratick_workloads::models::FioThread;
-    let threads: Vec<Box<dyn ThreadModel>> = vec![
-        Box::new(FioThread::new(
-            "reader",
-            paratick_hw::IoOp::Read,
-            false,
-            4096,
-            4096 * 2000,
-            1 << 30,
-            SimDuration::from_micros(3),
-        )),
-        Box::new(SleeperThread::new(
-            "daemon",
-            SimDuration::from_millis(2),
-            0.3,
-            SimDuration::from_micros(40),
-            60,
-        )),
-    ];
-    (
-        VmConfig::with_vcpus(1).mode(mode).spanning(1),
-        VmWorkload {
-            name: "timer-mix".into(),
-            threads,
-            num_locks: 1,
-            num_barriers: 0,
-        },
-    )
-}
-
-/// The paper's W3 shape: 16 threads hammering one blocking lock —
-/// contended enough that adaptive spinning (and hence PLE) engages.
-fn sync_heavy_vm(mode: TickMode) -> (VmConfig, VmWorkload) {
-    let mut w = paratick_workloads::synthetic::w3(SimDuration::from_millis(150));
-    (VmConfig::medium_vm().mode(mode), w.remove(0))
-}
-
-/// Pure compute: every vCPU busy for the whole run, the right probe for
-/// tick-delivery-rate questions.
-fn compute_vm(mode: TickMode, guest_hz: u64) -> (VmConfig, VmWorkload) {
-    let threads: Vec<Box<dyn ThreadModel>> = vec![Box::new(ComputeThread::new(
-        "spin",
-        SimDuration::from_millis(200),
-        SimDuration::from_micros(500),
-        0.1,
-    ))];
-    let mut cfg = VmConfig::with_vcpus(1).mode(mode).spanning(1);
-    cfg.guest_hz = Freq::hz(guest_hz);
-    (
-        cfg,
-        VmWorkload {
-            name: format!("compute-{guest_hz}hz"),
-            threads,
-            num_locks: 1,
-            num_barriers: 0,
-        },
-    )
-}
-
-fn run(host: HostConfig, (cfg, wl): (VmConfig, VmWorkload)) -> RunMetrics {
-    paratick_bench::run_or_exit(Scenario::new(host).vm(cfg, wl).seed(0xAB1A7E))
-}
-
-fn row(name: &str, m: &RunMetrics) -> Vec<String> {
-    vec![
-        name.to_string(),
-        m.total_exits().to_string(),
-        m.timer_exits().to_string(),
-        format!("{}", m.busy_cycles().get() / 1_000_000),
-        format!("{:.1}ms", m.execution_time().as_secs_f64() * 1e3),
-    ]
-}
-
-const HDR: [&str; 5] = ["config", "exits", "timer exits", "busy Mcyc", "exec"];
+use paratick_bench::cmd;
 
 fn main() {
-    println!("=== Ablation 1: paratick idle-exit heuristic (§4.1) ===");
-    {
-        let keep = run(HostConfig::default(), timer_mix_vm(TickMode::Paratick));
-        let mut naive_cfg = timer_mix_vm(TickMode::Paratick);
-        naive_cfg.0.paratick_naive_idle_exit = true;
-        let naive = run(HostConfig::default(), naive_cfg);
-        println!(
-            "{}",
-            report::table(&HDR, &[row("keep timer armed (paper)", &keep), row("disarm at idle exit", &naive)])
-        );
-        println!(
-            "extra exits from disarming: {:+.1}%",
-            (naive.total_exits() as f64 - keep.total_exits() as f64) / keep.total_exits() as f64
-                * 100.0
-        );
-    }
-
-    println!();
-    println!("=== Ablation 2: halt polling (dynticks guest, fio) ===");
-    {
-        let off = run(HostConfig::default(), fio_vm(TickMode::DynticksIdle));
-        let on = run(
-            HostConfig {
-                halt_poll: true,
-                ..Default::default()
-            },
-            fio_vm(TickMode::DynticksIdle),
-        );
-        println!(
-            "{}",
-            report::table(&HDR, &[row("halt polling off (paper)", &off), row("halt polling on", &on)])
-        );
-    }
-
-    println!();
-    println!("=== Ablation 3: pause-loop exiting (contended blocking sync) ===");
-    {
-        let off = run(HostConfig::default(), sync_heavy_vm(TickMode::DynticksIdle));
-        let on = run(
-            HostConfig {
-                ple: true,
-                ..Default::default()
-            },
-            sync_heavy_vm(TickMode::DynticksIdle),
-        );
-        println!(
-            "{}",
-            report::table(&HDR, &[row("PLE off (paper)", &off), row("PLE on", &on)])
-        );
-    }
-
-    println!();
-    println!("=== Ablation 4: APIC virtualization ===");
-    {
-        for mode in [TickMode::DynticksIdle, TickMode::Paratick] {
-            let legacy = run(HostConfig::default(), fio_vm(mode));
-            let apicv = run(
-                HostConfig {
-                    apicv: true,
-                    ..Default::default()
-                },
-                fio_vm(mode),
-            );
-            println!(
-                "{}",
-                report::table(
-                    &HDR,
-                    &[
-                        row(&format!("{mode}, no APICv (paper hw)"), &legacy),
-                        row(&format!("{mode}, APICv"), &apicv),
-                    ]
-                )
-            );
-        }
-    }
-
-    println!();
-    println!("=== Ablation 5: exit-cost sensitivity (fio, dynticks vs paratick) ===");
-    {
-        let mut rows = Vec::new();
-        for scale in [0.5, 1.0, 2.0] {
-            let host = HostConfig {
-                cost: CostModel::default().scaled(scale),
-                ..Default::default()
-            };
-            let van = run(host.clone(), fio_vm(TickMode::DynticksIdle));
-            let par = run(host, fio_vm(TickMode::Paratick));
-            let gain = (van.busy_cycles().get() as f64 - par.busy_cycles().get() as f64)
-                / par.busy_cycles().get() as f64
-                * 100.0;
-            rows.push(vec![
-                format!("exit cost x{scale}"),
-                format!("{:+.1}%", gain),
-            ]);
-        }
-        println!(
-            "{}",
-            report::table(&["config", "paratick throughput gain"], &rows)
-        );
-        println!("(the pricier the exit, the bigger paratick's win)");
-    }
-
-    println!();
-    println!("=== Ablation 6: guest/host tick-rate mismatch (§4.1, future work) ===");
-    {
-        let mut rows = Vec::new();
-        for guest_hz in [100u64, 250, 1000] {
-            for adapt in [false, true] {
-                let host = HostConfig {
-                    paratick_rate_adapt: adapt,
-                    ..Default::default()
-                };
-                let m = run(host, compute_vm(TickMode::Paratick, guest_hz));
-                let expected = m.execution_time().as_secs_f64() * guest_hz as f64;
-                let delivered = m.per_vm[0].virtual_ticks;
-                rows.push(vec![
-                    format!(
-                        "guest {guest_hz} Hz / host 250 Hz, adapt={}",
-                        if adapt { "on" } else { "off" }
-                    ),
-                    format!("{expected:.0}"),
-                    delivered.to_string(),
-                ]);
-            }
-        }
-        println!(
-            "{}",
-            report::table(
-                &["config (busy guest)", "ticks expected", "virtual ticks delivered"],
-                &rows
-            )
-        );
-        println!("without adaptation (the paper's artifact, §5.1 future work), a");
-        println!("1000 Hz guest under-receives ticks: entry-time injection cannot");
-        println!("exceed the host exit rate. Our §4.1 preemption-timer adaptation");
-        println!("(adapt=on, the default) restores the full guest rate at one exit");
-        println!("per tick — half the two exits self-programmed ticks would cost.");
+    cmd::deprecated_shim("ablations", "ablations");
+    cmd::ablations::run();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
     }
 }

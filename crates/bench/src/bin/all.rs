@@ -1,33 +1,15 @@
-//! Run every paper artefact in order (Table 1, Figures 4–6 with their
-//! aggregate tables, the crossover analysis and the ablations) by
-//! invoking the sibling binaries' logic through the shared harness.
-//!
-//! For EXPERIMENTS.md regeneration: `cargo run --release -p
-//! paratick-bench --bin all | tee experiments.txt`.
+//! Deprecated shim: the `all` binary now lives in the unified CLI as
+//! `paratick all`. This wrapper stays so existing scripts keep working;
+//! unlike the old subprocess chain it runs everything in-process, so
+//! the whole suite shares one run cache and the final summary counts
+//! every simulation.
 
-use std::process::Command;
+use paratick_bench::cmd;
 
 fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    for bin in [
-        "table1",
-        "fig4_seq",
-        "fig5_par",
-        "fig6_io",
-        "crossover",
-        "ablations",
-        "overcommit",
-        "fourmodes",
-        "netrpc",
-        "hz_sweep",
-        "pipeline",
-    ] {
-        let path = dir.join(bin);
-        println!("\n################ {bin} ################");
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
-        assert!(status.success(), "{bin} failed");
+    cmd::deprecated_shim("all", "all");
+    cmd::all();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
     }
 }

@@ -1,130 +1,13 @@
-//! §3.3 crossover analysis: periodic ticks vs tickless kernels as a
-//! function of the mean idle period `T_idle`.
-//!
-//! The paper's rule: "tickless kernels are preferable as long as the
-//! average idle period T_idle is longer than the average vCPU tick
-//! period divided by the number of vCPUs sharing the same physical CPU."
-//! This binary prints the analytic exit counts over a `T_idle` sweep and
-//! validates the crossover against the simulator with a synthetic
-//! blocking workload whose idle period is controlled directly.
+//! Deprecated shim: the `crossover` binary now lives in the unified CLI as
+//! `paratick crossover`. This wrapper stays so existing scripts keep
+//! working; it delegates straight to the shared implementation.
 
-use paratick::analytic::{self, VmShape};
-use paratick::prelude::*;
-use paratick::report;
-use paratick_workloads::{ThreadModel, VmWorkload};
-use paratick_workloads::models::LockLoop;
-use rayon::prelude::*;
-
-/// A 2-thread ping-pong whose idle period is ~the critical section of
-/// the peer: tune `cs` to tune `T_idle`.
-fn ping_pong(t_idle: SimDuration, work: SimDuration) -> VmWorkload {
-    let threads: Vec<Box<dyn ThreadModel>> = (0..2)
-        .map(|i| {
-            Box::new(LockLoop::new(
-                format!("pp{i}"),
-                work,
-                t_idle, // compute grain == target idle period of the peer
-                0.05,
-                t_idle,
-                1,
-            )) as Box<dyn ThreadModel>
-        })
-        .collect();
-    VmWorkload {
-        name: format!("pingpong/{t_idle}"),
-        threads,
-        num_locks: 1,
-        num_barriers: 0,
-    }
-}
+use paratick_bench::cmd;
 
 fn main() {
-    println!("=== §3.3 crossover: periodic vs tickless exits vs T_idle ===");
-    println!("rule: tickless preferable while T_idle > tick_period / sharing");
-    println!();
-
-    let tick_period = SimDuration::from_millis(4); // 250 Hz
-    println!("--- analytic sweep (16 vCPUs, L=0.5, 250 Hz, 10 s, sharing=1) ---");
-    let mut rows = Vec::new();
-    for t_idle_us in [100u64, 250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 64_000] {
-        let t_idle = SimDuration::from_micros(t_idle_us);
-        let vm = VmShape {
-            vcpus: 16,
-            tick_hz: 250,
-            load: 0.5,
-            t_idle,
-        };
-        let periodic = analytic::formula_periodic_exits(10.0, &[vm]);
-        let tickless = analytic::formula_tickless_exits(10.0, &[vm]);
-        rows.push(vec![
-            format!("{t_idle}"),
-            format!("{periodic:.0}"),
-            format!("{tickless:.0}"),
-            if analytic::tickless_preferable(t_idle, tick_period, 1) {
-                "tickless".to_string()
-            } else {
-                "periodic".to_string()
-            },
-        ]);
+    cmd::deprecated_shim("crossover", "crossover");
+    cmd::crossover::run();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
     }
-    println!(
-        "{}",
-        report::table(
-            &["T_idle", "periodic exits", "tickless exits", "analytic winner"],
-            &rows
-        )
-    );
-    println!(
-        "analytic break-even at sharing=1: T_idle = {}",
-        analytic::crossover_idle_period(tick_period, 1)
-    );
-    println!();
-
-    println!("--- simulated validation (2-thread ping-pong, 2 vCPUs) ---");
-    let sweep: Vec<u64> = vec![200, 500, 1_000, 2_000, 4_000, 8_000, 16_000];
-    let results: Vec<Vec<String>> = sweep
-        .par_iter()
-        .map(|&t_idle_us| {
-            let t_idle = SimDuration::from_micros(t_idle_us);
-            let run = |mode: TickMode| {
-                paratick_bench::run_or_exit(
-                    Scenario::new(HostConfig::small(2))
-                        .vm(
-                            VmConfig::with_vcpus(2).mode(mode),
-                            ping_pong(t_idle, SimDuration::from_millis(400)),
-                        )
-                        .seed(0xC7055),
-                )
-            };
-            let periodic = run(TickMode::Periodic);
-            let dynticks = run(TickMode::DynticksIdle);
-            let paratick = run(TickMode::Paratick);
-            let winner = if dynticks.timer_exits() <= periodic.timer_exits() {
-                "tickless"
-            } else {
-                "periodic"
-            };
-            vec![
-                format!("{t_idle}"),
-                periodic.timer_exits().to_string(),
-                dynticks.timer_exits().to_string(),
-                paratick.timer_exits().to_string(),
-                winner.to_string(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        report::table(
-            &[
-                "T_idle",
-                "periodic",
-                "tickless",
-                "paratick",
-                "sim winner (of the two)"
-            ],
-            &results
-        )
-    );
-    println!("paratick should win at every point (paper §4.2 guarantee).");
 }

@@ -1,24 +1,13 @@
-//! Figure 4 + Table 2: sequential PARSEC, paratick vs vanilla dynticks.
-//!
-//! Paper expectation (Table 2): VM exits −50 %, system throughput +7 %,
-//! execution time −2 % on average across the 13 benchmarks, with large
-//! inter-benchmark variance (I/O-streaming benchmarks gain most).
+//! Deprecated shim: the `fig4_seq` binary now lives in the unified CLI as
+//! `paratick fig4`. This wrapper stays so existing scripts keep
+//! working; it delegates straight to the shared implementation.
 
-use paratick::report;
-use paratick_bench::{banner, print_aggregate, run_all, seq_parsec_experiment};
-use paratick_workloads::PARSEC;
+use paratick_bench::cmd;
 
 fn main() {
-    banner(
-        "Figure 4 + Table 2: sequential PARSEC (1 vCPU)",
-        "avg: exits -50%, throughput +7%, exec time -2%",
-    );
-    let experiments = PARSEC
-        .iter()
-        .map(|p| seq_parsec_experiment(p.name))
-        .collect();
-    let comparisons = run_all(experiments);
-    paratick_bench::maybe_dump_json("fig4_seq", &comparisons);
-    println!("{}", report::comparison_table(&comparisons));
-    print_aggregate("Table 2 (average, 13 bms)", &comparisons);
+    cmd::deprecated_shim("fig4_seq", "fig4");
+    cmd::fig4::run();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
+    }
 }

@@ -1,36 +1,13 @@
-//! Figure 5 + Table 3: multithreaded PARSEC in small/medium/large VMs.
-//!
-//! Paper expectation (Table 3):
-//!
-//! | VM size | VM exits | throughput | exec time |
-//! |---------|----------|------------|-----------|
-//! | small   | −42 %    | +12 %      | −1 %      |
-//! | medium  | −47 %    | +13 %      | −3 %      |
-//! | large   | −44 %    | +16 %      | −1 %      |
-//!
-//! Throughput gains grow with VM size (more parallelism ⇒ more blocking
-//! contention ⇒ more idle transitions), while execution time barely
-//! moves because the eliminated exits are mostly off the critical path.
+//! Deprecated shim: the `fig5_par` binary now lives in the unified CLI as
+//! `paratick fig5`. This wrapper stays so existing scripts keep
+//! working; it delegates straight to the shared implementation.
 
-use paratick::report;
-use paratick_bench::{banner, print_aggregate, run_all, par_parsec_experiment, VmSize};
-use paratick_workloads::PARSEC;
+use paratick_bench::cmd;
 
 fn main() {
-    banner(
-        "Figure 5 + Table 3: multithreaded PARSEC",
-        "small: exits -42% thr +12% time -1% | medium: -47% +13% -3% | large: -44% +16% -1%",
-    );
-    for size in VmSize::ALL {
-        let experiments = PARSEC
-            .iter()
-            .map(|p| par_parsec_experiment(p.name, size))
-            .collect();
-        let comparisons = run_all(experiments);
-        paratick_bench::maybe_dump_json(&format!("fig5_par_{}", size.label()), &comparisons);
-        println!("--- {} VM ({} vCPUs) ---", size.label(), size.config().vcpus);
-        println!("{}", report::comparison_table(&comparisons));
-        print_aggregate(&format!("Table 3 ({})", size.label()), &comparisons);
-        println!();
+    cmd::deprecated_shim("fig5_par", "fig5");
+    cmd::fig5::run();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
     }
 }

@@ -1,32 +1,13 @@
-//! Figure 6 + Table 4: fio I/O-intensive workloads.
-//!
-//! Paper expectation (Table 4): VM exits −34 %, system throughput +20 %,
-//! execution time −18 % averaged over seqr/seqwr/rndr/rndwr × 4–256 KiB
-//! blocks; reads benefit more than writes (Figure 6c).
+//! Deprecated shim: the `fig6_io` binary now lives in the unified CLI as
+//! `paratick fig6`. This wrapper stays so existing scripts keep
+//! working; it delegates straight to the shared implementation.
 
-use paratick::experiment::{aggregate, Comparison};
-use paratick::report;
-use paratick_bench::{banner, fio_bytes, fio_experiment, print_aggregate, run_all};
-use paratick_workloads::fio::{FioPattern, FioSpec, BLOCK_SIZES};
+use paratick_bench::cmd;
 
 fn main() {
-    banner(
-        "Figure 6 + Table 4: fio (1 vCPU, sync engine, 4k-256k blocks)",
-        "avg: exits -34%, throughput +20%, exec time -18%; reads > writes",
-    );
-    let mut per_pattern: Vec<Comparison> = Vec::new();
-    for pattern in FioPattern::ALL {
-        let experiments = BLOCK_SIZES
-            .iter()
-            .map(|&bs| fio_experiment(FioSpec::new(pattern, bs, fio_bytes())))
-            .collect();
-        let comparisons = run_all(experiments);
-        paratick_bench::maybe_dump_json(&format!("fig6_{pattern}"), &comparisons);
-        println!("--- {pattern} ---");
-        println!("{}", report::comparison_table(&comparisons));
-        per_pattern.push(aggregate(pattern.name(), &comparisons));
+    cmd::deprecated_shim("fig6_io", "fig6");
+    cmd::fig6::run();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
     }
-    println!("--- per-category aggregates (Figure 6) ---");
-    println!("{}", report::comparison_table(&per_pattern));
-    print_aggregate("Table 4 (average)", &per_pattern);
 }

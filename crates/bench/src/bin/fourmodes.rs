@@ -1,103 +1,13 @@
-//! Extension experiment: all **four** tick-management strategies side
-//! by side — the paper's three (periodic, dynticks-idle, paratick) plus
-//! full dynticks (`NO_HZ_FULL`), which §2 mentions but does not
-//! evaluate ("this mode targets highly specific workloads").
-//!
-//! Expectations, from the mechanisms:
-//!
-//! * **solo compute** (one task per vCPU — full dynticks' target):
-//!   full dynticks eliminates busy-tick exits like paratick does, at
-//!   zero paravirtualization cost. Paratick still wins on idle-period
-//!   handling; full dynticks still pays idle entry/exit reprogramming.
-//! * **blocking sync**: full dynticks degrades toward dynticks — idle
-//!   transitions dominate, and tick-restart IPIs add exits.
-//! * **idle VMs**: dynticks == full dynticks == paratick == quiescent.
+//! Deprecated shim: the `fourmodes` binary now lives in the unified CLI as
+//! `paratick fourmodes`. This wrapper stays so existing scripts keep
+//! working; it delegates straight to the shared implementation.
 
-use paratick::prelude::*;
-use paratick::report;
-use paratick_workloads::models::ComputeThread;
-use paratick_workloads::{parsec, ThreadModel, VmWorkload};
-
-const MODES: [TickMode; 4] = [
-    TickMode::Periodic,
-    TickMode::DynticksIdle,
-    TickMode::FullDynticks,
-    TickMode::Paratick,
-];
-
-fn run(mode: TickMode, vcpus: u32, wl: VmWorkload) -> RunMetrics {
-    paratick_bench::run_or_exit(
-        Scenario::new(HostConfig::default())
-            .vm(VmConfig::with_vcpus(vcpus).mode(mode).spanning(1), wl)
-            .seed(0x4B0DE5),
-    )
-}
-
-fn rows_for(label: &str, build: impl Fn() -> VmWorkload, vcpus: u32) {
-    println!("--- {label} ---");
-    let rows: Vec<Vec<String>> = MODES
-        .iter()
-        .map(|&mode| {
-            let m = run(mode, vcpus, build());
-            vec![
-                mode.to_string(),
-                m.total_exits().to_string(),
-                m.timer_exits().to_string(),
-                (m.busy_cycles().get() / 1_000_000).to_string(),
-                format!("{}", m.execution_time()),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        report::table(
-            &["mode", "exits", "timer exits", "busy Mcyc", "exec"],
-            &rows
-        )
-    );
-}
+use paratick_bench::cmd;
 
 fn main() {
-    println!("=== Extension: four tick strategies compared ===");
-    println!();
-
-    // Solo compute: 4 vCPUs, one pinned compute thread each — the
-    // NO_HZ_FULL sweet spot.
-    rows_for(
-        "solo compute (4 threads on 4 vCPUs, full-dynticks' target)",
-        || {
-            let threads: Vec<Box<dyn ThreadModel>> = (0..4)
-                .map(|i| {
-                    Box::new(ComputeThread::new(
-                        format!("c{i}"),
-                        SimDuration::from_millis(300),
-                        SimDuration::from_millis(1),
-                        0.1,
-                    )) as Box<dyn ThreadModel>
-                })
-                .collect();
-            VmWorkload {
-                name: "solo-compute".into(),
-                threads,
-                num_locks: 1,
-                num_barriers: 0,
-            }
-        },
-        4,
-    );
-
-    // Blocking sync: streamcluster/16 — full dynticks' weak spot.
-    rows_for(
-        "blocking sync (streamcluster, 16 threads / 16 vCPUs)",
-        || {
-            parsec::workload(parsec::profile("streamcluster").unwrap(), 16, 0.08)
-        },
-        16,
-    );
-
-    println!("solo compute: full dynticks drops the busy-tick exits like");
-    println!("paratick, but keeps dynticks' idle entry/exit costs; under");
-    println!("blocking sync it degrades toward dynticks plus restart IPIs.");
-    println!("paratick is the only strategy cheap in *both* regimes —");
-    println!("the generality claim of §7/§8.");
+    cmd::deprecated_shim("fourmodes", "fourmodes");
+    cmd::fourmodes::run();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
+    }
 }

@@ -1,70 +1,13 @@
-//! Extension experiment: guest tick frequency sweep.
-//!
-//! §2: the scheduler tick runs "typically between one and ten
-//! milliseconds" (HZ 100–1000). The tick-management overhead of both
-//! periodic and tickless kernels scales with `f_tick` (§3.1/§3.2
-//! formulas), while paratick's cost is pinned to the host exit rate —
-//! so the paratick advantage *grows* with guest HZ. With a guest HZ the
-//! host rate cannot carry, the §4.1 rate adaptation (our extension)
-//! keeps the guest tick-complete at one preemption-timer exit per tick.
+//! Deprecated shim: the `hz_sweep` binary now lives in the unified CLI as
+//! `paratick hz-sweep`. This wrapper stays so existing scripts keep
+//! working; it delegates straight to the shared implementation.
 
-use paratick::prelude::*;
-use paratick::report;
-use paratick_workloads::parsec;
-
-fn run(mode: TickMode, guest_hz: u64) -> RunMetrics {
-    let profile = parsec::profile("streamcluster").unwrap();
-    let mut cfg = VmConfig::with_vcpus(8).mode(mode).spanning(1);
-    cfg.guest_hz = Freq::hz(guest_hz);
-    paratick_bench::run_or_exit(
-        Scenario::new(HostConfig::default())
-            .vm(cfg, parsec::workload(profile, 8, 0.1))
-            .seed(0x6A52EE9),
-    )
-}
+use paratick_bench::cmd;
 
 fn main() {
-    println!("=== Extension: guest HZ sweep (streamcluster, 8 threads) ===");
-    println!("host tick stays at 250 Hz; the guest tick rate varies.");
-    println!();
-    let mut rows = Vec::new();
-    for hz in [100u64, 250, 1000] {
-        let van = run(TickMode::DynticksIdle, hz);
-        let par = run(TickMode::Paratick, hz);
-        let thr = (van.busy_cycles().get() as f64 - par.busy_cycles().get() as f64)
-            / par.busy_cycles().get() as f64
-            * 100.0;
-        rows.push(vec![
-            format!("HZ={hz}"),
-            van.timer_exits().to_string(),
-            par.timer_exits().to_string(),
-            report::pct(
-                (par.total_exits() as f64 - van.total_exits() as f64)
-                    / van.total_exits() as f64
-                    * 100.0,
-            ),
-            report::pct(thr),
-            par.system.virtual_ticks.to_string(),
-        ]);
+    cmd::deprecated_shim("hz_sweep", "hz-sweep");
+    cmd::hz_sweep::run();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
     }
-    println!(
-        "{}",
-        report::table(
-            &[
-                "guest tick rate",
-                "dynticks timer exits",
-                "paratick timer exits",
-                "exit delta",
-                "thr gain",
-                "virtual ticks"
-            ],
-            &rows
-        )
-    );
-    println!();
-    println!("dynticks' busy-tick traffic scales with HZ; paratick's stays");
-    println!("near zero. at HZ=1000 the §4.1 adaptation carries the guest");
-    println!("rate with preemption-timer exits (cheaper than the two exits");
-    println!("a self-programmed tick would cost) — compare the virtual-tick");
-    println!("column with exec time x HZ.");
 }

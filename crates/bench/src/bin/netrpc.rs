@@ -1,80 +1,13 @@
-//! Extension experiment: paratick for network-RPC services — the
-//! paper's declared future work ("further refine paratick and test it
-//! in more diverse scenarios, focusing on high-performance I/O
-//! applications", §8) and the §3.3 motivation ("datacenter network …
-//! demand for better handling of microsecond-level idle periods").
-//!
-//! A multithreaded service issues synchronous RPCs; every call blocks
-//! its thread for one NIC round trip. Expectation (from §4.2's I/O
-//! analysis and the conclusion's extrapolation): the faster the NIC,
-//! the shorter the idle periods, the larger paratick's advantage — and
-//! unlike PARSEC, the throughput gain translates into latency, because
-//! the eliminated wake-path exits sit on every request's critical path.
+//! Deprecated shim: the `netrpc` binary now lives in the unified CLI as
+//! `paratick netrpc`. This wrapper stays so existing scripts keep
+//! working; it delegates straight to the shared implementation.
 
-use paratick::prelude::*;
-use paratick::report;
-use paratick_workloads::netrpc::{workload, RpcSpec};
-
-fn run(mode: TickMode, device: DeviceKind, workers: usize) -> RunMetrics {
-    let spec = RpcSpec {
-        calls_per_worker: 1_500,
-        ..Default::default()
-    };
-    let mut cfg = VmConfig::with_vcpus(workers as u32).mode(mode).spanning(1);
-    cfg.device = device;
-    paratick_bench::run_or_exit(
-        Scenario::new(HostConfig::default())
-            .vm(cfg, workload(spec, workers))
-            .seed(0x0E77),
-    )
-}
+use paratick_bench::cmd;
 
 fn main() {
-    println!("=== Extension: synchronous RPC service (8 workers / 8 vCPUs) ===");
-    println!("paper §8: paratick's benefits grow with I/O device speed");
-    println!();
-    for device in [DeviceKind::Nic10G, DeviceKind::NicFast] {
-        let mut rows = Vec::new();
-        let mut baseline_busy = 0.0;
-        let mut baseline_exec = 0.0;
-        for mode in [TickMode::DynticksIdle, TickMode::FullDynticks, TickMode::Paratick] {
-            let m = run(mode, device, 8);
-            if mode == TickMode::DynticksIdle {
-                baseline_busy = m.busy_cycles().get() as f64;
-                baseline_exec = m.execution_time().as_secs_f64();
-            }
-            let thr = (baseline_busy - m.busy_cycles().get() as f64)
-                / m.busy_cycles().get() as f64
-                * 100.0;
-            let lat = (m.execution_time().as_secs_f64() - baseline_exec) / baseline_exec * 100.0;
-            rows.push(vec![
-                mode.to_string(),
-                m.total_exits().to_string(),
-                m.timer_exits().to_string(),
-                format!("{}", m.execution_time()),
-                if mode == TickMode::DynticksIdle {
-                    "baseline".into()
-                } else {
-                    format!("thr {} / time {}", report::pct(thr), report::pct(lat))
-                },
-            ]);
-        }
-        println!("--- {device:?} ---");
-        println!(
-            "{}",
-            report::table(
-                &["mode", "exits", "timer exits", "exec", "vs dynticks"],
-                &rows
-            )
-        );
+    cmd::deprecated_shim("netrpc", "netrpc");
+    cmd::netrpc::run();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
     }
-    println!("the faster NIC shortens every idle period, so the dynticks");
-    println!("timer traffic per second grows — and so does paratick's win.");
-    println!();
-    println!("note the full-dynticks row: it recovers most of the exit and");
-    println!("throughput gains, but not the latency — whenever request");
-    println!("completions briefly double workers up on a vCPU, the tick-");
-    println!("restart kick programs the deadline MSR right on the wake path");
-    println!("(NO_HZ_FULL's well-known on/off churn). paratick has no such");
-    println!("edge: injection needs no guest-side writes at all.");
 }

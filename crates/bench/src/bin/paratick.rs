@@ -1,0 +1,69 @@
+//! The unified `paratick` CLI: every paper artefact as a subcommand of
+//! one binary, sharing one process — one [`EnvConfig`] parse, one run
+//! cache, one set of cache counters.
+//!
+//! ```text
+//! paratick <command> [args]
+//!
+//! paratick table1       Table 1 (analytic + simulated W1-W4)
+//! paratick fig4         Figure 4 + Table 2 (sequential PARSEC)
+//! paratick fig5         Figure 5 + Table 3 (parallel PARSEC)
+//! paratick fig6         Figure 6 + Table 4 (fio)
+//! paratick crossover    §3.3 crossover analysis
+//! paratick ablations    design-choice ablations
+//! paratick overcommit   overcommit throughput sweep
+//! paratick fourmodes    four tick strategies side by side
+//! paratick netrpc       synchronous-RPC extension
+//! paratick hz-sweep     guest tick-frequency sweep
+//! paratick pipeline     bounded-queue pipeline extension
+//! paratick sweep        full experiment grid on the sweep scheduler
+//! paratick inspect      metric breakdown for one workload
+//! paratick all          everything above (except inspect/sweep), in order
+//! ```
+//!
+//! Environment knobs are documented in docs/CLI.md (`PARATICK_SCALE`,
+//! `PARATICK_CACHE`, `PARATICK_JOBS`, ...). `paratick all` ends with a
+//! run-cache summary; on a warm cache its hit count equals its run
+//! count — the whole suite re-renders without simulating anything.
+
+use paratick_bench::cmd;
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: paratick <command> [args]");
+    eprintln!();
+    eprintln!("commands:");
+    for (name, _, help, _) in cmd::COMMANDS {
+        eprintln!("  {name:<12} {help}");
+    }
+    eprintln!("  {:<12} full experiment grid: sweep [--out DIR] [--jobs N] [fig4|fig5|fig6]", "sweep");
+    eprintln!("  {:<12} metric breakdown: inspect [parsec:<bm>|fio:<pat>-<kb>|netrpc:<nic>] [threads]", "inspect");
+    eprintln!("  {:<12} every paper artefact in order, plus a run-cache summary", "all");
+    std::process::exit(code);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        usage(2);
+    };
+    match command {
+        "help" | "--help" | "-h" => usage(0),
+        "all" => cmd::all(),
+        "sweep" => cmd::sweep::run(&args[1..]),
+        "inspect" => cmd::inspect::run(&args[1..]),
+        name => match cmd::find(name) {
+            Some(run) => run(),
+            None => {
+                eprintln!("paratick: unknown command `{name}`");
+                usage(2);
+            }
+        },
+    }
+    // run_all batches report cell failures without aborting; surface
+    // them in the exit status once everything printable has printed.
+    let failures = paratick_bench::batch_failures();
+    if failures > 0 {
+        eprintln!("paratick: {failures} experiment cell(s) failed");
+        std::process::exit(1);
+    }
+}

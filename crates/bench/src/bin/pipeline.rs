@@ -1,80 +1,13 @@
-//! Extension experiment: the §4.2 critical-path argument, demonstrated
-//! with a *real* bounded-queue pipeline.
-//!
-//! "For multithreaded workloads, a significant improvement in system
-//! throughput is expected, which may however translate to a much
-//! smaller improvement in application execution time" — because queue
-//! buffering absorbs the eliminated wake-path exits. This binary runs a
-//! condvar pipeline (the dedup/ferret/x264 shape) and shows exactly
-//! that decoupling, then shrinks the queues to capacity 1 (no buffering
-//! => handoffs ON the critical path) and shows the gap closing.
+//! Deprecated shim: the `pipeline` binary now lives in the unified CLI as
+//! `paratick pipeline`. This wrapper stays so existing scripts keep
+//! working; it delegates straight to the shared implementation.
 
-use paratick::prelude::*;
-use paratick::report;
-use paratick_workloads::pipeline::{workload, PipelineSpec};
-
-fn run(mode: TickMode, capacity: usize) -> RunMetrics {
-    let spec = PipelineSpec {
-        stages: 4,
-        workers_per_stage: 2,
-        items: 3_000,
-        queue_capacity: capacity,
-        service: SimDuration::from_micros(50),
-        service_cv: 0.9,
-    };
-    paratick_bench::run_or_exit(
-        Scenario::new(HostConfig::default())
-            .vm(
-                VmConfig::with_vcpus(8).mode(mode).spanning(1),
-                workload(spec),
-            )
-            .seed(0x919E),
-    )
-}
+use paratick_bench::cmd;
 
 fn main() {
-    println!("=== Extension: bounded-queue pipeline (4 stages x 2 workers) ===");
-    println!("§4.2: buffered handoffs put the eliminated exits off the");
-    println!("critical path — big throughput gain, small runtime gain.");
-    println!();
-    for capacity in [8usize, 1] {
-        let van = run(TickMode::DynticksIdle, capacity);
-        let par = run(TickMode::Paratick, capacity);
-        let thr = (van.busy_cycles().get() as f64 - par.busy_cycles().get() as f64)
-            / par.busy_cycles().get() as f64
-            * 100.0;
-        let time = (par.execution_time().as_secs_f64() - van.execution_time().as_secs_f64())
-            / van.execution_time().as_secs_f64()
-            * 100.0;
-        let rows = vec![
-            vec![
-                "dynticks".into(),
-                van.total_exits().to_string(),
-                van.timer_exits().to_string(),
-                format!("{}", van.execution_time()),
-            ],
-            vec![
-                "paratick".into(),
-                par.total_exits().to_string(),
-                par.timer_exits().to_string(),
-                format!("{}", par.execution_time()),
-            ],
-        ];
-        println!("--- queue capacity {capacity} ---");
-        println!(
-            "{}",
-            report::table(&["mode", "exits", "timer exits", "exec"], &rows)
-        );
-        println!(
-            "  paratick: throughput {} / exec time {}",
-            report::pct(thr),
-            report::pct(time)
-        );
-        println!();
+    cmd::deprecated_shim("pipeline", "pipeline");
+    cmd::pipeline::run();
+    if paratick_bench::batch_failures() > 0 {
+        std::process::exit(1);
     }
-    println!("capacity 8: buffering hides the wake path (throughput >> time).");
-    println!("capacity 1: every handoff is a synchronous rendezvous, so the");
-    println!("eliminated exits sit on the critical path and runtime follows");
-    println!("throughput — the same mechanism that makes the paper's fio");
-    println!("runtimes track its throughput gains (§4.2, §6.3).");
 }

@@ -1,0 +1,24 @@
+//! Figure 4 + Table 2: sequential PARSEC, paratick vs vanilla dynticks.
+//!
+//! Paper expectation (Table 2): VM exits −50 %, system throughput +7 %,
+//! execution time −2 % on average across the 13 benchmarks, with large
+//! inter-benchmark variance (I/O-streaming benchmarks gain most).
+
+use crate::{banner, print_aggregate, run_all, seq_parsec_experiment};
+use paratick::report;
+use paratick_workloads::PARSEC;
+
+pub fn run() {
+    banner(
+        "Figure 4 + Table 2: sequential PARSEC (1 vCPU)",
+        "avg: exits -50%, throughput +7%, exec time -2%",
+    );
+    let experiments = PARSEC
+        .iter()
+        .map(|p| seq_parsec_experiment(p.name))
+        .collect();
+    let comparisons = run_all(experiments);
+    crate::maybe_dump_json("fig4_seq", &comparisons);
+    println!("{}", report::comparison_table(&comparisons));
+    print_aggregate("Table 2 (average, 13 bms)", &comparisons);
+}

@@ -1,0 +1,36 @@
+//! Figure 5 + Table 3: multithreaded PARSEC in small/medium/large VMs.
+//!
+//! Paper expectation (Table 3):
+//!
+//! | VM size | VM exits | throughput | exec time |
+//! |---------|----------|------------|-----------|
+//! | small   | −42 %    | +12 %      | −1 %      |
+//! | medium  | −47 %    | +13 %      | −3 %      |
+//! | large   | −44 %    | +16 %      | −1 %      |
+//!
+//! Throughput gains grow with VM size (more parallelism ⇒ more blocking
+//! contention ⇒ more idle transitions), while execution time barely
+//! moves because the eliminated exits are mostly off the critical path.
+
+use crate::{banner, print_aggregate, run_all, par_parsec_experiment, VmSize};
+use paratick::report;
+use paratick_workloads::PARSEC;
+
+pub fn run() {
+    banner(
+        "Figure 5 + Table 3: multithreaded PARSEC",
+        "small: exits -42% thr +12% time -1% | medium: -47% +13% -3% | large: -44% +16% -1%",
+    );
+    for size in VmSize::ALL {
+        let experiments = PARSEC
+            .iter()
+            .map(|p| par_parsec_experiment(p.name, size))
+            .collect();
+        let comparisons = run_all(experiments);
+        crate::maybe_dump_json(&format!("fig5_par_{}", size.label()), &comparisons);
+        println!("--- {} VM ({} vCPUs) ---", size.label(), size.config().vcpus);
+        println!("{}", report::comparison_table(&comparisons));
+        print_aggregate(&format!("Table 3 ({})", size.label()), &comparisons);
+        println!();
+    }
+}

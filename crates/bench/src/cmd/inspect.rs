@@ -1,0 +1,127 @@
+//! Diagnostic: dump full metric breakdowns for one workload under both
+//! tick modes. Not a paper artefact — a calibration tool.
+//!
+//! Usage: `paratick inspect [parsec:<name>|fio:<pattern>-<kb>|netrpc:<nic>] [threads]`
+//!
+//! Cost-model knobs come through the typed [`EnvConfig`] loader:
+//! `PARATICK_INDIRECT_MULT` scales the indirect exit costs and
+//! `PARATICK_WAKEUP_US` overrides the wakeup latency.
+
+use paratick::prelude::*;
+use paratick_vmm::CycleCategory;
+use paratick_workloads::fio::{FioPattern, FioSpec};
+
+/// Per-VM exit-reason breakdown: one row per (VM, reason) with nonzero
+/// count, plus the VM's timer-related share.
+fn exit_breakdown(m: &RunMetrics) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for vm in &m.per_vm {
+        let total = vm.exits.total().max(1);
+        for (reason, count) in vm.exits.nonzero() {
+            rows.push(vec![
+                vm.name.clone(),
+                reason.to_string(),
+                count.to_string(),
+                format!("{:.1}%", 100.0 * count as f64 / total as f64),
+                if reason.is_timer_related() { "yes" } else { "" }.to_string(),
+            ]);
+        }
+    }
+    paratick::report::table(&["VM", "exit reason", "count", "share", "timer"], &rows)
+}
+
+fn dump(label: &str, m: &RunMetrics) {
+    println!("--- {label} ---");
+    println!("exec time: {}", m.execution_time());
+    println!("events:    {}", m.events_dispatched);
+    println!("exits: total {} timer-related {}", m.total_exits(), m.timer_exits());
+    print!("{}", exit_breakdown(m));
+    println!("injections {} (virtual ticks {})", m.system.injections, m.system.virtual_ticks);
+    println!("wakeups {}  idle periods {}  mean T_idle {:?}",
+        m.system.wakeups, m.system.idle_periods, m.system.mean_idle_period());
+    println!("cycles by category:");
+    for cat in CycleCategory::ALL {
+        let d = m.system.cycles.get(cat);
+        if !d.is_zero() {
+            println!("    {:<16} {}", cat.name(), d);
+        }
+    }
+    println!("busy: {}  overhead fraction: {:.3}%",
+        m.system.cycles.busy(), 100.0 * m.overhead_fraction());
+    print!("{}", paratick::report::profile_summary(&m.profile));
+    print!("{}", paratick::report::audit_summary(&m.audit));
+    print!("{}", paratick::report::fault_summary(&m.faults));
+    println!();
+}
+
+/// `args` are the positional arguments after the subcommand name:
+/// workload selector and thread count.
+pub fn run(args: &[String]) {
+    let what = args.first().map(String::as_str).unwrap_or("fio:seqr-4");
+    let threads: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let env = EnvConfig::get_or_exit();
+
+    let build = |mode: TickMode| -> Scenario {
+        let workload = if let Some(name) = what.strip_prefix("parsec:") {
+            let p = paratick_workloads::parsec::profile(name).expect("unknown benchmark");
+            paratick_workloads::parsec::workload(p, threads, 0.25)
+        } else if let Some(spec) = what.strip_prefix("fio:") {
+            let (pat, kb) = spec.split_once('-').expect("fio:<pattern>-<kb>");
+            let pattern = FioPattern::ALL
+                .into_iter()
+                .find(|p| p.name() == pat)
+                .expect("unknown pattern");
+            paratick_workloads::fio::workload(&FioSpec::new(
+                pattern,
+                kb.parse::<u64>().unwrap() * 1024,
+                12 << 20,
+            ))
+        } else if let Some(nic) = what.strip_prefix("netrpc:") {
+            let _ = nic;
+            paratick_workloads::netrpc::workload(
+                paratick_workloads::netrpc::RpcSpec {
+                    calls_per_worker: 1_500,
+                    ..Default::default()
+                },
+                threads,
+            )
+        } else {
+            panic!("unknown workload {what}");
+        };
+        let vcpus = threads as u32;
+        let device = match what.strip_prefix("netrpc:") {
+            Some("fast") => DeviceKind::NicFast,
+            Some(_) => DeviceKind::Nic10G,
+            None => DeviceKind::VirtioCached,
+        };
+        let mut host = HostConfig::default();
+        if let Some(m) = env.indirect_mult {
+            for i in 0..host.cost.indirect.len() {
+                host.cost.indirect[i] = (host.cost.indirect[i] as f64 * m) as u64;
+            }
+        }
+        if let Some(us) = env.wakeup_us {
+            host.cost.wakeup_latency = SimDuration::from_micros(us);
+        }
+        let mut cfg = VmConfig::with_vcpus(vcpus).mode(mode).spanning(4);
+        cfg.device = device;
+        Scenario::new(host).vm(cfg, workload).seed(1)
+    };
+
+    let van = crate::run_or_exit(build(TickMode::DynticksIdle));
+    let par = crate::run_or_exit(build(TickMode::Paratick));
+    let full = crate::run_or_exit(build(TickMode::FullDynticks));
+    dump("dynticks", &van);
+    dump("full-dynticks", &full);
+    dump("paratick", &par);
+    println!(
+        "deltas: exits {:+.1}%  throughput {:+.1}%  exec {:+.1}%",
+        (par.total_exits() as f64 - van.total_exits() as f64) / van.total_exits() as f64 * 100.0,
+        (van.busy_cycles().get() as f64 - par.busy_cycles().get() as f64)
+            / par.busy_cycles().get() as f64
+            * 100.0,
+        (par.execution_time().as_secs_f64() - van.execution_time().as_secs_f64())
+            / van.execution_time().as_secs_f64()
+            * 100.0,
+    );
+}

@@ -1,0 +1,70 @@
+//! Subcommand implementations for the unified `paratick` CLI.
+//!
+//! Every paper artefact that used to be its own binary lives here as a
+//! library function, so `paratick all` can run the full suite
+//! **in-process** — sharing one run cache, one [`EnvConfig`] parse and
+//! one set of cache counters — and so the legacy per-artefact binaries
+//! can stay alive as thin deprecated shims.
+
+use paratick::cache::CacheStats;
+
+pub mod ablations;
+pub mod crossover;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fourmodes;
+pub mod hz_sweep;
+pub mod inspect;
+pub mod netrpc;
+pub mod overcommit;
+pub mod pipeline;
+pub mod sweep;
+pub mod table1;
+
+/// (name, aliases, help, runner) for one argument-less subcommand.
+pub type Command = (&'static str, &'static [&'static str], &'static str, fn());
+
+/// Every argument-less subcommand, in `paratick all` execution order.
+/// `inspect` and `sweep` take arguments and are dispatched separately.
+pub const COMMANDS: &[Command] = &[
+    ("table1", &[], "Table 1: analytic W1-W4 exits + simulated cross-check", table1::run),
+    ("fig4", &["fig4_seq"], "Figure 4 + Table 2: sequential PARSEC", fig4::run),
+    ("fig5", &["fig5_par"], "Figure 5 + Table 3: multithreaded PARSEC", fig5::run),
+    ("fig6", &["fig6_io"], "Figure 6 + Table 4: fio I/O", fig6::run),
+    ("crossover", &[], "§3.3 crossover analysis (T_idle sweep)", crossover::run),
+    ("ablations", &[], "design-choice ablations", ablations::run),
+    ("overcommit", &[], "overcommit throughput sweep", overcommit::run),
+    ("fourmodes", &[], "all four tick strategies side by side", fourmodes::run),
+    ("netrpc", &[], "synchronous RPC service extension", netrpc::run),
+    ("hz-sweep", &["hz_sweep"], "guest tick-frequency sweep", hz_sweep::run),
+    ("pipeline", &[], "bounded-queue pipeline extension", pipeline::run),
+];
+
+/// Look up an argument-less subcommand by name or alias.
+pub fn find(name: &str) -> Option<fn()> {
+    COMMANDS
+        .iter()
+        .find(|(n, aliases, _, _)| *n == name || aliases.contains(&name))
+        .map(|&(_, _, _, f)| f)
+}
+
+/// Run every paper artefact in order, in-process, then print a
+/// run-cache summary for the whole suite. On a warm cache the summary's
+/// hit count equals its run count — every simulation was skipped.
+pub fn all() {
+    let before = CacheStats::snapshot();
+    for (name, _, _, run) in COMMANDS {
+        println!("\n################ {name} ################");
+        run();
+    }
+    let stats = CacheStats::snapshot().since(&before);
+    println!("\n################ run-cache summary ################");
+    println!("{}", stats.summary());
+}
+
+/// Print the deprecation note the legacy single-artefact binaries
+/// emit before delegating to their `cmd` function.
+pub fn deprecated_shim(old: &str, new: &str) {
+    eprintln!("note: the `{old}` binary is deprecated; use `paratick {new}`");
+}

@@ -1,0 +1,96 @@
+//! `paratick sweep`: the paper's full experiment grid, declared once
+//! and executed on the work-stealing [`Sweep`] scheduler with streamed
+//! per-cell artifacts.
+//!
+//! Usage: `paratick sweep [--out DIR] [--jobs N] [fig4] [fig5] [fig6]`
+//!
+//! With no grid selectors every grid runs. Cells shared between grids
+//! (by name) are deduplicated at submission; identical *scenarios*
+//! across distinct cells still cost one simulation each thanks to the
+//! content-addressed run cache.
+
+use crate::{fio_bytes, fio_experiment, par_parsec_experiment, seq_parsec_experiment, VmSize};
+use paratick::prelude::*;
+use paratick::experiment::Experiment;
+use paratick_workloads::fio::{FioPattern, FioSpec, BLOCK_SIZES};
+use paratick_workloads::PARSEC;
+
+fn grid(name: &str) -> Option<Vec<Experiment>> {
+    match name {
+        "fig4" => Some(PARSEC.iter().map(|p| seq_parsec_experiment(p.name)).collect()),
+        "fig5" => Some(
+            VmSize::ALL
+                .iter()
+                .flat_map(|&size| PARSEC.iter().map(move |p| par_parsec_experiment(p.name, size)))
+                .collect(),
+        ),
+        "fig6" => Some(
+            FioPattern::ALL
+                .iter()
+                .flat_map(|&pattern| {
+                    BLOCK_SIZES
+                        .iter()
+                        .map(move |&bs| fio_experiment(FioSpec::new(pattern, bs, fio_bytes())))
+                })
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+pub fn run(args: &[String]) {
+    let mut out: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut grids: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(dir) => out = Some(dir.clone()),
+                None => {
+                    eprintln!("paratick sweep: --out needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("paratick sweep: --jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            g if grid(g).is_some() => grids.push(["fig4", "fig5", "fig6"]
+                .iter()
+                .find(|&&k| k == g)
+                .unwrap()),
+            other => {
+                eprintln!("paratick sweep: unknown argument `{other}` (grids: fig4 fig5 fig6)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if grids.is_empty() {
+        grids = vec!["fig4", "fig5", "fig6"];
+    }
+
+    let mut sweep = Sweep::new("paper-grid");
+    for g in &grids {
+        sweep = sweep.add_all(grid(g).unwrap());
+    }
+    if let Some(n) = jobs {
+        sweep = sweep.jobs(n);
+    }
+    if let Some(dir) = &out {
+        sweep = sweep.artifact_dir(dir);
+    }
+
+    let report = sweep.run();
+    print!("{}", report.summary());
+    if let Some(dir) = &out {
+        println!("artifacts: {dir}/<cell>.json + {dir}/sweep.csv");
+    }
+    let code = report.exit_code();
+    if code != 0 {
+        std::process::exit(code);
+    }
+}

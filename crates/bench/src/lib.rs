@@ -31,44 +31,58 @@
 
 use paratick::prelude::*;
 use paratick::experiment::{aggregate, Comparison, Experiment};
-use rayon::prelude::*;
+use paratick_sim::{Json, ToJson};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Workload scale factor (1.0 ≈ the paper's simsmall-like runs).
+pub mod cmd;
+
+/// Workload scale factor (1.0 ≈ the paper's simsmall-like runs) — a
+/// view over the typed [`EnvConfig`] loader (`PARATICK_SCALE`).
 pub fn scale() -> f64 {
-    std::env::var("PARATICK_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25)
+    EnvConfig::get_or_exit().scale
 }
 
-/// Iteration cap per configuration.
+/// Iteration cap per configuration (`PARATICK_ITERS`).
 pub fn iters() -> u32 {
-    std::env::var("PARATICK_ITERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3)
+    EnvConfig::get_or_exit().iters
 }
 
-/// Run a set of experiments in parallel (each experiment is internally
-/// sequential and deterministic; the set is embarrassingly parallel).
-/// A simulation error aborts the whole batch with the error's exit
-/// code — a bench binary has nothing sensible to report past one.
+/// Experiment cells that failed in [`run_all`] batches so far; the
+/// `paratick` CLI turns a nonzero count into a nonzero exit code after
+/// all artifacts are printed.
+static BATCH_FAILURES: AtomicUsize = AtomicUsize::new(0);
+
+pub fn batch_failures() -> usize {
+    BATCH_FAILURES.load(Ordering::SeqCst)
+}
+
+/// Run a batch of experiments on the work-stealing [`Sweep`] scheduler
+/// (cached, parallel, live progress on stderr).
+///
+/// Unlike the old behaviour — abort the whole batch on the first
+/// `SimError` — every cell runs: failures are all reported to stderr,
+/// the completed comparisons are still returned (and still feed the
+/// tables and `PARATICK_JSON` artifacts), and the process only exits
+/// immediately when *nothing* completed.
 pub fn run_all(experiments: Vec<Experiment>) -> Vec<Comparison> {
-    let results: Vec<Result<Comparison, SimError>> =
-        experiments.par_iter().map(|e| e.run()).collect();
-    results
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()
-        .unwrap_or_else(|e| {
-            eprintln!("simulation error: {e}");
+    let report = Sweep::new("batch").add_all(experiments).run();
+    for (cell, err) in &report.failed {
+        eprintln!("simulation error in {cell}: {err}");
+    }
+    BATCH_FAILURES.fetch_add(report.failed.len(), Ordering::SeqCst);
+    if report.completed.is_empty() {
+        if let Some((_, e)) = report.failed.first() {
             std::process::exit(e.exit_code());
-        })
+        }
+    }
+    report.completed
 }
 
-/// Run one scenario, mapping a simulation error to the process exit
-/// code the error family defines (config=2, deadlock=3, invariant=4).
+/// Run one scenario through the content-addressed run cache, mapping a
+/// simulation error to the process exit code the error family defines
+/// (config=2, deadlock=3, invariant=4).
 pub fn run_or_exit(s: Scenario) -> RunMetrics {
-    Engine::run(s).unwrap_or_else(|e| {
+    paratick::cache::run_cached(s).unwrap_or_else(|e| {
         eprintln!("simulation error: {e}");
         std::process::exit(e.exit_code());
     })
@@ -76,24 +90,21 @@ pub fn run_or_exit(s: Scenario) -> RunMetrics {
 
 /// If `PARATICK_JSON=<dir>` is set, persist a comparison batch as
 /// `<dir>/<label>.json` so EXPERIMENTS.md regeneration (or external
-/// plotting) can consume machine-readable results.
+/// plotting) can consume machine-readable results. The writer is the
+/// in-repo canonical JSON codec, so identical results are
+/// byte-identical files — the property the warm-cache check asserts.
 pub fn maybe_dump_json(label: &str, comparisons: &[Comparison]) {
-    let Some(dir) = std::env::var_os("PARATICK_JSON") else {
+    let Some(dir) = EnvConfig::get_or_exit().json_dir.clone() else {
         return;
     };
-    let dir = std::path::PathBuf::from(dir);
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("PARATICK_JSON: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{}.json", label.replace('/', "_")));
-    match serde_json::to_string_pretty(comparisons) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("PARATICK_JSON: write {} failed: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("PARATICK_JSON: serialize failed: {e}"),
+    let json = Json::Arr(comparisons.iter().map(ToJson::to_json).collect()).to_string_pretty();
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("PARATICK_JSON: write {} failed: {e}", path.display());
     }
 }
 

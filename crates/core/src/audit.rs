@@ -63,6 +63,46 @@ impl AuditReport {
     }
 }
 
+impl paratick_sim::ToJson for AuditViolation {
+    fn to_json(&self) -> paratick_sim::Json {
+        paratick_sim::Json::obj(vec![
+            ("at_ns", self.at_ns.to_json()),
+            ("invariant", self.invariant.to_json()),
+            ("detail", self.detail.to_json()),
+        ])
+    }
+}
+
+impl paratick_sim::FromJson for AuditViolation {
+    fn from_json(v: &paratick_sim::Json) -> Result<Self, paratick_sim::JsonError> {
+        Ok(AuditViolation {
+            at_ns: paratick_sim::json::field(v, "at_ns")?,
+            invariant: paratick_sim::json::field(v, "invariant")?,
+            detail: paratick_sim::json::field(v, "detail")?,
+        })
+    }
+}
+
+impl paratick_sim::ToJson for AuditReport {
+    fn to_json(&self) -> paratick_sim::Json {
+        paratick_sim::Json::obj(vec![
+            ("events_checked", self.events_checked.to_json()),
+            ("total_violations", self.total_violations.to_json()),
+            ("violations", self.violations.to_json()),
+        ])
+    }
+}
+
+impl paratick_sim::FromJson for AuditReport {
+    fn from_json(v: &paratick_sim::Json) -> Result<Self, paratick_sim::JsonError> {
+        Ok(AuditReport {
+            events_checked: paratick_sim::json::field(v, "events_checked")?,
+            total_violations: paratick_sim::json::field(v, "total_violations")?,
+            violations: paratick_sim::json::field(v, "violations")?,
+        })
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 enum RunState {
     #[default]

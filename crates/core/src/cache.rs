@@ -1,0 +1,339 @@
+//! Content-addressed run cache: skip simulations whose results are
+//! already known.
+//!
+//! Every simulation in this repository is a pure function of its
+//! [`Scenario`] (which embeds the seed, the tick modes and the fault
+//! plan) and the engine's code. The cache exploits that: a run's
+//! [`RunMetrics`] are stored on disk under a SHA-256 key of the
+//! scenario's canonical content hash ∥ the effective fault plan ∥
+//! [`ENGINE_VERSION`], and [`run_cached`] consults the store before
+//! simulating. A warm cache makes `paratick all` re-emit every artifact
+//! byte-identically without running a single simulation.
+//!
+//! ## What is never cached
+//!
+//! * **Faulted runs** — fault plans model environmental weather; see
+//!   [`FaultConfig::cache_safe`]. (They would be *correct* to cache —
+//!   the plans are deterministic — but a transient `PARATICK_FAULTS`
+//!   campaign polluting the long-lived store buys nothing.)
+//! * **Observed runs** — when `PARATICK_TRACE` / `PARATICK_TIMESERIES`
+//!   would attach a sink to the next engine, a cache hit would skip the
+//!   simulation and the requested file would silently not appear.
+//! * **Profiled runs** (`PARATICK_PROF=1`) — the point of profiling is
+//!   *this* run's wall clock, not a replay of an old one.
+//! * Anything when `PARATICK_CACHE=0` (or `off`/`false`) is set.
+//!
+//! ## Layout
+//!
+//! `<dir>/<k0k1>/<key>.json` where `<dir>` is `PARATICK_CACHE_DIR` or
+//! `$TMPDIR/paratick-cache`, `<key>` is the 64-hex-digit SHA-256 and
+//! `<k0k1>` its first two digits (fan-out, like `.git/objects`). Files
+//! are written to a temporary sibling and atomically renamed, so
+//! concurrent sweep workers never observe torn entries. Corrupt or
+//! unreadable entries are treated as misses and rewritten.
+
+use crate::config::{EnvConfig, Scenario};
+use crate::engine::Engine;
+use crate::metrics::RunMetrics;
+use crate::obs;
+use paratick_sim::{FromJson, Json, StableHash, StableHasher, ToJson};
+use paratick_vmm::{FaultConfig, SimError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Engine content version, folded into every cache key. **Bump the
+/// suffix whenever a change can alter simulation results** — new event
+/// orderings, cost-model changes, workload-generation tweaks. Stale
+/// entries then simply never match again; no invalidation pass needed.
+pub const ENGINE_VERSION: &str = concat!("paratick-", env!("CARGO_PKG_VERSION"), "+sim1");
+
+// Process-wide outcome counters, reported by the CLI summary. The
+// acceptance check "warm `paratick all` skips every simulation" is
+// literally `hits == hits + misses + bypasses`.
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static STORES: AtomicU64 = AtomicU64::new(0);
+static BYPASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Misses that were successfully persisted afterwards.
+    pub stores: u64,
+    /// Runs that skipped the cache entirely (faulted / observed /
+    /// profiled / disabled).
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    pub fn snapshot() -> CacheStats {
+        CacheStats {
+            hits: HITS.load(Ordering::SeqCst),
+            misses: MISSES.load(Ordering::SeqCst),
+            stores: STORES.load(Ordering::SeqCst),
+            bypasses: BYPASSES.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Counter movement since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            stores: self.stores - earlier.stores,
+            bypasses: self.bypasses - earlier.bypasses,
+        }
+    }
+
+    /// Total simulations requested through [`run_cached`].
+    pub fn runs(&self) -> u64 {
+        self.hits + self.misses + self.bypasses
+    }
+
+    /// One-line human summary, e.g. `12 hits / 0 misses / 0 bypasses of
+    /// 12 runs`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} hits / {} misses / {} bypasses of {} runs",
+            self.hits,
+            self.misses,
+            self.bypasses,
+            self.runs()
+        )
+    }
+}
+
+/// How one [`run_cached`] call was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Deserialized from the store; no simulation ran.
+    Hit,
+    /// Simulated, then persisted.
+    Miss,
+    /// Simulated without consulting the store (see module docs).
+    Bypass,
+}
+
+/// A content-addressed store of [`RunMetrics`] keyed by scenario hash.
+#[derive(Clone, Debug)]
+pub struct RunCache {
+    dir: PathBuf,
+}
+
+impl RunCache {
+    /// Cache over an explicit directory (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> RunCache {
+        RunCache { dir: dir.into() }
+    }
+
+    /// The environment-selected cache, or `None` when caching is off.
+    pub fn from_env() -> Option<RunCache> {
+        let env = EnvConfig::get().ok()?;
+        env.cache.then(|| {
+            RunCache::new(
+                env.cache_dir
+                    .clone()
+                    .unwrap_or_else(Self::default_dir),
+            )
+        })
+    }
+
+    /// `$TMPDIR/paratick-cache` — shared by every invocation on the
+    /// machine, safely: keys are content hashes.
+    pub fn default_dir() -> PathBuf {
+        std::env::temp_dir().join("paratick-cache")
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cache key for a scenario under the current engine version.
+    pub fn key(scenario: &Scenario) -> String {
+        Self::key_versioned(ENGINE_VERSION, scenario, &scenario.host.faults)
+    }
+
+    /// Key with an explicit engine version and effective fault plan
+    /// (`PARATICK_FAULTS` overrides the scenario's plan at engine-build
+    /// time, so the key must hash what will actually run; the version
+    /// parameter lets tests prove version bumps invalidate).
+    pub fn key_versioned(
+        version: &str,
+        scenario: &Scenario,
+        effective_faults: &FaultConfig,
+    ) -> String {
+        let mut h = StableHasher::new();
+        h.write_str(version);
+        scenario.stable_hash(&mut h);
+        effective_faults.stable_hash(&mut h);
+        h.finish_hex()
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(&key[..2]).join(format!("{key}.json"))
+    }
+
+    /// Fetch a stored run. Corrupt entries read as `None`.
+    pub fn lookup(&self, key: &str) -> Option<RunMetrics> {
+        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        let entry_version = doc.opt_field("engine_version")?.as_str().ok()?;
+        if entry_version != ENGINE_VERSION {
+            // Unreachable through `key()` (the version is hashed into
+            // the key) but guards hand-edited or collided entries.
+            return None;
+        }
+        RunMetrics::from_json(doc.opt_field("metrics")?).ok()
+    }
+
+    /// Persist a run under `key`: write a temporary sibling, fsync-free
+    /// atomic rename. Failures are reported but non-fatal — the cache
+    /// is an accelerator, never a correctness dependency.
+    pub fn store(&self, key: &str, metrics: &RunMetrics) -> bool {
+        let path = self.path_of(key);
+        let parent = path.parent().expect("cache entry has a shard dir");
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("run-cache: cannot create {}: {e}", parent.display());
+            return false;
+        }
+        let doc = Json::obj(vec![
+            ("engine_version", Json::Str(ENGINE_VERSION.to_string())),
+            ("key", Json::Str(key.to_string())),
+            ("metrics", metrics.to_json()),
+        ]);
+        let tmp = parent.join(format!(".{key}.tmp.{}", std::process::id()));
+        let body = doc.to_string_pretty();
+        if let Err(e) = std::fs::write(&tmp, body) {
+            eprintln!("run-cache: write {} failed: {e}", tmp.display());
+            return false;
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            eprintln!("run-cache: rename to {} failed: {e}", path.display());
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        true
+    }
+
+    /// Run a scenario through this cache. The explicit-cache form backs
+    /// the module-level [`run_cached`] and lets tests point at a
+    /// temporary directory.
+    pub fn run(&self, scenario: Scenario) -> Result<(RunMetrics, CacheOutcome), SimError> {
+        let effective = effective_faults(&scenario);
+        if !cacheable(&effective) {
+            BYPASSES.fetch_add(1, Ordering::SeqCst);
+            return Engine::run(scenario).map(|m| (m, CacheOutcome::Bypass));
+        }
+        let key = Self::key_versioned(ENGINE_VERSION, &scenario, &effective);
+        if let Some(m) = self.lookup(&key) {
+            HITS.fetch_add(1, Ordering::SeqCst);
+            return Ok((m, CacheOutcome::Hit));
+        }
+        MISSES.fetch_add(1, Ordering::SeqCst);
+        let m = Engine::run(scenario)?;
+        if self.store(&key, &m) {
+            STORES.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok((m, CacheOutcome::Miss))
+    }
+}
+
+/// The fault plan the engine will actually use (the `PARATICK_FAULTS`
+/// override wins over the scenario's own plan).
+fn effective_faults(scenario: &Scenario) -> FaultConfig {
+    match EnvConfig::get() {
+        Ok(env) => env
+            .faults
+            .clone()
+            .unwrap_or_else(|| scenario.host.faults.clone()),
+        // A malformed environment errors out inside `Engine::new`; any
+        // placeholder works because the bypass path runs the engine.
+        Err(_) => FaultConfig::campaign(),
+    }
+}
+
+/// May this run's result be served from / written to the cache?
+fn cacheable(effective_faults: &FaultConfig) -> bool {
+    let Ok(env) = EnvConfig::get() else {
+        return false;
+    };
+    env.cache && effective_faults.cache_safe() && !env.prof && !obs::any_sink_requested()
+}
+
+/// Run a scenario through the environment-selected cache: serve a hit
+/// if one exists, otherwise simulate and persist. This is the arrow
+/// every experiment goes through; `PARATICK_CACHE=0` restores the old
+/// always-simulate behaviour exactly.
+pub fn run_cached(scenario: Scenario) -> Result<RunMetrics, SimError> {
+    match RunCache::from_env() {
+        Some(cache) => cache.run(scenario).map(|(m, _)| m),
+        None => {
+            BYPASSES.fetch_add(1, Ordering::SeqCst);
+            Engine::run(scenario)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HostConfig, VmConfig};
+    use paratick_workloads::VmWorkload;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::new(HostConfig::small(1))
+            .vm(VmConfig::with_vcpus(1), VmWorkload::idle("cachetest"))
+            .seed(seed)
+            .until(crate::config::RunUntil::Time(
+                paratick_sim::SimTime::from_millis(5),
+            ))
+    }
+
+    #[test]
+    fn key_depends_on_scenario_and_version() {
+        let base = RunCache::key(&scenario(1));
+        assert_eq!(base.len(), 64);
+        assert_eq!(base, RunCache::key(&scenario(1)), "deterministic");
+        assert_ne!(base, RunCache::key(&scenario(2)), "seed discriminates");
+        assert_ne!(
+            base,
+            RunCache::key_versioned("other-version", &scenario(1), &FaultConfig::off()),
+            "engine version discriminates"
+        );
+    }
+
+    #[test]
+    fn store_lookup_round_trip() {
+        let dir = std::env::temp_dir().join(format!("paratick-cache-ut-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RunCache::new(&dir);
+        let m = Engine::run(scenario(3)).unwrap();
+        let key = RunCache::key(&scenario(3));
+        assert!(cache.lookup(&key).is_none(), "cold store");
+        assert!(cache.store(&key, &m));
+        let back = cache.lookup(&key).expect("warm store");
+        assert_eq!(back.total_exits(), m.total_exits());
+        assert_eq!(back.events_dispatched, m.events_dispatched);
+        assert_eq!(
+            back.to_json().to_string_pretty(),
+            m.to_json().to_string_pretty(),
+            "stored metrics re-serialize byte-identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_reads_as_miss() {
+        let dir = std::env::temp_dir().join(format!("paratick-cache-ut2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RunCache::new(&dir);
+        let key = RunCache::key(&scenario(4));
+        let shard = dir.join(&key[..2]);
+        std::fs::create_dir_all(&shard).unwrap();
+        std::fs::write(shard.join(format!("{key}.json")), "{ not json").unwrap();
+        assert!(cache.lookup(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -8,9 +8,11 @@
 
 use paratick_guest::TickMode;
 use paratick_hw::DeviceKind;
-use paratick_sim::{Freq, SimDuration, SimTime};
+use paratick_sim::{Freq, SimDuration, SimTime, StableHash, StableHasher};
 use paratick_vmm::{CostModel, FaultConfig};
 use paratick_workloads::VmWorkload;
+use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// Host (hypervisor machine) configuration.
 #[derive(Clone, Debug)]
@@ -228,6 +230,299 @@ impl Scenario {
     }
 }
 
+// ---------------------------------------------------------------------
+// Content hashing (run-cache keys)
+// ---------------------------------------------------------------------
+
+impl StableHash for HostConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.sockets as u64);
+        h.write_u64(self.pcpus_per_socket as u64);
+        self.host_hz.stable_hash(h);
+        self.slice.stable_hash(h);
+        h.write_bool(self.halt_poll);
+        h.write_bool(self.ple);
+        h.write_bool(self.paratick_host);
+        h.write_bool(self.paratick_rate_adapt);
+        h.write_bool(self.apicv);
+        self.cost.stable_hash(h);
+        self.faults.stable_hash(h);
+    }
+}
+
+impl StableHash for VmConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.vcpus as u64);
+        self.tick_mode.stable_hash(h);
+        self.guest_hz.stable_hash(h);
+        self.device.stable_hash(h);
+        self.socket_span.stable_hash(h);
+        h.write_bool(self.paratick_naive_idle_exit);
+        self.hres_boot_delay.stable_hash(h);
+    }
+}
+
+impl StableHash for RunUntil {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match *self {
+            RunUntil::AllWorkloadsDone => h.write_discriminant(0),
+            RunUntil::Time(t) => {
+                h.write_discriminant(1);
+                t.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for Scenario {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.host.stable_hash(h);
+        h.write_u64(self.seed);
+        self.run_until.stable_hash(h);
+        h.write_len(self.vms.len());
+        for (cfg, workload) in &self.vms {
+            cfg.stable_hash(h);
+            workload.stable_hash(h);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed environment configuration
+// ---------------------------------------------------------------------
+
+/// A malformed `PARATICK_*` environment variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvError {
+    pub var: &'static str,
+    pub value: String,
+    pub reason: String,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={:?}: {}", self.var, self.value, self.reason)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// All `PARATICK_*` knobs, parsed once per process.
+///
+/// Before this type existed every consumer parsed its own variables ad
+/// hoc (`engine.rs` read `PARATICK_FAULTS`, `obs.rs` read the sink
+/// paths, the bench crate read the scale knobs, `inspect` read the
+/// calibration overrides). [`EnvConfig::get`] is now the single parse
+/// point: malformed values produce one typed [`EnvError`] instead of a
+/// scatter of silently-ignored `parse().ok()`s, and unrecognized
+/// `PARATICK_*` variables earn a one-time stderr warning (catching the
+/// classic `PARATICK_SCLAE=1` typo that silently runs the default).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnvConfig {
+    /// `PARATICK_SCALE`: workload scale factor (default 0.25).
+    pub scale: f64,
+    /// `PARATICK_ITERS`: iteration cap per configuration (default 3).
+    pub iters: u32,
+    /// `PARATICK_JSON`: directory for machine-readable artifacts.
+    pub json_dir: Option<PathBuf>,
+    /// `PARATICK_TRACE`: Perfetto/Chrome-trace timeline output path.
+    pub trace: Option<PathBuf>,
+    /// `PARATICK_TIMESERIES`: windowed-counters output path.
+    pub timeseries: Option<PathBuf>,
+    /// `PARATICK_TIMESERIES_WINDOW_US`: sampling window (default 1000).
+    pub timeseries_window_us: u64,
+    /// `PARATICK_PROF`: per-event-kind wall-clock self-profiling.
+    pub prof: bool,
+    /// `PARATICK_FAULTS`: fault campaign overriding `HostConfig::faults`.
+    pub faults: Option<FaultConfig>,
+    /// `PARATICK_NO_RCU`: disable background RCU-callback generation
+    /// (calibration probes).
+    pub no_rcu: bool,
+    /// `PARATICK_CACHE`: run cache on/off (default on; `0`/`off`/`false`
+    /// disables).
+    pub cache: bool,
+    /// `PARATICK_CACHE_DIR`: cache directory override.
+    pub cache_dir: Option<PathBuf>,
+    /// `PARATICK_JOBS`: sweep-scheduler worker count override.
+    pub jobs: Option<usize>,
+    /// `PARATICK_INDIRECT_MULT`: calibration multiplier on the indirect
+    /// exit-cost table (`inspect` only).
+    pub indirect_mult: Option<f64>,
+    /// `PARATICK_WAKEUP_US`: calibration override of the wakeup latency
+    /// (`inspect` only).
+    pub wakeup_us: Option<u64>,
+}
+
+impl Default for EnvConfig {
+    /// The compiled-in defaults — what an empty environment yields.
+    fn default() -> Self {
+        EnvConfig {
+            scale: 0.25,
+            iters: 3,
+            json_dir: None,
+            trace: None,
+            timeseries: None,
+            timeseries_window_us: 1_000,
+            prof: false,
+            faults: None,
+            no_rcu: false,
+            cache: true,
+            cache_dir: None,
+            jobs: None,
+            indirect_mult: None,
+            wakeup_us: None,
+        }
+    }
+}
+
+impl EnvConfig {
+    /// Every variable the loader understands. `PARATICK_OBS_CHILD` is a
+    /// subprocess marker used by the integration tests; it carries no
+    /// configuration but must not trip the unrecognized-variable warning.
+    pub const KNOWN_VARS: [&'static str; 15] = [
+        "PARATICK_SCALE",
+        "PARATICK_ITERS",
+        "PARATICK_JSON",
+        "PARATICK_TRACE",
+        "PARATICK_TIMESERIES",
+        "PARATICK_TIMESERIES_WINDOW_US",
+        "PARATICK_PROF",
+        "PARATICK_FAULTS",
+        "PARATICK_NO_RCU",
+        "PARATICK_CACHE",
+        "PARATICK_CACHE_DIR",
+        "PARATICK_JOBS",
+        "PARATICK_INDIRECT_MULT",
+        "PARATICK_WAKEUP_US",
+        "PARATICK_OBS_CHILD",
+    ];
+
+    /// Parse the process environment (no caching — see [`Self::get`]).
+    pub fn from_env() -> Result<EnvConfig, EnvError> {
+        Self::from_lookup(|var| std::env::var(var).ok())
+    }
+
+    /// Parse from an arbitrary lookup function (tests inject maps here;
+    /// real callers go through [`Self::from_env`]).
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Result<EnvConfig, EnvError> {
+        let mut cfg = EnvConfig::default();
+        if let Some(v) = get("PARATICK_SCALE") {
+            cfg.scale = parse_num("PARATICK_SCALE", &v)?;
+            if !cfg.scale.is_finite() || cfg.scale <= 0.0 {
+                return Err(invalid("PARATICK_SCALE", &v, "must be a positive finite number"));
+            }
+        }
+        if let Some(v) = get("PARATICK_ITERS") {
+            cfg.iters = parse_num("PARATICK_ITERS", &v)?;
+            if cfg.iters == 0 {
+                return Err(invalid("PARATICK_ITERS", &v, "must be at least 1"));
+            }
+        }
+        cfg.json_dir = get("PARATICK_JSON").map(PathBuf::from);
+        cfg.trace = get("PARATICK_TRACE").map(PathBuf::from);
+        cfg.timeseries = get("PARATICK_TIMESERIES").map(PathBuf::from);
+        if let Some(v) = get("PARATICK_TIMESERIES_WINDOW_US") {
+            cfg.timeseries_window_us = parse_num("PARATICK_TIMESERIES_WINDOW_US", &v)?;
+            if cfg.timeseries_window_us == 0 {
+                return Err(invalid(
+                    "PARATICK_TIMESERIES_WINDOW_US",
+                    &v,
+                    "must be at least 1",
+                ));
+            }
+        }
+        cfg.prof = get("PARATICK_PROF").is_some_and(|v| flag_on(&v));
+        if let Some(spec) = get("PARATICK_FAULTS") {
+            match FaultConfig::from_spec(&spec) {
+                Ok(f) => cfg.faults = Some(f),
+                Err(e) => return Err(invalid("PARATICK_FAULTS", &spec, &e)),
+            }
+        }
+        cfg.no_rcu = get("PARATICK_NO_RCU").is_some_and(|v| flag_on(&v));
+        if let Some(v) = get("PARATICK_CACHE") {
+            cfg.cache = flag_on(&v);
+        }
+        cfg.cache_dir = get("PARATICK_CACHE_DIR").map(PathBuf::from);
+        if let Some(v) = get("PARATICK_JOBS") {
+            let jobs: usize = parse_num("PARATICK_JOBS", &v)?;
+            if jobs == 0 {
+                return Err(invalid("PARATICK_JOBS", &v, "must be at least 1"));
+            }
+            cfg.jobs = Some(jobs);
+        }
+        if let Some(v) = get("PARATICK_INDIRECT_MULT") {
+            let m: f64 = parse_num("PARATICK_INDIRECT_MULT", &v)?;
+            if !m.is_finite() || m <= 0.0 {
+                return Err(invalid(
+                    "PARATICK_INDIRECT_MULT",
+                    &v,
+                    "must be a positive finite number",
+                ));
+            }
+            cfg.indirect_mult = Some(m);
+        }
+        if let Some(v) = get("PARATICK_WAKEUP_US") {
+            cfg.wakeup_us = Some(parse_num("PARATICK_WAKEUP_US", &v)?);
+        }
+        Ok(cfg)
+    }
+
+    /// The process-wide configuration, parsed exactly once. A malformed
+    /// variable is sticky: every caller sees the same [`EnvError`].
+    pub fn get() -> Result<&'static EnvConfig, &'static EnvError> {
+        static CONFIG: OnceLock<Result<EnvConfig, EnvError>> = OnceLock::new();
+        CONFIG
+            .get_or_init(|| {
+                warn_unrecognized();
+                EnvConfig::from_env()
+            })
+            .as_ref()
+    }
+
+    /// [`Self::get`], mapping a malformed variable to the configuration
+    /// exit code (2) — what a CLI entry point wants.
+    pub fn get_or_exit() -> &'static EnvConfig {
+        EnvConfig::get().unwrap_or_else(|e| {
+            eprintln!("error: bad environment: {e}");
+            std::process::exit(2);
+        })
+    }
+}
+
+fn invalid(var: &'static str, value: &str, reason: &str) -> EnvError {
+    EnvError {
+        var,
+        value: value.to_string(),
+        reason: reason.to_string(),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(var: &'static str, value: &str) -> Result<T, EnvError> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| invalid(var, value, &format!("not a valid {}", std::any::type_name::<T>())))
+}
+
+/// Flag convention, uniform across every boolean knob: set and not one
+/// of `0` / `off` / `false` (case-insensitive) means on.
+fn flag_on(v: &str) -> bool {
+    !matches!(
+        v.trim().to_ascii_lowercase().as_str(),
+        "0" | "off" | "false"
+    )
+}
+
+/// Warn (once, via [`EnvConfig::get`]) about `PARATICK_*` variables the
+/// loader does not understand — typos otherwise silently run defaults.
+fn warn_unrecognized() {
+    for (key, _) in std::env::vars() {
+        if key.starts_with("PARATICK_") && !EnvConfig::KNOWN_VARS.contains(&key.as_str()) {
+            eprintln!("warning: unrecognized environment variable {key} (ignored)");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +597,99 @@ mod tests {
             .until(RunUntil::Time(SimTime::from_secs(1)));
         assert_eq!(s.seed, 42);
         assert_eq!(s.run_until, RunUntil::Time(SimTime::from_secs(1)));
+    }
+
+    fn digest(s: &Scenario) -> String {
+        paratick_sim::stable_digest_hex(s)
+    }
+
+    #[test]
+    fn scenario_hash_is_stable_and_discriminating() {
+        let mk = || {
+            Scenario::new(HostConfig::small(2))
+                .vm(VmConfig::with_vcpus(1), VmWorkload::idle("a"))
+                .seed(7)
+        };
+        assert_eq!(digest(&mk()), digest(&mk()), "same scenario, same hash");
+        assert_ne!(digest(&mk()), digest(&mk().seed(8)), "seed changes hash");
+        assert_ne!(
+            digest(&mk()),
+            digest(&mk().with_mode(TickMode::Paratick)),
+            "tick mode changes hash"
+        );
+        assert_ne!(
+            digest(&mk()),
+            digest(&mk().until(RunUntil::Time(SimTime::from_secs(1)))),
+            "horizon changes hash"
+        );
+        assert_ne!(
+            digest(&mk()),
+            digest(&mk().faults(FaultConfig::from_spec("campaign").unwrap())),
+            "fault plan changes hash"
+        );
+    }
+
+    #[test]
+    fn env_config_defaults_from_empty_environment() {
+        let cfg = EnvConfig::from_lookup(|_| None).unwrap();
+        assert_eq!(cfg, EnvConfig::default());
+        assert_eq!(cfg.scale, 0.25);
+        assert_eq!(cfg.iters, 3);
+        assert!(cfg.cache, "cache defaults on");
+        assert!(!cfg.prof);
+    }
+
+    #[test]
+    fn env_config_parses_typed_values() {
+        let cfg = EnvConfig::from_lookup(|var| match var {
+            "PARATICK_SCALE" => Some("0.5".into()),
+            "PARATICK_ITERS" => Some("7".into()),
+            "PARATICK_JSON" => Some("/tmp/out".into()),
+            "PARATICK_PROF" => Some("1".into()),
+            "PARATICK_CACHE" => Some("off".into()),
+            "PARATICK_JOBS" => Some("4".into()),
+            "PARATICK_FAULTS" => Some("campaign".into()),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!(cfg.iters, 7);
+        assert_eq!(cfg.json_dir, Some(PathBuf::from("/tmp/out")));
+        assert!(cfg.prof);
+        assert!(!cfg.cache);
+        assert_eq!(cfg.jobs, Some(4));
+        assert!(cfg.faults.as_ref().is_some_and(FaultConfig::any_enabled));
+    }
+
+    #[test]
+    fn env_config_rejects_malformed_values() {
+        let err = EnvConfig::from_lookup(|var| {
+            (var == "PARATICK_SCALE").then(|| "fast".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "PARATICK_SCALE");
+        assert!(err.to_string().contains("PARATICK_SCALE"), "{err}");
+
+        let err = EnvConfig::from_lookup(|var| {
+            (var == "PARATICK_ITERS").then(|| "0".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "PARATICK_ITERS");
+
+        let err = EnvConfig::from_lookup(|var| {
+            (var == "PARATICK_FAULTS").then(|| "bogus-kind:1".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "PARATICK_FAULTS");
+    }
+
+    #[test]
+    fn flag_convention_uniform() {
+        for off in ["0", "off", "OFF", "false", " False "] {
+            assert!(!flag_on(off), "{off:?} should be off");
+        }
+        for on in ["1", "yes", "on", "anything"] {
+            assert!(flag_on(on), "{on:?} should be on");
+        }
     }
 }

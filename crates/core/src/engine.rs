@@ -44,7 +44,7 @@ use paratick_hw::{BlockDevice, DeadlineWriteEffect, IoRequest, Vector};
 use paratick_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use paratick_vmm::ple::Ple;
 use paratick_vmm::{
-    hypercall, CostModel, CycleCategory, EventSink, ExitReason, FaultConfig, FaultKind, FaultPlan,
+    hypercall, CostModel, CycleCategory, EventSink, ExitReason, FaultKind, FaultPlan,
     FaultStats, HaltPoll, HostScheduler, Hypercall, InjectDecision, KvmVcpu, PCpu, ParatickHost,
     PcpuId, PollOutcome, RetryPolicy, SchedDecision, SimError, SimEvent, SystemStats, TimerBackend,
     VcpuId, VcpuRunState,
@@ -272,10 +272,11 @@ impl Engine {
         let rng = SimRng::new(scenario.seed);
         // `PARATICK_FAULTS` overrides the scenario's fault config (the
         // CI smoke run and ad-hoc campaigns use it).
-        let fault_cfg = match std::env::var("PARATICK_FAULTS") {
-            Ok(spec) => FaultConfig::from_spec(&spec)
-                .map_err(|e| SimError::Config(format!("PARATICK_FAULTS: {e}")))?,
-            Err(_) => host.faults.clone(),
+        let env = crate::config::EnvConfig::get()
+            .map_err(|e| SimError::Config(e.to_string()))?;
+        let fault_cfg = match &env.faults {
+            Some(f) => f.clone(),
+            None => host.faults.clone(),
         };
         let retry = fault_cfg.retry_policy();
         // Fork the fault stream from a *fresh* copy of the seed so the
@@ -361,7 +362,7 @@ impl Engine {
             queue: EventQueue::with_capacity(1024),
             paratick_host: ParatickHost::new(host.paratick_host),
             rate_adapt_enabled: host.paratick_rate_adapt,
-            rcu_background: std::env::var_os("PARATICK_NO_RCU").is_none(),
+            rcu_background: !env.no_rcu,
             ple: if host.ple {
                 Ple::kvm_default()
             } else {

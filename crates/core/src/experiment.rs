@@ -9,7 +9,6 @@
 //! deltas for the three §6 metrics.
 
 use crate::config::Scenario;
-use crate::engine::Engine;
 use crate::metrics::RunMetrics;
 use paratick_guest::TickMode;
 use paratick_sim::stats::Summary;
@@ -125,14 +124,17 @@ impl Experiment {
     }
 
     /// Run the paired experiment. Fails on the first simulation error
-    /// (bad configuration, deadlock, invariant breach).
+    /// (bad configuration, deadlock, invariant breach). Simulations go
+    /// through the content-addressed run cache ([`crate::cache`]): a
+    /// warm repeat of the same experiment deserializes every iteration
+    /// instead of simulating it.
     pub fn run(&self) -> Result<Comparison, paratick_vmm::SimError> {
         let mut base = ModeSummary::default();
         let mut treat = ModeSummary::default();
         for i in 0..self.max_iterations {
             let seed = 0xE1E7_0000 + u64::from(i);
-            base.record(&Engine::run((self.builder)(self.baseline, seed))?);
-            treat.record(&Engine::run((self.builder)(self.treatment, seed))?);
+            base.record(&crate::cache::run_cached((self.builder)(self.baseline, seed))?);
+            treat.record(&crate::cache::run_cached((self.builder)(self.treatment, seed))?);
             if i + 1 >= self.min_iterations
                 && base.stable(self.cv_target)
                 && treat.stable(self.cv_target)
@@ -166,6 +168,70 @@ impl Comparison {
             throughput_pct,
             exec_time_pct,
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON codecs (artifact files; byte-stable across identical runs)
+// ---------------------------------------------------------------------
+
+use paratick_sim::{json, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for ModeSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("exits", self.exits.to_json()),
+            ("timer_exits", self.timer_exits.to_json()),
+            ("busy_cycles", self.busy_cycles.to_json()),
+            ("exec_time_secs", self.exec_time_secs.to_json()),
+            ("iterations", self.iterations.to_json()),
+            ("events_dispatched", self.events_dispatched.to_json()),
+            ("queue_depth_hwm", self.queue_depth_hwm.to_json()),
+            ("events_per_wall_sec", self.events_per_wall_sec.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ModeSummary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ModeSummary {
+            exits: json::field(v, "exits")?,
+            timer_exits: json::field(v, "timer_exits")?,
+            busy_cycles: json::field(v, "busy_cycles")?,
+            exec_time_secs: json::field(v, "exec_time_secs")?,
+            iterations: json::field(v, "iterations")?,
+            events_dispatched: json::field(v, "events_dispatched")?,
+            queue_depth_hwm: json::field(v, "queue_depth_hwm")?,
+            events_per_wall_sec: json::field(v, "events_per_wall_sec")?,
+        })
+    }
+}
+
+impl ToJson for Comparison {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("baseline", self.baseline.to_json()),
+            ("treatment", self.treatment.to_json()),
+            ("exits_pct", self.exits_pct.to_json()),
+            ("timer_exits_pct", self.timer_exits_pct.to_json()),
+            ("throughput_pct", self.throughput_pct.to_json()),
+            ("exec_time_pct", self.exec_time_pct.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Comparison {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Comparison {
+            name: json::field(v, "name")?,
+            baseline: json::field(v, "baseline")?,
+            treatment: json::field(v, "treatment")?,
+            exits_pct: json::field(v, "exits_pct")?,
+            timer_exits_pct: json::field(v, "timer_exits_pct")?,
+            throughput_pct: json::field(v, "throughput_pct")?,
+            exec_time_pct: json::field(v, "exec_time_pct")?,
+        })
     }
 }
 

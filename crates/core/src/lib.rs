@@ -56,27 +56,33 @@
 
 pub mod analytic;
 pub mod audit;
+pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod obs;
 pub mod report;
+pub mod sweep;
 
 pub use audit::{AuditReport, AuditViolation};
-pub use config::{HostConfig, RunUntil, Scenario, VmConfig};
+pub use cache::RunCache;
+pub use config::{EnvConfig, EnvError, HostConfig, RunUntil, Scenario, VmConfig};
 pub use engine::Engine;
 pub use experiment::{Comparison, Experiment};
 pub use metrics::{EngineProfile, RunMetrics, VmMetrics};
 pub use paratick_vmm::{FaultConfig, FaultKind, FaultStats, SimError, TimerBackend};
+pub use sweep::{Sweep, SweepReport};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::analytic;
     pub use crate::audit::{AuditReport, AuditViolation};
-    pub use crate::config::{HostConfig, RunUntil, Scenario, VmConfig};
+    pub use crate::cache::RunCache;
+    pub use crate::config::{EnvConfig, EnvError, HostConfig, RunUntil, Scenario, VmConfig};
     pub use crate::engine::Engine;
     pub use crate::experiment::{Comparison, Experiment};
+    pub use crate::sweep::{Sweep, SweepReport};
     pub use crate::metrics::{EngineProfile, RunMetrics, VmMetrics};
     pub use crate::obs;
     pub use crate::report;

@@ -185,6 +185,139 @@ impl RunMetrics {
     }
 }
 
+// ---------------------------------------------------------------------
+// JSON codecs (run-cache persistence, artifact files)
+// ---------------------------------------------------------------------
+
+use paratick_sim::{json, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for VmMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("mode", self.mode.to_json()),
+            ("exits", self.exits.to_json()),
+            ("finished_at", self.finished_at.to_json()),
+            ("injections", self.injections.to_json()),
+            ("virtual_ticks", self.virtual_ticks.to_json()),
+            ("wakeups", self.wakeups.to_json()),
+            ("idle_periods", self.idle_periods.to_json()),
+            ("halted_time", self.halted_time.to_json()),
+            ("idle_periods_hist", self.idle_periods_hist.to_json()),
+            ("paratick_timer_reuse", self.paratick_timer_reuse.to_json()),
+            (
+                "paratick_timers_programmed",
+                self.paratick_timers_programmed.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for VmMetrics {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(VmMetrics {
+            name: json::field(v, "name")?,
+            mode: json::field(v, "mode")?,
+            exits: json::field(v, "exits")?,
+            finished_at: json::field(v, "finished_at")?,
+            injections: json::field(v, "injections")?,
+            virtual_ticks: json::field(v, "virtual_ticks")?,
+            wakeups: json::field(v, "wakeups")?,
+            idle_periods: json::field(v, "idle_periods")?,
+            halted_time: json::field(v, "halted_time")?,
+            idle_periods_hist: json::field(v, "idle_periods_hist")?,
+            paratick_timer_reuse: json::field(v, "paratick_timer_reuse")?,
+            paratick_timers_programmed: json::field(v, "paratick_timers_programmed")?,
+        })
+    }
+}
+
+impl ToJson for KindProfile {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", self.kind.to_json()),
+            ("count", self.count.to_json()),
+            ("wall_nanos", self.wall_nanos.to_json()),
+        ])
+    }
+}
+
+impl FromJson for KindProfile {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(KindProfile {
+            kind: json::field(v, "kind")?,
+            count: json::field(v, "count")?,
+            wall_nanos: json::field(v, "wall_nanos")?,
+        })
+    }
+}
+
+impl ToJson for EngineProfile {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("wall_nanos", self.wall_nanos.to_json()),
+            ("wall_timed_kinds", self.wall_timed_kinds.to_json()),
+            (
+                "queue_depth_high_water",
+                self.queue_depth_high_water.to_json(),
+            ),
+            ("per_kind", self.per_kind.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EngineProfile {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(EngineProfile {
+            wall_nanos: json::field(v, "wall_nanos")?,
+            wall_timed_kinds: json::field(v, "wall_timed_kinds")?,
+            queue_depth_high_water: json::field(v, "queue_depth_high_water")?,
+            per_kind: json::field(v, "per_kind")?,
+        })
+    }
+}
+
+impl ToJson for RunMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("duration", self.duration.to_json()),
+            ("freq", self.freq.to_json()),
+            ("per_vm", self.per_vm.to_json()),
+            ("system", self.system.to_json()),
+            ("events_dispatched", self.events_dispatched.to_json()),
+            ("profile", self.profile.to_json()),
+            ("audit", self.audit.to_json()),
+            ("faults", self.faults.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunMetrics {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RunMetrics {
+            duration: json::field(v, "duration")?,
+            freq: json::field(v, "freq")?,
+            per_vm: json::field(v, "per_vm")?,
+            system: json::field(v, "system")?,
+            events_dispatched: json::field(v, "events_dispatched")?,
+            // Tolerate pre-profile/pre-audit dumps, like the serde
+            // `#[serde(default)]` attributes did.
+            profile: match v.opt_field("profile") {
+                Some(p) => EngineProfile::from_json(p)?,
+                None => EngineProfile::default(),
+            },
+            audit: match v.opt_field("audit") {
+                Some(a) => crate::audit::AuditReport::from_json(a)?,
+                None => Default::default(),
+            },
+            faults: match v.opt_field("faults") {
+                Some(f) => paratick_vmm::FaultStats::from_json(f)?,
+                None => Default::default(),
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

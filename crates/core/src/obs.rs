@@ -572,27 +572,28 @@ impl EventSink for TimeSeriesSink {
 static TRACE_CLAIMED: AtomicBool = AtomicBool::new(false);
 static TIMESERIES_CLAIMED: AtomicBool = AtomicBool::new(false);
 
-/// Sinks requested via `PARATICK_TRACE` / `PARATICK_TIMESERIES`.
+/// Sinks requested via `PARATICK_TRACE` / `PARATICK_TIMESERIES` (both
+/// read through the typed [`crate::config::EnvConfig`] loader).
 pub fn sinks_from_env(n_pcpus: usize) -> Vec<Box<dyn EventSink>> {
+    let Ok(env) = crate::config::EnvConfig::get() else {
+        // A malformed environment is reported by `Engine::new`; the
+        // sink attachment just declines.
+        return Vec::new();
+    };
     let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
-    if let Some(path) = std::env::var_os("PARATICK_TRACE") {
+    if let Some(path) = &env.trace {
         if !TRACE_CLAIMED.swap(true, Ordering::SeqCst) {
-            let path = PathBuf::from(path);
             match PerfettoSink::create(path.clone()) {
                 Ok(s) => sinks.push(Box::new(s)),
                 Err(e) => eprintln!("PARATICK_TRACE: cannot create {}: {e}", path.display()),
             }
         }
     }
-    if let Some(path) = std::env::var_os("PARATICK_TIMESERIES") {
+    if let Some(path) = &env.timeseries {
         if !TIMESERIES_CLAIMED.swap(true, Ordering::SeqCst) {
-            let window_us = std::env::var("PARATICK_TIMESERIES_WINDOW_US")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(1_000);
             sinks.push(Box::new(TimeSeriesSink::new(
-                PathBuf::from(path),
-                window_us,
+                path.clone(),
+                env.timeseries_window_us,
                 n_pcpus,
             )));
         }
@@ -602,7 +603,22 @@ pub fn sinks_from_env(n_pcpus: usize) -> Vec<Box<dyn EventSink>> {
 
 /// `PARATICK_PROF=1`: time each event kind with the wall clock.
 pub fn prof_wall_enabled() -> bool {
-    std::env::var_os("PARATICK_PROF").is_some_and(|v| v != "0")
+    crate::config::EnvConfig::get().map(|e| e.prof).unwrap_or(false)
+}
+
+/// Would any observability sink attach to the next engine in this
+/// process? Runs whose events feed a sink must bypass the run cache — a
+/// cache hit skips the simulation, so no events would ever reach the
+/// sink and the requested trace/time-series file would silently not
+/// appear.
+pub fn any_sink_requested() -> bool {
+    match crate::config::EnvConfig::get() {
+        Ok(env) => {
+            (env.trace.is_some() && !TRACE_CLAIMED.load(Ordering::SeqCst))
+                || (env.timeseries.is_some() && !TIMESERIES_CLAIMED.load(Ordering::SeqCst))
+        }
+        Err(_) => false,
+    }
 }
 
 #[cfg(test)]

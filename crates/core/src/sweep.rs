@@ -1,0 +1,374 @@
+//! Declarative experiment grids on a bounded work-stealing scheduler.
+//!
+//! A [`Sweep`] is a set of named [`Experiment`] cells executed across a
+//! fixed pool of worker threads. Each worker owns a deque seeded
+//! round-robin; it pops its own work from the front and, when empty,
+//! steals from the back of a sibling — the classic Chase–Lev shape,
+//! here with plain `Mutex<VecDeque>`s since cells are seconds-coarse
+//! and contention is nil. Cells sharing a name are deduplicated before
+//! scheduling (the figure grids overlap: `fig5` and `ablations` both
+//! want `canneal/small`), and every cell routes its simulations through
+//! the run cache ([`crate::cache`]), so overlapping *scenarios* across
+//! differently-named cells cost one simulation too.
+//!
+//! Unlike the old `run_all` (which aborted the whole batch on the first
+//! `SimError`), a sweep always drains: failures are collected per cell
+//! and reported together in the [`SweepReport`], alongside every
+//! completed [`Comparison`].
+//!
+//! Artifacts stream: the moment a cell completes, its comparison is
+//! written to `<dir>/<cell>.json` and appended to `<dir>/sweep.csv`
+//! (when an artifact directory is configured) — a killed sweep keeps
+//! everything it finished.
+
+use crate::cache::CacheStats;
+use crate::config::EnvConfig;
+use crate::experiment::{Comparison, Experiment};
+use paratick_sim::ToJson;
+use paratick_vmm::SimError;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A declarative grid of experiment cells plus scheduling knobs.
+pub struct Sweep {
+    name: String,
+    cells: Vec<Experiment>,
+    /// Cells dropped because an earlier cell had the same name.
+    deduped: usize,
+    jobs: Option<usize>,
+    artifact_dir: Option<PathBuf>,
+    progress: bool,
+}
+
+/// The outcome of a sweep: everything that finished, everything that
+/// failed, and how the run cache fared.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    pub name: String,
+    /// Completed comparisons, in cell submission order.
+    pub completed: Vec<Comparison>,
+    /// `(cell name, error)` for every failed cell, in submission order.
+    pub failed: Vec<(String, SimError)>,
+    /// Cache counter movement attributable to this sweep.
+    pub cache: CacheStats,
+    /// Cells skipped as duplicate names at submission time.
+    pub deduped: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock duration of the scheduling run.
+    pub wall: std::time::Duration,
+}
+
+impl SweepReport {
+    /// Every submitted cell either completed or failed.
+    pub fn cells(&self) -> usize {
+        self.completed.len() + self.failed.len()
+    }
+
+    /// Multi-line human summary (cells, failures, cache counters).
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "sweep {}: {} cells on {} workers in {:.2?} ({} deduped); cache: {}\n",
+            self.name,
+            self.cells(),
+            self.jobs,
+            self.wall,
+            self.deduped,
+            self.cache.summary(),
+        );
+        for (cell, err) in &self.failed {
+            s.push_str(&format!("  FAILED {cell}: {err}\n"));
+        }
+        s
+    }
+
+    /// The exit code the CLI should end with: 0 when clean, else the
+    /// first failure's code (config=2, deadlock=3, engine=4).
+    pub fn exit_code(&self) -> i32 {
+        self.failed.first().map_or(0, |(_, e)| e.exit_code())
+    }
+}
+
+impl Sweep {
+    pub fn new(name: impl Into<String>) -> Sweep {
+        Sweep {
+            name: name.into(),
+            cells: Vec::new(),
+            deduped: 0,
+            jobs: None,
+            artifact_dir: None,
+            progress: true,
+        }
+    }
+
+    /// Add one cell; a duplicate name is dropped (first wins).
+    #[allow(clippy::should_implement_trait)] // builder, not arithmetic
+    pub fn add(mut self, exp: Experiment) -> Sweep {
+        if self.cells.iter().any(|c| c.name == exp.name) {
+            self.deduped += 1;
+        } else {
+            self.cells.push(exp);
+        }
+        self
+    }
+
+    pub fn add_all(mut self, exps: impl IntoIterator<Item = Experiment>) -> Sweep {
+        for e in exps {
+            self = self.add(e);
+        }
+        self
+    }
+
+    /// Fix the worker count (otherwise `PARATICK_JOBS`, otherwise the
+    /// machine's available parallelism).
+    pub fn jobs(mut self, jobs: usize) -> Sweep {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Stream per-cell JSON and a cumulative CSV into this directory.
+    pub fn artifact_dir(mut self, dir: impl Into<PathBuf>) -> Sweep {
+        self.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Silence the per-cell progress lines on stderr.
+    pub fn quiet(mut self) -> Sweep {
+        self.progress = false;
+        self
+    }
+
+    fn resolve_jobs(&self) -> usize {
+        let configured = self.jobs.or_else(|| EnvConfig::get().ok().and_then(|e| e.jobs));
+        let n = configured.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        });
+        n.clamp(1, self.cells.len().max(1))
+    }
+
+    /// Execute every cell; never aborts early on a cell failure.
+    pub fn run(self) -> SweepReport {
+        let started = std::time::Instant::now();
+        let cache_before = CacheStats::snapshot();
+        let jobs = self.resolve_jobs();
+        let total = self.cells.len();
+        let artifacts = self
+            .artifact_dir
+            .as_ref()
+            .and_then(|dir| ArtifactWriter::create(dir.clone()));
+
+        // Work-stealing deques, seeded round-robin so every worker
+        // starts loaded; a worker pops its own front (LIFO locality is
+        // irrelevant here, FIFO keeps submission order roughly intact)
+        // and steals from a sibling's back.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, q) in (0..total).zip((0..jobs).cycle()) {
+            queues[q].lock().unwrap().push_back(i);
+        }
+        let results: Vec<Mutex<Option<Result<Comparison, SimError>>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        let done = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for worker in 0..jobs {
+                let cells = &self.cells;
+                let queues = &queues;
+                let results = &results;
+                let done = &done;
+                let artifacts = artifacts.as_ref();
+                let progress = self.progress;
+                let sweep_name = self.name.as_str();
+                scope.spawn(move || loop {
+                    let task = queues[worker].lock().unwrap().pop_front().or_else(|| {
+                        // Own deque dry: steal from the back of the
+                        // most loaded sibling.
+                        (0..queues.len())
+                            .filter(|&q| q != worker)
+                            .filter_map(|q| queues[q].lock().unwrap().pop_back())
+                            .next()
+                    });
+                    let Some(idx) = task else { break };
+                    let cell = &cells[idx];
+                    let cell_started = std::time::Instant::now();
+                    let outcome = cell.run();
+                    let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
+                    if progress {
+                        match &outcome {
+                            Ok(_) => eprintln!(
+                                "[{sweep_name} {finished}/{total}] {} ok in {:.2?}",
+                                cell.name,
+                                cell_started.elapsed()
+                            ),
+                            Err(e) => eprintln!(
+                                "[{sweep_name} {finished}/{total}] {} FAILED: {e}",
+                                cell.name
+                            ),
+                        }
+                    }
+                    if let (Some(w), Ok(c)) = (artifacts, &outcome) {
+                        w.emit(c);
+                    }
+                    *results[idx].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+
+        let mut completed = Vec::new();
+        let mut failed = Vec::new();
+        for (idx, slot) in results.into_iter().enumerate() {
+            match slot.into_inner().unwrap() {
+                Some(Ok(c)) => completed.push(c),
+                Some(Err(e)) => failed.push((self.cells[idx].name.clone(), e)),
+                None => unreachable!("scope joined every worker"),
+            }
+        }
+        SweepReport {
+            name: self.name,
+            completed,
+            failed,
+            cache: CacheStats::snapshot().since(&cache_before),
+            deduped: self.deduped,
+            jobs,
+            wall: started.elapsed(),
+        }
+    }
+}
+
+/// Streams per-cell artifacts: one JSON file per comparison plus an
+/// append-only CSV of the headline deltas.
+struct ArtifactWriter {
+    dir: PathBuf,
+    csv: Mutex<std::fs::File>,
+}
+
+impl ArtifactWriter {
+    fn create(dir: PathBuf) -> Option<ArtifactWriter> {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("sweep: cannot create artifact dir {}: {e}", dir.display());
+            return None;
+        }
+        let csv_path = dir.join("sweep.csv");
+        let mut csv = match std::fs::File::create(&csv_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("sweep: cannot create {}: {e}", csv_path.display());
+                return None;
+            }
+        };
+        if let Err(e) =
+            writeln!(csv, "cell,exits_pct,timer_exits_pct,throughput_pct,exec_time_pct,iterations")
+        {
+            eprintln!("sweep: header write failed: {e}");
+            return None;
+        }
+        Some(ArtifactWriter {
+            dir,
+            csv: Mutex::new(csv),
+        })
+    }
+
+    fn emit(&self, c: &Comparison) {
+        let path = self.dir.join(format!("{}.json", sanitize(&c.name)));
+        if let Err(e) = std::fs::write(&path, c.to_json().to_string_pretty()) {
+            eprintln!("sweep: write {} failed: {e}", path.display());
+        }
+        let mut csv = self.csv.lock().unwrap();
+        let _ = writeln!(
+            csv,
+            "{},{:.4},{:.4},{:.4},{:.4},{}",
+            c.name,
+            c.exits_pct,
+            c.timer_exits_pct,
+            c.throughput_pct,
+            c.exec_time_pct,
+            c.baseline.iterations
+        );
+        let _ = csv.flush();
+    }
+}
+
+/// File-name-safe cell name (slashes appear in grid labels like
+/// `canneal/small`).
+pub fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|ch| {
+            if ch.is_ascii_alphanumeric() || matches!(ch, '-' | '_' | '.') {
+                ch
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HostConfig, Scenario, VmConfig};
+    use paratick_workloads::parsec;
+
+    fn tiny(name: &str) -> Experiment {
+        let profile = *parsec::profile("swaptions").unwrap();
+        Experiment::new(name.to_string(), move |mode, seed| {
+            Scenario::new(HostConfig::small(1))
+                .vm(
+                    VmConfig::with_vcpus(1).mode(mode),
+                    parsec::workload(&profile, 1, 0.002),
+                )
+                .seed(seed)
+        })
+        .iterations(1, 1)
+    }
+
+    #[test]
+    fn sweep_runs_all_cells_and_dedups() {
+        let report = Sweep::new("ut")
+            .add(tiny("a"))
+            .add(tiny("b"))
+            .add(tiny("a")) // duplicate name: dropped
+            .jobs(2)
+            .quiet()
+            .run();
+        assert_eq!(report.cells(), 2);
+        assert_eq!(report.deduped, 1);
+        assert!(report.failed.is_empty(), "{:?}", report.failed);
+        // Submission order is preserved in the output.
+        assert_eq!(report.completed[0].name, "a");
+        assert_eq!(report.completed[1].name, "b");
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn sweep_collects_failures_without_aborting() {
+        let bad = Experiment::new("bad", |mode, seed| {
+            // Zero pCPUs: rejected by Engine::new with SimError::Config.
+            Scenario::new(HostConfig::small(0))
+                .vm(VmConfig::with_vcpus(1).mode(mode), parsec::workload(
+                    parsec::profile("swaptions").unwrap(), 1, 0.002,
+                ))
+                .seed(seed)
+        })
+        .iterations(1, 1);
+        let report = Sweep::new("ut-fail")
+            .add(tiny("good"))
+            .add(bad)
+            .jobs(1)
+            .quiet()
+            .run();
+        assert_eq!(report.completed.len(), 1, "good cell still completes");
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].0, "bad");
+        assert_ne!(report.exit_code(), 0);
+        assert!(report.summary().contains("FAILED bad"));
+    }
+
+    #[test]
+    fn sanitize_cell_names() {
+        assert_eq!(sanitize("canneal/small"), "canneal_small");
+        assert_eq!(sanitize("seqr-4k"), "seqr-4k");
+    }
+}

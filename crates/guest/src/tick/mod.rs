@@ -49,6 +49,13 @@ pub enum TickMode {
 }
 
 impl TickMode {
+    pub const ALL: [TickMode; 4] = [
+        TickMode::Periodic,
+        TickMode::DynticksIdle,
+        TickMode::FullDynticks,
+        TickMode::Paratick,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             TickMode::Periodic => "periodic",
@@ -56,6 +63,32 @@ impl TickMode {
             TickMode::FullDynticks => "full-dynticks",
             TickMode::Paratick => "paratick",
         }
+    }
+
+    /// Inverse of [`TickMode::name`].
+    pub fn parse(s: &str) -> Option<TickMode> {
+        Self::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl paratick_sim::StableHash for TickMode {
+    fn stable_hash(&self, h: &mut paratick_sim::StableHasher) {
+        h.write_str(self.name());
+    }
+}
+
+impl paratick_sim::ToJson for TickMode {
+    fn to_json(&self) -> paratick_sim::Json {
+        paratick_sim::Json::Str(self.name().to_string())
+    }
+}
+
+impl paratick_sim::FromJson for TickMode {
+    fn from_json(v: &paratick_sim::Json) -> Result<Self, paratick_sim::JsonError> {
+        let s = v.as_str()?;
+        TickMode::parse(s).ok_or_else(|| paratick_sim::JsonError::Decode {
+            msg: format!("unknown tick mode `{s}`"),
+        })
     }
 }
 

@@ -155,6 +155,26 @@ impl DeviceKind {
             },
         }
     }
+
+    /// Stable lower-case name (used in cache keys and CLI parsing).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Hdd => "hdd",
+            DeviceKind::SataSsd => "sata-ssd",
+            DeviceKind::NvmeSsd => "nvme-ssd",
+            DeviceKind::VirtioCached => "virtio-cached",
+            DeviceKind::Nic10G => "nic-10g",
+            DeviceKind::NicFast => "nic-fast",
+        }
+    }
+}
+
+impl paratick_sim::StableHash for DeviceKind {
+    fn stable_hash(&self, h: &mut paratick_sim::StableHasher) {
+        // The name, not the discriminant: reordering the enum must not
+        // silently invalidate (or worse, alias) cached runs.
+        h.write_str(self.name());
+    }
 }
 
 /// A single-server block device with a write cache.

@@ -1,0 +1,405 @@
+//! Stable, portable content hashing for cache keys.
+//!
+//! The run cache (core crate) needs a digest of a scenario's *semantic
+//! content* that is stable across processes, platforms and compiler
+//! versions — `std::hash::Hash` guarantees none of that. This module
+//! provides:
+//!
+//! * [`Sha256`] — a self-contained SHA-256 implementation (FIPS 180-4).
+//!   The vendored dependency set has no hash crate, so we carry our own;
+//!   the reference digest of the empty string and of `"abc"` are pinned
+//!   by tests below.
+//! * [`StableHasher`] — a byte-oriented writer over SHA-256 with
+//!   domain-tagged primitive writes. Every write is length- or
+//!   tag-prefixed so that adjacent fields can never alias (`"ab","c"`
+//!   hashes differently from `"a","bc"`).
+//! * [`StableHash`] — the trait scenario inputs implement. Impls must
+//!   only feed *semantic* state (not transient runtime state) so that
+//!   two scenarios that would simulate identically hash identically.
+
+/// SHA-256, FIPS 180-4. Processes input incrementally in 64-byte blocks.
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    pub fn new() -> Self {
+        Self {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Manual length append: bypass update() so total_len bookkeeping
+        // does not matter any more.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Lowercase hex of a digest.
+pub fn hex(digest: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(digest.len() * 2);
+    for &b in digest {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xf) as usize] as char);
+    }
+    s
+}
+
+/// Domain-separated writer over [`Sha256`].
+///
+/// Each primitive write is preceded by a one-byte type tag, and
+/// variable-length writes additionally by a length prefix, so field
+/// boundaries are unambiguous regardless of how a caller decomposes its
+/// state.
+pub struct StableHasher {
+    inner: Sha256,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    pub fn new() -> Self {
+        Self {
+            inner: Sha256::new(),
+        }
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.inner.update(&[t]);
+    }
+
+    pub fn write_bool(&mut self, v: bool) {
+        self.tag(0x01);
+        self.inner.update(&[v as u8]);
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.tag(0x02);
+        self.inner.update(&v.to_le_bytes());
+    }
+
+    pub fn write_i64(&mut self, v: i64) {
+        self.tag(0x03);
+        self.inner.update(&v.to_le_bytes());
+    }
+
+    pub fn write_u128(&mut self, v: u128) {
+        self.tag(0x04);
+        self.inner.update(&v.to_le_bytes());
+    }
+
+    /// Hashes the exact bit pattern; `-0.0` and `0.0` hash differently,
+    /// which is fine for a cache key (worst case a spurious miss).
+    pub fn write_f64(&mut self, v: f64) {
+        self.tag(0x05);
+        self.inner.update(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn write_str(&mut self, s: &str) {
+        self.tag(0x06);
+        self.inner.update(&(s.len() as u64).to_le_bytes());
+        self.inner.update(s.as_bytes());
+    }
+
+    pub fn write_bytes(&mut self, b: &[u8]) {
+        self.tag(0x07);
+        self.inner.update(&(b.len() as u64).to_le_bytes());
+        self.inner.update(b);
+    }
+
+    /// Enum discriminant / structural marker.
+    pub fn write_discriminant(&mut self, d: u32) {
+        self.tag(0x08);
+        self.inner.update(&d.to_le_bytes());
+    }
+
+    /// Sequence length prefix; call before hashing each element.
+    pub fn write_len(&mut self, n: usize) {
+        self.tag(0x09);
+        self.inner.update(&(n as u64).to_le_bytes());
+    }
+
+    pub fn finish(self) -> [u8; 32] {
+        self.inner.finalize()
+    }
+
+    pub fn finish_hex(self) -> String {
+        hex(&self.finish())
+    }
+}
+
+/// Content hashing over semantic state, stable across processes and
+/// platforms. The contract mirrors `std::hash::Hash` but with an
+/// explicit, versioned byte encoding via [`StableHasher`].
+pub trait StableHash {
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_bool(*self);
+    }
+}
+
+macro_rules! impl_stable_hash_uint {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+impl_stable_hash_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_stable_hash_int {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_i64(*self as i64);
+            }
+        }
+    )*};
+}
+impl_stable_hash_int!(i8, i16, i32, i64, isize);
+
+impl StableHash for u128 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u128(*self);
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(*self);
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_len(self.len());
+        for item in self {
+            item.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash, const N: usize> StableHash for [T; N] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_discriminant(0),
+            Some(v) => {
+                h.write_discriminant(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (**self).stable_hash(h);
+    }
+}
+
+/// Convenience: the hex digest of a single value.
+pub fn stable_digest_hex<T: StableHash + ?Sized>(value: &T) -> String {
+    let mut h = StableHasher::new();
+    value.stable_hash(&mut h);
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sha_hex(input: &[u8]) -> String {
+        let mut h = Sha256::new();
+        h.update(input);
+        hex(&h.finalize())
+    }
+
+    #[test]
+    fn sha256_reference_vectors() {
+        assert_eq!(
+            sha_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Multi-block (>64 bytes) input exercises the streaming path.
+        assert_eq!(
+            sha_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_incremental_matches_oneshot() {
+        let data = vec![0xa5u8; 300];
+        let mut h = Sha256::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(hex(&h.finalize()), sha_hex(&data));
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_across_instances() {
+        let one = stable_digest_hex(&vec![1u64, 2, 3]);
+        let two = stable_digest_hex(&vec![1u64, 2, 3]);
+        assert_eq!(one, two);
+        assert_ne!(one, stable_digest_hex(&vec![1u64, 2, 4]));
+    }
+}

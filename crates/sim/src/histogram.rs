@@ -144,6 +144,56 @@ impl Histogram {
     }
 }
 
+use crate::json::{self, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Histogram {
+    /// Sparse encoding: only non-zero buckets as `[index, count]` pairs.
+    /// A full histogram is 2048 buckets of mostly zeros; idle-period
+    /// histograms typically occupy a handful.
+    fn to_json(&self) -> Json {
+        let nonzero: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::U64(i as u64), Json::U64(c)]))
+            .collect();
+        Json::obj(vec![
+            ("count", Json::U64(self.count)),
+            ("sum", self.sum.to_json()),
+            ("min", Json::U64(self.min)),
+            ("max", Json::U64(self.max)),
+            ("buckets", Json::Arr(nonzero)),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut h = Histogram::new();
+        h.count = json::field(v, "count")?;
+        h.sum = json::field(v, "sum")?;
+        h.min = json::field(v, "min")?;
+        h.max = json::field(v, "max")?;
+        for pair in v.field("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError::Decode {
+                    msg: "histogram bucket pair must be [index, count]".into(),
+                });
+            }
+            let idx = pair[0].as_u64()? as usize;
+            if idx >= h.buckets.len() {
+                return Err(JsonError::Decode {
+                    msg: format!("histogram bucket index {idx} out of range"),
+                });
+            }
+            h.buckets[idx] = pair[1].as_u64()?;
+        }
+        Ok(h)
+    }
+}
+
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.count == 0 {

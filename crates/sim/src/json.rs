@@ -1,0 +1,724 @@
+//! Self-contained JSON value model, writer, parser and codec traits.
+//!
+//! The vendored dependency set ships only stub `serde`/`serde_json`
+//! crates (derives are no-ops; `to_string` returns `{}`), so metric
+//! persistence — the run cache and artifact export — runs on this
+//! hand-rolled codec instead.
+//!
+//! Design constraints, driven by the cache's byte-identity guarantee:
+//!
+//! * [`Json`] objects preserve insertion order (a `Vec` of pairs, not a
+//!   map), so encoding the same value twice yields the same bytes.
+//! * Numbers keep their lexical class: unsigned, signed and float are
+//!   distinct variants, and floats print via Rust's shortest round-trip
+//!   `{:?}` representation, so `parse(print(x))` is bit-exact for every
+//!   finite `f64`.
+//! * Non-finite floats (the default `Summary` carries `min = +inf`,
+//!   `max = -inf`) have no JSON number form; they are encoded as the
+//!   strings `"inf"`, `"-inf"` and `"NaN"`, which [`FromJson`] for
+//!   `f64` maps back.
+
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error from parsing text or decoding a [`Json`] value into a type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    Parse { offset: usize, msg: String },
+    Decode { msg: String },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { offset, msg } => {
+                write!(f, "json parse error at byte {offset}: {msg}")
+            }
+            JsonError::Decode { msg } => write!(f, "json decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn decode_err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError::Decode { msg: msg.into() })
+}
+
+impl Json {
+    /// Builds an object from pairs; a readability helper for codecs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::U64(_) | Json::I64(_) | Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(pairs) => match pairs.iter().find(|(k, _)| k == key) {
+                Some((_, v)) => Ok(v),
+                None => decode_err(format!("missing field `{key}`")),
+            },
+            other => decode_err(format!("expected object with `{key}`, got {}", other.kind())),
+        }
+    }
+
+    pub fn opt_field(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => decode_err(format!("expected bool, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::U64(n) => Ok(*n),
+            Json::I64(n) if *n >= 0 => Ok(*n as u64),
+            other => decode_err(format!("expected unsigned integer, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_i64(&self) -> Result<i64, JsonError> {
+        match self {
+            Json::I64(n) => Ok(*n),
+            Json::U64(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+            other => decode_err(format!("expected integer, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::F64(x) => Ok(*x),
+            Json::U64(n) => Ok(*n as f64),
+            Json::I64(n) => Ok(*n as f64),
+            Json::Str(s) => match s.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "NaN" => Ok(f64::NAN),
+                _ => decode_err(format!("expected number, got string {s:?}")),
+            },
+            other => decode_err(format!("expected number, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => decode_err(format!("expected string, got {}", other.kind())),
+        }
+    }
+
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => decode_err(format!("expected array, got {}", other.kind())),
+        }
+    }
+
+    /// Serializes without whitespace.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation — the canonical on-disk form
+    /// used by the cache and artifact files.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::I64(n) => out.push_str(&n.to_string()),
+            Json::F64(x) => write_f64(out, *x),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::Parse {
+                offset: p.pos,
+                msg: "trailing characters after document".into(),
+            });
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if x == f64::INFINITY {
+        out.push_str("\"inf\"");
+    } else if x == f64::NEG_INFINITY {
+        out.push_str("\"-inf\"");
+    } else {
+        // Rust's Debug repr is the shortest string that parses back to
+        // the identical bits, and always lexically a float ("1.0", not
+        // "1"), so the number re-parses into the F64 variant.
+        out.push_str(&format!("{x:?}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError::Parse {
+            offset: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{word}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => self.err(format!("unexpected byte `{}`", b as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]` in array"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return self.err("expected `,` or `}` in object"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain UTF-8 bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                    Ok(chunk) => s.push_str(chunk),
+                    Err(_) => return self.err("invalid utf-8 in string"),
+                }
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{0008}'),
+                        Some(b'f') => s.push('\u{000c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return self.err("invalid low surrogate");
+                                    }
+                                    let cp =
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp)
+                                } else {
+                                    return self.err("unpaired high surrogate");
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => s.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            continue; // hex4 advanced pos past the escape
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return self.err("raw control character in string"),
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bytes[self.pos];
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => return self.err("bad hex digit in \\u escape"),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(x) => Ok(Json::F64(x)),
+                Err(_) => self.err(format!("invalid number `{text}`")),
+            }
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(n) => Ok(Json::I64(n)),
+                Err(_) => self.err(format!("integer out of range `{text}`")),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(n) => Ok(Json::U64(n)),
+                Err(_) => self.err(format!("integer out of range `{text}`")),
+            }
+        }
+    }
+}
+
+/// Encoding into a [`Json`] value.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+/// Decoding from a [`Json`] value.
+pub trait FromJson: Sized {
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool()
+    }
+}
+
+macro_rules! impl_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::U64(*self as u64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n).map_err(|_| JsonError::Decode {
+                    msg: format!("{n} out of range for {}", stringify!($t)),
+                })
+            }
+        }
+    )*};
+}
+impl_json_uint!(u8, u16, u32, u64, usize);
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::I64(*self)
+    }
+}
+impl FromJson for i64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_i64()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+    }
+}
+
+// u128 exceeds JSON's interoperable number range; decimal string.
+impl ToJson for u128 {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+impl FromJson for u128 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::U64(n) => Ok(*n as u128),
+            Json::Str(s) => s.parse::<u128>().map_err(|_| JsonError::Decode {
+                msg: format!("invalid u128 `{s}`"),
+            }),
+            other => decode_err(format!("expected u128 string, got {}", other.kind())),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|x| x.to_json()).collect())
+    }
+}
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(x) => x.to_json(),
+        }
+    }
+}
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+/// Decodes a named field of an object — the workhorse of struct codecs.
+pub fn field<T: FromJson>(obj: &Json, key: &str) -> Result<T, JsonError> {
+    T::from_json(obj.field(key)?).map_err(|e| JsonError::Decode {
+        msg: format!("field `{key}`: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_basic() {
+        let v = Json::obj(vec![
+            ("a", Json::U64(7)),
+            ("b", Json::F64(0.1)),
+            ("c", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("s", Json::Str("x \"y\"\nz".into())),
+        ]);
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn float_bits_round_trip() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, -0.0, 6.02e23, f64::MIN_POSITIVE] {
+            let text = Json::F64(x).to_string_compact();
+            match Json::parse(&text).unwrap() {
+                Json::F64(y) => assert_eq!(x.to_bits(), y.to_bits(), "{text}"),
+                other => panic!("expected F64, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_as_strings() {
+        assert_eq!(Json::F64(f64::INFINITY).to_string_compact(), "\"inf\"");
+        assert_eq!(Json::F64(f64::NEG_INFINITY).to_string_compact(), "\"-inf\"");
+        assert_eq!(Json::F64(f64::NAN).to_string_compact(), "\"NaN\"");
+        assert_eq!(
+            f64::from_json(&Json::parse("\"inf\"").unwrap()).unwrap(),
+            f64::INFINITY
+        );
+        assert!(f64::from_json(&Json::parse("\"NaN\"").unwrap())
+            .unwrap()
+            .is_nan());
+    }
+
+    #[test]
+    fn lexical_number_classes() {
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::I64(-42));
+        assert_eq!(Json::parse("42.0").unwrap(), Json::F64(42.0));
+        assert_eq!(Json::parse("1e-9").unwrap(), Json::F64(1e-9));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::U64(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            Json::parse("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap(),
+            Json::Str("Aé😀".into())
+        );
+    }
+
+    #[test]
+    fn object_order_preserved() {
+        let text = "{\"z\": 1, \"a\": 2}";
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_string_compact(), "{\"z\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        assert!(matches!(
+            Json::parse("{\"a\" 1}"),
+            Err(JsonError::Parse { .. })
+        ));
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn u128_via_string() {
+        let big: u128 = u128::MAX - 5;
+        let v = big.to_json();
+        assert_eq!(u128::from_json(&v).unwrap(), big);
+    }
+}

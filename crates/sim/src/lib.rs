@@ -21,20 +21,29 @@
 //!   sub-buckets).
 //! * [`trace`] — a bounded ring buffer of recent simulation events for
 //!   post-mortem debugging of divergent runs.
+//! * [`hash`] — portable content hashing ([`StableHash`] over SHA-256)
+//!   used by the run cache to key scenarios by semantic content.
+//! * [`json`] — a self-contained JSON codec ([`ToJson`]/[`FromJson`])
+//!   with bit-exact float round-tripping, used for metric persistence
+//!   and artifact export.
 //!
 //! The engine is intentionally *not* generic over a "process" model: the
 //! paratick system simulator (in the `paratick` core crate) uses the
 //! classic event-scheduling world view, where components compute their
 //! next interesting instant and (re)schedule a single cancellable event.
 
+pub mod hash;
 pub mod histogram;
+pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use hash::{stable_digest_hex, StableHash, StableHasher};
 pub use histogram::Histogram;
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use queue::{EventQueue, EventToken};
 pub use rng::SimRng;
 pub use stats::{Counter, RateMeter, Summary};

@@ -159,6 +159,44 @@ impl Summary {
     }
 }
 
+use crate::json::{self, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("n", Json::U64(self.n)),
+            ("mean", Json::F64(self.mean)),
+            ("m2", Json::F64(self.m2)),
+            ("min", Json::F64(self.min)),
+            ("max", Json::F64(self.max)),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Summary {
+            n: json::field(v, "n")?,
+            mean: json::field(v, "mean")?,
+            m2: json::field(v, "m2")?,
+            min: json::field(v, "min")?,
+            max: json::field(v, "max")?,
+        })
+    }
+}
+
+impl ToJson for Counter {
+    fn to_json(&self) -> Json {
+        Json::U64(self.0)
+    }
+}
+
+impl FromJson for Counter {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Counter(v.as_u64()?))
+    }
+}
+
 /// Sliding-window event rate meter: counts events in fixed windows and
 /// reports the previous complete window's rate. Used by adaptive
 /// mechanisms (e.g. halt-polling growth/shrink).

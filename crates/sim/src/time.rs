@@ -458,6 +458,62 @@ impl std::iter::Sum for SimDuration {
     }
 }
 
+// --- persistence & content hashing -----------------------------------
+//
+// The newtypes serialize as their raw u64 so cache files stay compact
+// and diffable; the stub serde derives above produce nothing usable.
+
+use crate::hash::{StableHash, StableHasher};
+use crate::json::{FromJson, Json, JsonError, ToJson};
+
+macro_rules! impl_codec_newtype_u64 {
+    ($t:ident) => {
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::U64(self.0)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                Ok($t(v.as_u64()?))
+            }
+        }
+        impl StableHash for $t {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_u64(self.0);
+            }
+        }
+    };
+}
+
+impl_codec_newtype_u64!(SimTime);
+impl_codec_newtype_u64!(SimDuration);
+impl_codec_newtype_u64!(Cycles);
+
+impl ToJson for Freq {
+    fn to_json(&self) -> Json {
+        Json::U64(self.0)
+    }
+}
+
+impl FromJson for Freq {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let hz = v.as_u64()?;
+        if hz == 0 {
+            return Err(JsonError::Decode {
+                msg: "Freq of 0 Hz".into(),
+            });
+        }
+        Ok(Freq(hz))
+    }
+}
+
+impl StableHash for Freq {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,38 @@ impl SystemStats {
     }
 }
 
+use paratick_sim::json::{self, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for SystemStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("exits", self.exits.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("entries", Json::U64(self.entries)),
+            ("injections", Json::U64(self.injections)),
+            ("virtual_ticks", Json::U64(self.virtual_ticks)),
+            ("wakeups", Json::U64(self.wakeups)),
+            ("idle_periods", Json::U64(self.idle_periods)),
+            ("halted_time", self.halted_time.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SystemStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SystemStats {
+            exits: json::field(v, "exits")?,
+            cycles: json::field(v, "cycles")?,
+            entries: json::field(v, "entries")?,
+            injections: json::field(v, "injections")?,
+            virtual_ticks: json::field(v, "virtual_ticks")?,
+            wakeups: json::field(v, "wakeups")?,
+            idle_periods: json::field(v, "idle_periods")?,
+            halted_time: json::field(v, "halted_time")?,
+        })
+    }
+}
+
 /// Relative change helpers used throughout the reports: the paper states
 /// improvements as percentages relative to the vanilla baseline.
 pub mod delta {

@@ -213,6 +213,85 @@ impl CostModel {
     }
 }
 
+use paratick_sim::{json, FromJson, Json, JsonError, StableHash, StableHasher, ToJson};
+
+impl ToJson for CostModel {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cpu_freq", self.cpu_freq.to_json()),
+            ("direct", self.direct.to_vec().to_json()),
+            ("indirect", self.indirect.to_vec().to_json()),
+            ("injection_cycles", self.injection_cycles.to_json()),
+            ("wakeup_latency", self.wakeup_latency.to_json()),
+            ("host_tick_cycles", self.host_tick_cycles.to_json()),
+            ("guest_tick_handler_cycles", self.guest_tick_handler_cycles.to_json()),
+            ("guest_irq_overhead_cycles", self.guest_irq_overhead_cycles.to_json()),
+            ("idle_entry_cycles", self.idle_entry_cycles.to_json()),
+            ("numa_penalty", self.numa_penalty.to_json()),
+            ("ctx_switch_cycles", self.ctx_switch_cycles.to_json()),
+            ("futex_fast_cycles", self.futex_fast_cycles.to_json()),
+            ("spin_before_block_cycles", self.spin_before_block_cycles.to_json()),
+            ("io_submit_cycles", self.io_submit_cycles.to_json()),
+            ("io_irq_cycles", self.io_irq_cycles.to_json()),
+            ("context_tracking_cycles", self.context_tracking_cycles.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CostModel {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        fn per_reason(v: &Json, key: &str) -> Result<[u64; ExitReason::COUNT], JsonError> {
+            let vec: Vec<u64> = json::field(v, key)?;
+            vec.try_into().map_err(|got: Vec<u64>| JsonError::Decode {
+                msg: format!(
+                    "{key}: expected {} exit-reason costs, got {}",
+                    ExitReason::COUNT,
+                    got.len()
+                ),
+            })
+        }
+        Ok(CostModel {
+            cpu_freq: json::field(v, "cpu_freq")?,
+            direct: per_reason(v, "direct")?,
+            indirect: per_reason(v, "indirect")?,
+            injection_cycles: json::field(v, "injection_cycles")?,
+            wakeup_latency: json::field(v, "wakeup_latency")?,
+            host_tick_cycles: json::field(v, "host_tick_cycles")?,
+            guest_tick_handler_cycles: json::field(v, "guest_tick_handler_cycles")?,
+            guest_irq_overhead_cycles: json::field(v, "guest_irq_overhead_cycles")?,
+            idle_entry_cycles: json::field(v, "idle_entry_cycles")?,
+            numa_penalty: json::field(v, "numa_penalty")?,
+            ctx_switch_cycles: json::field(v, "ctx_switch_cycles")?,
+            futex_fast_cycles: json::field(v, "futex_fast_cycles")?,
+            spin_before_block_cycles: json::field(v, "spin_before_block_cycles")?,
+            io_submit_cycles: json::field(v, "io_submit_cycles")?,
+            io_irq_cycles: json::field(v, "io_irq_cycles")?,
+            context_tracking_cycles: json::field(v, "context_tracking_cycles")?,
+        })
+    }
+}
+
+impl StableHash for CostModel {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.cpu_freq.stable_hash(h);
+        self.direct.stable_hash(h);
+        self.indirect.stable_hash(h);
+        h.write_u64(self.injection_cycles);
+        self.wakeup_latency.stable_hash(h);
+        h.write_u64(self.host_tick_cycles);
+        h.write_u64(self.guest_tick_handler_cycles);
+        h.write_u64(self.guest_irq_overhead_cycles);
+        h.write_u64(self.idle_entry_cycles);
+        h.write_f64(self.numa_penalty);
+        h.write_u64(self.ctx_switch_cycles);
+        h.write_u64(self.futex_fast_cycles);
+        h.write_u64(self.spin_before_block_cycles);
+        h.write_u64(self.io_submit_cycles);
+        h.write_u64(self.io_irq_cycles);
+        h.write_u64(self.context_tracking_cycles);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,6 +161,38 @@ impl ExitCounts {
     }
 }
 
+use paratick_sim::json::{FromJson, Json, JsonError, ToJson};
+use paratick_sim::{StableHash, StableHasher};
+
+impl ToJson for ExitCounts {
+    /// Keyed by reason name in `ExitReason::ALL` order, all reasons
+    /// present — self-describing and stable for artifact diffs.
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            ExitReason::ALL
+                .iter()
+                .map(|&r| (r.name().to_string(), Json::U64(self.get(r))))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for ExitCounts {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut c = ExitCounts::new();
+        for r in ExitReason::ALL {
+            c.counts[r.index()] = v.field(r.name())?.as_u64()?;
+        }
+        Ok(c)
+    }
+}
+
+impl StableHash for ExitCounts {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.counts.stable_hash(h);
+    }
+}
+
 impl Index<ExitReason> for ExitCounts {
     type Output = u64;
     fn index(&self, r: ExitReason) -> &u64 {

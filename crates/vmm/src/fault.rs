@@ -248,6 +248,17 @@ impl FaultConfig {
         }
     }
 
+    /// Whether runs under this config are safe to memoize in the run
+    /// cache. Faulted runs are still deterministic, but they model
+    /// *environmental weather* rather than scenario semantics and are
+    /// usually one-off stress campaigns — caching them would let a
+    /// transient `PARATICK_FAULTS` setting poison results for later
+    /// fault-free invocations of the same scenario, so any enabled
+    /// fault kind marks the run cache-unsafe.
+    pub fn cache_safe(&self) -> bool {
+        !self.any_enabled()
+    }
+
     /// Parse a `PARATICK_FAULTS` spec.
     ///
     /// * `""`, `"0"`, `"off"` — no faults
@@ -400,6 +411,64 @@ impl FaultStats {
         self.oneshot_fallbacks += other.oneshot_fallbacks;
         self.paravirt_fallbacks += other.paravirt_fallbacks;
         self.hypercall_retries += other.hypercall_retries;
+    }
+}
+
+use paratick_sim::json::{self, FromJson, Json, JsonError, ToJson};
+use paratick_sim::{StableHash, StableHasher};
+
+impl StableHash for FaultConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.rate_hz.stable_hash(h);
+        h.write_u64(self.drift_max_ns);
+        h.write_u64(self.coalesce_delay_us);
+        h.write_f64(self.spike_mult);
+        h.write_u64(self.spike_window_us);
+        h.write_u64(self.storm_steal_us);
+        h.write_u64(self.storm_bursts as u64);
+        h.write_u64(self.storm_gap_us);
+        h.write_u64(self.watchdog_timeout_us);
+        h.write_u64(self.fallback_threshold as u64);
+        h.write_u64(self.hypercall_fail_first as u64);
+        h.write_u64(self.hypercall_max_attempts as u64);
+        h.write_u64(self.hypercall_backoff_us);
+    }
+}
+
+impl ToJson for FaultStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "injected",
+                Json::Obj(
+                    FaultKind::ALL
+                        .iter()
+                        .map(|&k| (k.name().to_string(), Json::U64(self.injected[k.index()])))
+                        .collect(),
+                ),
+            ),
+            ("watchdog_recoveries", Json::U64(self.watchdog_recoveries)),
+            ("oneshot_fallbacks", Json::U64(self.oneshot_fallbacks)),
+            ("paravirt_fallbacks", Json::U64(self.paravirt_fallbacks)),
+            ("hypercall_retries", Json::U64(self.hypercall_retries)),
+        ])
+    }
+}
+
+impl FromJson for FaultStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut s = FaultStats {
+            injected: [0; FaultKind::COUNT],
+            watchdog_recoveries: json::field(v, "watchdog_recoveries")?,
+            oneshot_fallbacks: json::field(v, "oneshot_fallbacks")?,
+            paravirt_fallbacks: json::field(v, "paravirt_fallbacks")?,
+            hypercall_retries: json::field(v, "hypercall_retries")?,
+        };
+        let injected = v.field("injected")?;
+        for k in FaultKind::ALL {
+            s.injected[k.index()] = injected.field(k.name())?.as_u64()?;
+        }
+        Ok(s)
     }
 }
 

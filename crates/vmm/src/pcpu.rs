@@ -127,6 +127,29 @@ impl CycleLedger {
     }
 }
 
+use paratick_sim::json::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for CycleLedger {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            CycleCategory::ALL
+                .iter()
+                .map(|&c| (c.name().to_string(), Json::U64(self.ns[c.index()])))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for CycleLedger {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut l = CycleLedger::default();
+        for c in CycleCategory::ALL {
+            l.ns[c.index()] = v.field(c.name())?.as_u64()?;
+        }
+        Ok(l)
+    }
+}
+
 impl std::iter::Sum for CycleLedger {
     fn sum<I: Iterator<Item = CycleLedger>>(iter: I) -> CycleLedger {
         let mut total = CycleLedger::default();

@@ -1,6 +1,6 @@
 //! Public-API edge cases for the hypervisor models.
 
-use paratick_sim::{Freq, SimDuration, SimTime};
+use paratick_sim::{Freq, FromJson, Json, SimDuration, SimTime, ToJson};
 use paratick_vmm::{
     accounting::delta, CostModel, CycleCategory, ExitCounts, ExitReason, HaltPoll, HostScheduler,
     InjectDecision, KvmVcpu, PCpu, ParatickHost, PcpuId, SchedDecision, VcpuId,
@@ -9,13 +9,15 @@ use paratick_vmm::{
 #[test]
 fn cost_model_serde_round_trip() {
     let m = CostModel::default();
-    let json = serde_json::to_string(&m).expect("serialize");
-    let back: CostModel = serde_json::from_str(&json).expect("deserialize");
+    let json = m.to_json().to_string_pretty();
+    let back = CostModel::from_json(&Json::parse(&json).expect("parse")).expect("deserialize");
     for r in ExitReason::ALL {
         assert_eq!(m.direct[r.index()], back.direct[r.index()]);
         assert_eq!(m.indirect[r.index()], back.indirect[r.index()]);
     }
     assert_eq!(m.wakeup_latency, back.wakeup_latency);
+    // The codec is byte-stable: re-serializing reproduces the input.
+    assert_eq!(back.to_json().to_string_pretty(), json);
 }
 
 #[test]
@@ -23,8 +25,8 @@ fn exit_counts_serde_round_trip() {
     let mut c = ExitCounts::new();
     c.record(ExitReason::Hlt);
     c.record(ExitReason::EoiWrite);
-    let json = serde_json::to_string(&c).unwrap();
-    let back: ExitCounts = serde_json::from_str(&json).unwrap();
+    let json = c.to_json().to_string_pretty();
+    let back = ExitCounts::from_json(&Json::parse(&json).unwrap()).unwrap();
     assert_eq!(c, back);
 }
 

@@ -15,7 +15,7 @@
 //!   its last thread finishes.
 
 use paratick_hw::IoOp;
-use paratick_sim::{SimDuration, SimRng};
+use paratick_sim::{SimDuration, SimRng, StableHash, StableHasher};
 
 /// One step of a guest thread's behaviour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +63,17 @@ pub trait ThreadModel: Send {
     fn label(&self) -> &str {
         "thread"
     }
+
+    /// Feed this thread's *semantic configuration* into a content hash.
+    ///
+    /// The run cache keys scenarios by this fingerprint, so two threads
+    /// must hash identically **iff** they would generate the identical
+    /// action stream from the same RNG. The default covers models whose
+    /// behaviour is fully determined by their label; every parameterized
+    /// model must override it and include all of its shape parameters.
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str(self.label());
+    }
 }
 
 /// The workload running inside one VM.
@@ -93,6 +104,18 @@ impl VmWorkload {
 
     pub fn is_idle(&self) -> bool {
         self.threads.is_empty()
+    }
+}
+
+impl StableHash for VmWorkload {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        h.write_u64(self.num_locks as u64);
+        h.write_u64(self.num_barriers as u64);
+        h.write_len(self.threads.len());
+        for t in &self.threads {
+            t.fingerprint(h);
+        }
     }
 }
 

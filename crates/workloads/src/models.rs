@@ -6,7 +6,7 @@
 
 use crate::action::{Action, ThreadModel};
 use paratick_hw::IoOp;
-use paratick_sim::{SimDuration, SimRng};
+use paratick_sim::{SimDuration, SimRng, StableHash, StableHasher};
 
 /// Draw a jittered duration with the given mean and coefficient of
 /// variation (lognormal, so always positive and right-skewed like real
@@ -52,6 +52,14 @@ impl ThreadModel for ComputeThread {
 
     fn label(&self) -> &str {
         &self.label
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("compute");
+        h.write_str(&self.label);
+        self.remaining.stable_hash(h);
+        self.grain.stable_hash(h);
+        h.write_f64(self.grain_cv);
     }
 }
 
@@ -144,6 +152,16 @@ impl ThreadModel for LockLoop {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("lock_loop");
+        h.write_str(&self.label);
+        self.remaining.stable_hash(h);
+        self.grain.stable_hash(h);
+        h.write_f64(self.grain_cv);
+        self.cs.stable_hash(h);
+        h.write_u64(self.num_locks as u64);
+    }
 }
 
 /// compute → barrier phases: the data-parallel PARSEC shape. Thread
@@ -193,6 +211,15 @@ impl ThreadModel for BarrierLoop {
 
     fn label(&self) -> &str {
         &self.label
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("barrier_loop");
+        h.write_str(&self.label);
+        h.write_u64(self.phases_left);
+        self.grain.stable_hash(h);
+        h.write_f64(self.grain_cv);
+        h.write_u64(self.barrier_id as u64);
     }
 }
 
@@ -283,6 +310,20 @@ impl ThreadModel for FioThread {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("fio");
+        h.write_str(&self.label);
+        h.write_discriminant(match self.op {
+            IoOp::Read => 0,
+            IoOp::Write => 1,
+        });
+        h.write_bool(self.random);
+        h.write_u64(self.block);
+        h.write_u64(self.bytes_left);
+        h.write_u64(self.span);
+        self.think_per_block.stable_hash(h);
+    }
 }
 
 /// The paper's W3 thread: blocks-and-unblocks through a shared mutex at
@@ -317,6 +358,11 @@ impl ThreadModel for SyncRateThread {
 
     fn label(&self) -> &str {
         self.inner.label()
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("sync_rate");
+        self.inner.fingerprint(h);
     }
 }
 
@@ -368,6 +414,15 @@ impl ThreadModel for SleeperThread {
 
     fn label(&self) -> &str {
         &self.label
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_str("sleeper");
+        h.write_str(&self.label);
+        self.period.stable_hash(h);
+        h.write_f64(self.jitter_cv);
+        self.work.stable_hash(h);
+        h.write_u64(self.wakeups_left);
     }
 }
 

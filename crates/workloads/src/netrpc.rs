@@ -95,6 +95,16 @@ impl ThreadModel for RpcWorker {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn fingerprint(&self, h: &mut paratick_sim::StableHasher) {
+        use paratick_sim::StableHash;
+        h.write_str("rpc");
+        h.write_str(&self.label);
+        h.write_u64(self.spec.calls_per_worker);
+        h.write_u64(self.spec.msg_bytes);
+        self.spec.service.stable_hash(h);
+        h.write_f64(self.spec.service_cv);
+    }
 }
 
 /// Build a multithreaded RPC service: `workers` closed-loop callers.

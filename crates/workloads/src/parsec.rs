@@ -364,6 +364,37 @@ impl ThreadModel for ParsecThread {
     fn label(&self) -> &str {
         self.profile.name
     }
+
+    fn fingerprint(&self, h: &mut paratick_sim::StableHasher) {
+        use paratick_sim::StableHash;
+        let p = &self.profile;
+        h.write_str("parsec");
+        h.write_str(p.name);
+        // `total` already folds the scale factor into the budget.
+        self.total.stable_hash(h);
+        p.grain.stable_hash(h);
+        h.write_f64(p.grain_cv);
+        match p.sync {
+            SyncPattern::None => h.write_discriminant(0),
+            SyncPattern::Locks { locks, cs } => {
+                h.write_discriminant(1);
+                h.write_u64(locks as u64);
+                cs.stable_hash(h);
+            }
+            SyncPattern::Barriers { phase } => {
+                h.write_discriminant(2);
+                phase.stable_hash(h);
+            }
+            SyncPattern::Mixed { locks, cs, phase } => {
+                h.write_discriminant(3);
+                h.write_u64(locks as u64);
+                cs.stable_hash(h);
+                phase.stable_hash(h);
+            }
+        }
+        h.write_u64(p.io_bytes_per_sec);
+        h.write_u64(p.io_block);
+    }
 }
 
 trait MaxMin {

@@ -275,6 +275,22 @@ impl ThreadModel for StageWorker {
     fn label(&self) -> &str {
         &self.label
     }
+
+    fn fingerprint(&self, h: &mut paratick_sim::StableHasher) {
+        use paratick_sim::StableHash;
+        h.write_str("pipeline_stage");
+        h.write_str(&self.label);
+        h.write_u64(self.stage as u64);
+        h.write_u64(self.last_stage as u64);
+        self.service.stable_hash(h);
+        h.write_f64(self.service_cv);
+        // Shared queue shape: fingerprinting happens before the run
+        // starts, so to_produce still holds the item budget.
+        let sh = self.shared.lock().unwrap();
+        h.write_u64(sh.capacity as u64);
+        h.write_u64(sh.to_produce);
+        h.write_u64(sh.fill.len() as u64);
+    }
 }
 
 /// Build the pipeline workload.

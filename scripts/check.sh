@@ -50,6 +50,45 @@ if grep -q "violation" /tmp/paratick-faults-smoke.txt; then
 fi
 echo "    ok ($(grep -m1 'faults:' /tmp/paratick-faults-smoke.txt || echo 'no faults line'))"
 
+# Run-cache acceptance: a cold `paratick all` populates a fresh cache;
+# the warm rerun must serve every simulation from it (hits == runs in
+# the summary), emit byte-identical Comparison JSON, and be faster.
+echo "==> run-cache cold/warm acceptance (paratick all)"
+CHECK_SCALE=${CHECK_SCALE:-0.25}
+ACCEPT_DIR=$(mktemp -d /tmp/paratick-cache-check.XXXXXX)
+run_all_pass() { # $1 = json artifact subdir
+  env PARATICK_SCALE="$CHECK_SCALE" \
+      PARATICK_CACHE_DIR="$ACCEPT_DIR/cache" \
+      PARATICK_JSON="$ACCEPT_DIR/$1" \
+      cargo run --release -q -p paratick-bench --bin paratick $CARGO_ARGS -- all \
+      > "$ACCEPT_DIR/$1.txt" 2> "$ACCEPT_DIR/$1.err"
+}
+cold_start=$(date +%s%N)
+if ! run_all_pass cold; then
+  echo "    cold 'paratick all' failed:"; tail -20 "$ACCEPT_DIR/cold.err"; exit 1
+fi
+cold_ms=$(( ($(date +%s%N) - cold_start) / 1000000 ))
+warm_start=$(date +%s%N)
+if ! run_all_pass warm; then
+  echo "    warm 'paratick all' failed:"; tail -20 "$ACCEPT_DIR/warm.err"; exit 1
+fi
+warm_ms=$(( ($(date +%s%N) - warm_start) / 1000000 ))
+summary=$(grep -A1 'run-cache summary' "$ACCEPT_DIR/warm.txt" | tail -1)
+hits=$(echo "$summary" | awk '{print $1}')
+runs=$(echo "$summary" | awk '{print $(NF-1)}')
+if [ -z "$hits" ] || [ "$hits" != "$runs" ]; then
+  echo "    warm run did not hit on every simulation: $summary"; exit 1
+fi
+if ! diff -r "$ACCEPT_DIR/cold" "$ACCEPT_DIR/warm" > /dev/null; then
+  echo "    warm-cache artifacts differ from the cold run:"
+  diff -r "$ACCEPT_DIR/cold" "$ACCEPT_DIR/warm" | head -20; exit 1
+fi
+if [ "$warm_ms" -ge "$cold_ms" ]; then
+  echo "    warm rerun (${warm_ms}ms) not faster than cold (${cold_ms}ms)"; exit 1
+fi
+echo "    ok ($summary; cold ${cold_ms}ms -> warm ${warm_ms}ms; artifacts byte-identical)"
+rm -rf "$ACCEPT_DIR"
+
 if cargo fmt --version >/dev/null 2>&1; then
   advisory cargo fmt --all --check
 else
