@@ -6,8 +6,9 @@
 //! plan) and the engine's code. The cache exploits that: a run's
 //! [`RunMetrics`] are stored on disk under a SHA-256 key of the
 //! scenario's canonical content hash ∥ the effective fault plan ∥
-//! [`ENGINE_VERSION`], and [`run_cached`] consults the store before
-//! simulating. A warm cache makes `paratick all` re-emit every artifact
+//! the effective RCU toggle (`PARATICK_NO_RCU` changes engine
+//! behaviour without touching the scenario) ∥ [`ENGINE_VERSION`],
+//! and [`run_cached`] consults the store before simulating. A warm cache makes `paratick all` re-emit every artifact
 //! byte-identically without running a single simulation.
 //!
 //! ## What is never cached
@@ -150,22 +151,32 @@ impl RunCache {
         &self.dir
     }
 
-    /// The cache key for a scenario under the current engine version.
+    /// The cache key for a scenario under the current engine version
+    /// and environment (the `PARATICK_NO_RCU` toggle is part of the
+    /// key — it alters engine behaviour without touching the scenario).
     pub fn key(scenario: &Scenario) -> String {
-        Self::key_versioned(ENGINE_VERSION, scenario, &scenario.host.faults)
+        Self::key_versioned(
+            ENGINE_VERSION,
+            scenario,
+            &scenario.host.faults,
+            effective_no_rcu(),
+        )
     }
 
-    /// Key with an explicit engine version and effective fault plan
-    /// (`PARATICK_FAULTS` overrides the scenario's plan at engine-build
-    /// time, so the key must hash what will actually run; the version
-    /// parameter lets tests prove version bumps invalidate).
+    /// Key with explicit engine version, effective fault plan and RCU
+    /// toggle. `PARATICK_FAULTS` overrides the scenario's plan and
+    /// `PARATICK_NO_RCU` gates background RCU event generation at
+    /// engine-build time, so the key must hash what will actually run;
+    /// the explicit parameters let tests prove each one invalidates.
     pub fn key_versioned(
         version: &str,
         scenario: &Scenario,
         effective_faults: &FaultConfig,
+        no_rcu: bool,
     ) -> String {
         let mut h = StableHasher::new();
         h.write_str(version);
+        h.write_bool(no_rcu);
         scenario.stable_hash(&mut h);
         effective_faults.stable_hash(&mut h);
         h.finish_hex()
@@ -226,7 +237,7 @@ impl RunCache {
             BYPASSES.fetch_add(1, Ordering::SeqCst);
             return Engine::run(scenario).map(|m| (m, CacheOutcome::Bypass));
         }
-        let key = Self::key_versioned(ENGINE_VERSION, &scenario, &effective);
+        let key = Self::key_versioned(ENGINE_VERSION, &scenario, &effective, effective_no_rcu());
         if let Some(m) = self.lookup(&key) {
             HITS.fetch_add(1, Ordering::SeqCst);
             return Ok((m, CacheOutcome::Hit));
@@ -252,6 +263,13 @@ fn effective_faults(scenario: &Scenario) -> FaultConfig {
         // placeholder works because the bypass path runs the engine.
         Err(_) => FaultConfig::campaign(),
     }
+}
+
+/// Whether background RCU generation is disabled for the runs this
+/// process will actually execute (`PARATICK_NO_RCU`). Hashed into
+/// every cache key so an rcu-off run never answers for an rcu-on one.
+fn effective_no_rcu() -> bool {
+    EnvConfig::get().map(|e| e.no_rcu).unwrap_or(false)
 }
 
 /// May this run's result be served from / written to the cache?
@@ -299,8 +317,13 @@ mod tests {
         assert_ne!(base, RunCache::key(&scenario(2)), "seed discriminates");
         assert_ne!(
             base,
-            RunCache::key_versioned("other-version", &scenario(1), &FaultConfig::off()),
+            RunCache::key_versioned("other-version", &scenario(1), &FaultConfig::off(), false),
             "engine version discriminates"
+        );
+        assert_ne!(
+            RunCache::key_versioned(ENGINE_VERSION, &scenario(1), &FaultConfig::off(), false),
+            RunCache::key_versioned(ENGINE_VERSION, &scenario(1), &FaultConfig::off(), true),
+            "PARATICK_NO_RCU discriminates"
         );
     }
 

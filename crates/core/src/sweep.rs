@@ -183,9 +183,14 @@ impl Sweep {
                 let progress = self.progress;
                 let sweep_name = self.name.as_str();
                 scope.spawn(move || loop {
-                    let task = queues[worker].lock().unwrap().pop_front().or_else(|| {
+                    // Pop the own deque in its own statement: the
+                    // MutexGuard temporary lives to the end of the
+                    // statement, and stealing while still holding it
+                    // would AB-BA deadlock two workers with dry deques.
+                    let own = queues[worker].lock().unwrap().pop_front();
+                    let task = own.or_else(|| {
                         // Own deque dry: steal from the back of the
-                        // most loaded sibling.
+                        // first non-empty sibling.
                         (0..queues.len())
                             .filter(|&q| q != worker)
                             .filter_map(|q| queues[q].lock().unwrap().pop_back())

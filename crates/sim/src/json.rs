@@ -213,6 +213,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -269,9 +270,17 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Deepest array/object nesting the parser accepts. The parser recurses
+/// per level, so without a cap a corrupt or adversarial file of a few
+/// thousand `[`s would overflow the stack instead of erroring — and the
+/// run cache promises corrupt entries read as misses, not crashes. Real
+/// documents here (metrics, artifacts) nest fewer than ten levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -320,12 +329,25 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.descend(Parser::array),
+            Some(b'{') => self.descend(Parser::object),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             Some(b) => self.err(format!("unexpected byte `{}`", b as char)),
             None => self.err("unexpected end of input"),
         }
+    }
+
+    fn descend(
+        &mut self,
+        parse: impl FnOnce(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        self.depth += 1;
+        let out = parse(self);
+        self.depth -= 1;
+        out
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
@@ -696,6 +718,27 @@ mod tests {
             Json::parse("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap(),
             Json::Str("Aé😀".into())
         );
+    }
+
+    #[test]
+    fn nesting_past_limit_errors_instead_of_overflowing() {
+        // A cache entry of thousands of `[`s must read as a parse error
+        // (treated as a miss upstream), not blow the stack.
+        let deep = "[".repeat(100_000);
+        assert!(matches!(
+            Json::parse(&deep),
+            Err(JsonError::Parse { .. })
+        ));
+        // Mixed array/object nesting hits the same cap.
+        let mixed = "{\"k\":".repeat(100_000);
+        assert!(matches!(
+            Json::parse(&mixed),
+            Err(JsonError::Parse { .. })
+        ));
+
+        // Documents at sane depth still parse.
+        let ok = format!("{}{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
     }
 
     #[test]

@@ -85,14 +85,26 @@ fn key_invalidates_on_version_and_scenario_changes() {
             "paratick-9.9.9+simX",
             &tiny_fio(TickMode::Paratick, 5),
             &FaultConfig::off(),
+            false,
         ),
         "engine version is part of the key"
+    );
+    assert_ne!(
+        base,
+        RunCache::key_versioned(
+            ENGINE_VERSION,
+            &tiny_fio(TickMode::Paratick, 5),
+            &FaultConfig::off(),
+            true,
+        ),
+        "PARATICK_NO_RCU is part of the key (it gates RCU event generation)"
     );
     assert!(
         RunCache::key_versioned(
             ENGINE_VERSION,
             &tiny_fio(TickMode::Paratick, 5),
             &FaultConfig::off(),
+            false,
         ) == base,
         "explicit current version matches the default key"
     );
@@ -106,6 +118,7 @@ fn key_invalidates_on_version_and_scenario_changes() {
         "paratick-0.0.0+sim0",
         &tiny_fio(TickMode::Paratick, 5),
         &FaultConfig::off(),
+        false,
     );
     cache.store(&old_key, &m);
     assert!(
