@@ -18,7 +18,10 @@
 //! paratick pipeline     bounded-queue pipeline extension
 //! paratick sweep        full experiment grid on the sweep scheduler
 //! paratick inspect      metric breakdown for one workload
-//! paratick all          everything above (except inspect/sweep), in order
+//! paratick validate     replicated paper-fidelity scoring (docs/LAB.md)
+//! paratick bench        engine perf snapshot -> BENCH_<label>.json
+//! paratick compare      perf regression gate over two bench files
+//! paratick all          every paper artefact, in order
 //! ```
 //!
 //! Environment knobs are documented in docs/CLI.md (`PARATICK_SCALE`,
@@ -37,6 +40,9 @@ fn usage(code: i32) -> ! {
     }
     eprintln!("  {:<12} full experiment grid: sweep [--out DIR] [--jobs N] [fig4|fig5|fig6]", "sweep");
     eprintln!("  {:<12} metric breakdown: inspect [parsec:<bm>|fio:<pat>-<kb>|netrpc:<nic>] [threads]", "inspect");
+    eprintln!("  {:<12} paper-fidelity gate: validate [--quick] [--replicates N] [--json PATH]", "validate");
+    eprintln!("  {:<12} engine perf snapshot: bench [--label L] [--runs N] [--out DIR]", "bench");
+    eprintln!("  {:<12} perf regression gate: compare <baseline.json> <candidate.json>", "compare");
     eprintln!("  {:<12} every paper artefact in order, plus a run-cache summary", "all");
     std::process::exit(code);
 }
@@ -51,6 +57,9 @@ fn main() {
         "all" => cmd::all(),
         "sweep" => cmd::sweep::run(&args[1..]),
         "inspect" => cmd::inspect::run(&args[1..]),
+        "validate" => cmd::validate::run(&args[1..]),
+        "bench" => cmd::bench::run(&args[1..]),
+        "compare" => cmd::compare::run(&args[1..]),
         name => match cmd::find(name) {
             Some(run) => run(),
             None => {

@@ -1,0 +1,59 @@
+//! `paratick bench`: measure the engine's own speed and persist a
+//! comparable snapshot.
+//!
+//! Usage: `paratick bench [--label L] [--runs N] [--out DIR]`
+//!
+//! Runs the fixed scenario basket `N` times each (default 5, plus one
+//! untimed warm-up), collecting events/sec and wall-per-run from the
+//! engine's self-profiling, and writes `BENCH_<label>.json` for a later
+//! `paratick compare`.
+
+use paratick_lab::perf;
+
+pub fn run(args: &[String]) {
+    let mut label = String::from("local");
+    let mut runs: u32 = 5;
+    let mut out_dir = String::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--label" => match it.next() {
+                Some(l) if !l.is_empty() => label = l.clone(),
+                _ => die("--label needs a name"),
+            },
+            "--runs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => runs = n,
+                _ => die("--runs needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = dir.clone(),
+                None => die("--out needs a directory"),
+            },
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match perf::run_bench(&label, runs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("paratick bench: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+
+    let path = std::path::Path::new(&out_dir).join(perf::BenchReport::file_name(&label));
+    if let Err(e) = std::fs::create_dir_all(&out_dir)
+        .and_then(|()| std::fs::write(&path, report.to_json().to_string_pretty()))
+    {
+        eprintln!("paratick bench: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("paratick bench: {msg}");
+    eprintln!("usage: paratick bench [--label L] [--runs N] [--out DIR]");
+    std::process::exit(2);
+}

@@ -1,0 +1,35 @@
+//! `paratick compare`: the perf regression gate over two bench files.
+//!
+//! Usage: `paratick compare <baseline.json> <candidate.json>`
+//!
+//! Renders per-scenario, per-metric verdicts (a change only counts when
+//! the 95 % intervals are disjoint *and* the mean moved more than the
+//! noise threshold) and exits nonzero on any regression or basket
+//! mismatch.
+
+use paratick_lab::perf;
+
+pub fn run(args: &[String]) {
+    let [base_path, cand_path] = args else {
+        eprintln!("usage: paratick compare <baseline.json> <candidate.json>");
+        std::process::exit(2);
+    };
+    let base = load(base_path);
+    let cand = load(cand_path);
+    let report = perf::compare(&base, &cand);
+    print!("{}", report.render());
+    let code = report.exit_code();
+    if code != 0 {
+        std::process::exit(code);
+    }
+}
+
+fn load(path: &str) -> perf::BenchReport {
+    match perf::BenchReport::load(std::path::Path::new(path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("paratick compare: {e}");
+            std::process::exit(1);
+        }
+    }
+}

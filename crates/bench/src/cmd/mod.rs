@@ -1,14 +1,14 @@
 //! Subcommand implementations for the unified `paratick` CLI.
 //!
-//! Every paper artefact that used to be its own binary lives here as a
-//! library function, so `paratick all` can run the full suite
-//! **in-process** — sharing one run cache, one [`EnvConfig`] parse and
-//! one set of cache counters — and so the legacy per-artefact binaries
-//! can stay alive as thin deprecated shims.
+//! Every paper artefact lives here as a library function, so
+//! `paratick all` can run the full suite **in-process** — sharing one
+//! run cache, one [`EnvConfig`] parse and one set of cache counters.
 
 use paratick::cache::CacheStats;
 
 pub mod ablations;
+pub mod bench;
+pub mod compare;
 pub mod crossover;
 pub mod fig4;
 pub mod fig5;
@@ -21,12 +21,14 @@ pub mod overcommit;
 pub mod pipeline;
 pub mod sweep;
 pub mod table1;
+pub mod validate;
 
 /// (name, aliases, help, runner) for one argument-less subcommand.
 pub type Command = (&'static str, &'static [&'static str], &'static str, fn());
 
 /// Every argument-less subcommand, in `paratick all` execution order.
-/// `inspect` and `sweep` take arguments and are dispatched separately.
+/// `inspect`, `sweep` and the lab commands (`validate`, `bench`,
+/// `compare`) take arguments and are dispatched separately.
 pub const COMMANDS: &[Command] = &[
     ("table1", &[], "Table 1: analytic W1-W4 exits + simulated cross-check", table1::run),
     ("fig4", &["fig4_seq"], "Figure 4 + Table 2: sequential PARSEC", fig4::run),
@@ -61,10 +63,4 @@ pub fn all() {
     let stats = CacheStats::snapshot().since(&before);
     println!("\n################ run-cache summary ################");
     println!("{}", stats.summary());
-}
-
-/// Print the deprecation note the legacy single-artefact binaries
-/// emit before delegating to their `cmd` function.
-pub fn deprecated_shim(old: &str, new: &str) {
-    eprintln!("note: the `{old}` binary is deprecated; use `paratick {new}`");
 }

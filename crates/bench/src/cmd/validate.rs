@@ -1,0 +1,65 @@
+//! `paratick validate`: replicated paper-fidelity scoring.
+//!
+//! Usage: `paratick validate [--quick] [--replicates N] [--jobs N]
+//! [--seed N] [--json PATH]`
+//!
+//! Runs the validation suite with N replicates per cell (default 5),
+//! judges the replicated aggregates against the calibrated expectation
+//! bands for Tables 1–4 / Figures 4–6, prints the verdict table and —
+//! with `--json` — writes the deterministic machine-readable report.
+//! Exits nonzero exactly when the overall verdict is *fail* (warnings
+//! still exit 0, so drift is visible before it blocks anyone).
+
+use paratick_lab::ValidateOptions;
+
+pub fn run(args: &[String]) {
+    let mut opts = ValidateOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--quiet" => opts.quiet = true,
+            "--replicates" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => opts.replicates = n,
+                _ => die("--replicates needs a positive integer"),
+            },
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => opts.jobs = Some(n),
+                _ => die("--jobs needs a positive integer"),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.base_seed = n,
+                _ => die("--seed needs an integer"),
+            },
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => die("--json needs a path"),
+            },
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = paratick_lab::validate::validate(&opts);
+    print!("{}", report.render());
+    if let Some(path) = json_path {
+        let body = report.to_json_deterministic().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("paratick validate: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("report: {path}");
+    }
+    let code = report.exit_code();
+    if code != 0 {
+        std::process::exit(code);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("paratick validate: {msg}");
+    eprintln!(
+        "usage: paratick validate [--quick] [--replicates N] [--jobs N] [--seed N] [--json PATH] [--quiet]"
+    );
+    std::process::exit(2);
+}

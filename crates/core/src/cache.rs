@@ -104,6 +104,39 @@ impl CacheStats {
             self.runs()
         )
     }
+
+    /// Attribute one [`run_cached_outcome`] result to this (local)
+    /// tally. A miss is counted as a store too: per-call accounting
+    /// cannot see the rare store failure, which only the process-wide
+    /// counters report.
+    pub fn record(&mut self, outcome: CacheOutcome) {
+        match outcome {
+            CacheOutcome::Hit => self.hits += 1,
+            CacheOutcome::Miss => {
+                self.misses += 1;
+                self.stores += 1;
+            }
+            CacheOutcome::Bypass => self.bypasses += 1,
+        }
+    }
+
+    /// Sum of two tallies (for aggregating per-cell stats).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stores += other.stores;
+        self.bypasses += other.bypasses;
+    }
+}
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hits", Json::U64(self.hits)),
+            ("misses", Json::U64(self.misses)),
+            ("bypasses", Json::U64(self.bypasses)),
+        ])
+    }
 }
 
 /// How one [`run_cached`] call was satisfied.
@@ -285,11 +318,18 @@ fn cacheable(effective_faults: &FaultConfig) -> bool {
 /// every experiment goes through; `PARATICK_CACHE=0` restores the old
 /// always-simulate behaviour exactly.
 pub fn run_cached(scenario: Scenario) -> Result<RunMetrics, SimError> {
+    run_cached_outcome(scenario).map(|(m, _)| m)
+}
+
+/// Like [`run_cached`], but reports how the call was satisfied; the
+/// experiment runner and sweep scheduler attribute cache traffic per
+/// cell with it.
+pub fn run_cached_outcome(scenario: Scenario) -> Result<(RunMetrics, CacheOutcome), SimError> {
     match RunCache::from_env() {
-        Some(cache) => cache.run(scenario).map(|(m, _)| m),
+        Some(cache) => cache.run(scenario),
         None => {
             BYPASSES.fetch_add(1, Ordering::SeqCst);
-            Engine::run(scenario)
+            Engine::run(scenario).map(|m| (m, CacheOutcome::Bypass))
         }
     }
 }

@@ -123,18 +123,42 @@ impl Experiment {
         self
     }
 
+    /// Materialize the scenario this experiment would simulate for a
+    /// given mode and seed. The replication harness uses this to re-run
+    /// a cell under externally derived seed streams without owning the
+    /// builder.
+    pub fn scenario(&self, mode: TickMode, seed: u64) -> Scenario {
+        (self.builder)(mode, seed)
+    }
+
     /// Run the paired experiment. Fails on the first simulation error
     /// (bad configuration, deadlock, invariant breach). Simulations go
     /// through the content-addressed run cache ([`crate::cache`]): a
     /// warm repeat of the same experiment deserializes every iteration
     /// instead of simulating it.
     pub fn run(&self) -> Result<Comparison, paratick_vmm::SimError> {
+        self.run_detailed().map(|(c, _)| c)
+    }
+
+    /// [`run`](Experiment::run), plus a tally of how this experiment's
+    /// own simulations were satisfied by the run cache (the process-wide
+    /// [`CacheStats::snapshot`] cannot attribute traffic to one cell
+    /// when sweep workers run cells concurrently).
+    pub fn run_detailed(
+        &self,
+    ) -> Result<(Comparison, crate::cache::CacheStats), paratick_vmm::SimError> {
         let mut base = ModeSummary::default();
         let mut treat = ModeSummary::default();
+        let mut cache = crate::cache::CacheStats::default();
+        let mut run = |scenario| -> Result<RunMetrics, paratick_vmm::SimError> {
+            let (m, outcome) = crate::cache::run_cached_outcome(scenario)?;
+            cache.record(outcome);
+            Ok(m)
+        };
         for i in 0..self.max_iterations {
             let seed = 0xE1E7_0000 + u64::from(i);
-            base.record(&crate::cache::run_cached((self.builder)(self.baseline, seed))?);
-            treat.record(&crate::cache::run_cached((self.builder)(self.treatment, seed))?);
+            base.record(&run((self.builder)(self.baseline, seed))?);
+            treat.record(&run((self.builder)(self.treatment, seed))?);
             if i + 1 >= self.min_iterations
                 && base.stable(self.cv_target)
                 && treat.stable(self.cv_target)
@@ -142,7 +166,7 @@ impl Experiment {
                 break;
             }
         }
-        Ok(Comparison::from_summaries(&self.name, base, treat))
+        Ok((Comparison::from_summaries(&self.name, base, treat), cache))
     }
 }
 

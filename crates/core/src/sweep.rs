@@ -32,6 +32,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// What one sweep cell resolves to: the paired comparison plus the
+/// cell's own cache traffic, or the error that stopped it.
+type CellOutcome = Result<(Comparison, CacheStats), SimError>;
+
 /// A declarative grid of experiment cells plus scheduling knobs.
 pub struct Sweep {
     name: String,
@@ -50,6 +54,10 @@ pub struct SweepReport {
     pub name: String,
     /// Completed comparisons, in cell submission order.
     pub completed: Vec<Comparison>,
+    /// Per-cell cache traffic, aligned with `completed`: how each
+    /// cell's own simulations were satisfied (the aggregate `cache`
+    /// field cannot attribute traffic when workers run concurrently).
+    pub cell_cache: Vec<CacheStats>,
     /// `(cell name, error)` for every failed cell, in submission order.
     pub failed: Vec<(String, SimError)>,
     /// Cache counter movement attributable to this sweep.
@@ -169,7 +177,7 @@ impl Sweep {
         for (i, q) in (0..total).zip((0..jobs).cycle()) {
             queues[q].lock().unwrap().push_back(i);
         }
-        let results: Vec<Mutex<Option<Result<Comparison, SimError>>>> =
+        let results: Vec<Mutex<Option<CellOutcome>>> =
             (0..total).map(|_| Mutex::new(None)).collect();
         let done = AtomicUsize::new(0);
 
@@ -199,14 +207,17 @@ impl Sweep {
                     let Some(idx) = task else { break };
                     let cell = &cells[idx];
                     let cell_started = std::time::Instant::now();
-                    let outcome = cell.run();
+                    let outcome = cell.run_detailed();
                     let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
                     if progress {
                         match &outcome {
-                            Ok(_) => eprintln!(
-                                "[{sweep_name} {finished}/{total}] {} ok in {:.2?}",
+                            Ok((_, cache)) => eprintln!(
+                                "[{sweep_name} {finished}/{total}] {} ok in {:.2?} (cache {}h/{}m/{}b)",
                                 cell.name,
-                                cell_started.elapsed()
+                                cell_started.elapsed(),
+                                cache.hits,
+                                cache.misses,
+                                cache.bypasses,
                             ),
                             Err(e) => eprintln!(
                                 "[{sweep_name} {finished}/{total}] {} FAILED: {e}",
@@ -214,8 +225,8 @@ impl Sweep {
                             ),
                         }
                     }
-                    if let (Some(w), Ok(c)) = (artifacts, &outcome) {
-                        w.emit(c);
+                    if let (Some(w), Ok((c, cache))) = (artifacts, &outcome) {
+                        w.emit(c, cache);
                     }
                     *results[idx].lock().unwrap() = Some(outcome);
                 });
@@ -223,10 +234,14 @@ impl Sweep {
         });
 
         let mut completed = Vec::new();
+        let mut cell_cache = Vec::new();
         let mut failed = Vec::new();
         for (idx, slot) in results.into_iter().enumerate() {
             match slot.into_inner().unwrap() {
-                Some(Ok(c)) => completed.push(c),
+                Some(Ok((c, cache))) => {
+                    completed.push(c);
+                    cell_cache.push(cache);
+                }
                 Some(Err(e)) => failed.push((self.cells[idx].name.clone(), e)),
                 None => unreachable!("scope joined every worker"),
             }
@@ -234,6 +249,7 @@ impl Sweep {
         SweepReport {
             name: self.name,
             completed,
+            cell_cache,
             failed,
             cache: CacheStats::snapshot().since(&cache_before),
             deduped: self.deduped,
@@ -264,9 +280,11 @@ impl ArtifactWriter {
                 return None;
             }
         };
-        if let Err(e) =
-            writeln!(csv, "cell,exits_pct,timer_exits_pct,throughput_pct,exec_time_pct,iterations")
-        {
+        if let Err(e) = writeln!(
+            csv,
+            "cell,exits_pct,timer_exits_pct,throughput_pct,exec_time_pct,iterations,\
+             cache_hits,cache_misses,cache_bypasses"
+        ) {
             eprintln!("sweep: header write failed: {e}");
             return None;
         }
@@ -276,21 +294,34 @@ impl ArtifactWriter {
         })
     }
 
-    fn emit(&self, c: &Comparison) {
+    fn emit(&self, c: &Comparison, cache: &CacheStats) {
         let path = self.dir.join(format!("{}.json", sanitize(&c.name)));
-        if let Err(e) = std::fs::write(&path, c.to_json().to_string_pretty()) {
+        // Append the cell's cache tally to the comparison object;
+        // `Comparison::from_json` ignores unknown fields, so existing
+        // consumers keep parsing these artifacts.
+        let doc = match c.to_json() {
+            paratick_sim::Json::Obj(mut pairs) => {
+                pairs.push(("cache".to_string(), cache.to_json()));
+                paratick_sim::Json::Obj(pairs)
+            }
+            other => other,
+        };
+        if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
             eprintln!("sweep: write {} failed: {e}", path.display());
         }
         let mut csv = self.csv.lock().unwrap();
         let _ = writeln!(
             csv,
-            "{},{:.4},{:.4},{:.4},{:.4},{}",
+            "{},{:.4},{:.4},{:.4},{:.4},{},{},{},{}",
             c.name,
             c.exits_pct,
             c.timer_exits_pct,
             c.throughput_pct,
             c.exec_time_pct,
-            c.baseline.iterations
+            c.baseline.iterations,
+            cache.hits,
+            cache.misses,
+            cache.bypasses,
         );
         let _ = csv.flush();
     }
@@ -345,6 +376,13 @@ mod tests {
         assert_eq!(report.completed[0].name, "a");
         assert_eq!(report.completed[1].name, "b");
         assert_eq!(report.exit_code(), 0);
+        // Per-cell cache tallies align with `completed` and account for
+        // every simulation the cell ran (1 iteration × 2 modes),
+        // whatever mix of hit/miss/bypass satisfied them.
+        assert_eq!(report.cell_cache.len(), report.completed.len());
+        for cache in &report.cell_cache {
+            assert_eq!(cache.runs(), 2, "{cache:?}");
+        }
     }
 
     #[test]

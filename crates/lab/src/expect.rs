@@ -1,0 +1,224 @@
+//! Machine-readable expectations for the paper's artefacts.
+//!
+//! Each [`Expectation`] binds one `(figure, metric)` pair to the
+//! paper's published value and two acceptance bands around *this
+//! reproduction's* calibrated results (EXPERIMENTS.md): a **pass**
+//! band the replicated mean must land in, and a wider **warn** band
+//! that flags drift without failing the gate. Bands are sign-anchored:
+//! every pass band lies strictly on the paper's side of zero for the
+//! metrics where the paper claims a direction (fewer exits, more
+//! throughput), so a sign flip can never pass.
+//!
+//! The bands are calibrated for [`crate::suite::paper_suite`] at
+//! [`crate::suite::VALIDATE_SCALE`] with the default replicate count —
+//! the suite definition, the scale and these tables move together.
+
+use paratick_sim::Json;
+
+/// Which headline metric of a [`paratick::experiment::Comparison`] an
+/// expectation constrains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Percent change in total VM exits (negative = fewer).
+    ExitsPct,
+    /// Throughput improvement in percent (positive = better).
+    ThroughputPct,
+    /// Percent change in execution time (negative = faster).
+    ExecTimePct,
+}
+
+impl MetricKind {
+    pub const ALL: [MetricKind; 3] = [
+        MetricKind::ExitsPct,
+        MetricKind::ThroughputPct,
+        MetricKind::ExecTimePct,
+    ];
+
+    pub fn key(self) -> &'static str {
+        match self {
+            MetricKind::ExitsPct => "exits_pct",
+            MetricKind::ThroughputPct => "throughput_pct",
+            MetricKind::ExecTimePct => "exec_time_pct",
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::ExitsPct => "Δexits",
+            MetricKind::ThroughputPct => "Δthroughput",
+            MetricKind::ExecTimePct => "Δexec-time",
+        }
+    }
+}
+
+/// A closed interval `[lo, hi]` in percent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Band {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Band {
+    pub const fn new(lo: f64, hi: f64) -> Band {
+        Band { lo, hi }
+    }
+
+    pub fn contains(&self, x: f64) -> bool {
+        x.is_finite() && self.lo <= x && x <= self.hi
+    }
+
+    /// Does a confidence interval overlap this band?
+    pub fn overlaps(&self, (lo, hi): (f64, f64)) -> bool {
+        lo.is_finite() && hi.is_finite() && lo <= self.hi && self.lo <= hi
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Arr(vec![Json::F64(self.lo), Json::F64(self.hi)])
+    }
+}
+
+/// One `(figure, metric)` expectation row.
+#[derive(Clone, Copy, Debug)]
+pub struct Expectation {
+    /// Figure key (`fig4`, `fig5/small`, `fig5/medium`, `fig5/large`,
+    /// `fig6`), matching [`crate::suite::FigureCells::figure`].
+    pub figure: &'static str,
+    pub metric: MetricKind,
+    /// The paper's published aggregate, for the report's context column.
+    pub paper: f64,
+    pub pass: Band,
+    pub warn: Band,
+}
+
+/// The expectation table for Figures 4–6 (Tables 2–4 are the same
+/// aggregates). Paper values from §6; bands calibrated against the
+/// suite's measured aggregates (EXPERIMENTS.md).
+pub const EXPECTATIONS: [Expectation; 15] = [
+    // Figure 4 / Table 2: sequential PARSEC. Full suite measures
+    // Δexits −41.5, Δthroughput +1.7, Δexec −1.2; the quick subset
+    // (swaptions + dedup) lands at −42.3 / +4.2 / −2.7.
+    expect("fig4", MetricKind::ExitsPct, -50.0, (-48.0, -35.0), (-60.0, -28.0)),
+    expect("fig4", MetricKind::ThroughputPct, 7.0, (1.0, 6.0), (0.0, 10.0)),
+    expect("fig4", MetricKind::ExecTimePct, -2.0, (-4.0, -0.5), (-7.0, 0.0)),
+    // Figure 5 / Table 3: parallel PARSEC per VM size. Full suite:
+    // small −40.9 / +3.8 / −1.9 (quick, dedup only: −39.0 / +10.2 /
+    // −5.3), medium −41.9 / +4.6 / −3.6, large −42.2 / +6.9 / −10.0.
+    expect("fig5/small", MetricKind::ExitsPct, -50.0, (-48.0, -34.0), (-60.0, -27.0)),
+    expect("fig5/small", MetricKind::ThroughputPct, 5.0, (2.0, 12.0), (0.0, 15.0)),
+    expect("fig5/small", MetricKind::ExecTimePct, -3.0, (-9.0, -0.5), (-12.0, 0.5)),
+    expect("fig5/medium", MetricKind::ExitsPct, -50.0, (-48.0, -35.0), (-60.0, -28.0)),
+    expect("fig5/medium", MetricKind::ThroughputPct, 8.0, (2.0, 8.0), (0.0, 12.0)),
+    expect("fig5/medium", MetricKind::ExecTimePct, -6.0, (-6.5, -1.0), (-10.0, 0.0)),
+    expect("fig5/large", MetricKind::ExitsPct, -50.0, (-48.0, -35.0), (-60.0, -28.0)),
+    expect("fig5/large", MetricKind::ThroughputPct, 12.0, (4.0, 10.0), (1.0, 14.0)),
+    expect("fig5/large", MetricKind::ExecTimePct, -9.0, (-14.0, -6.0), (-18.0, -2.0)),
+    // Figure 6 / Table 4: fio. Full suite −38.3 / +31.3 / −12.4; the
+    // quick subset (seq-read 4k) −37.0 / +38.2 / −20.8.
+    expect("fig6", MetricKind::ExitsPct, -34.0, (-45.0, -31.0), (-55.0, -24.0)),
+    expect("fig6", MetricKind::ThroughputPct, 20.0, (25.0, 45.0), (15.0, 55.0)),
+    expect("fig6", MetricKind::ExecTimePct, -18.0, (-24.0, -9.0), (-30.0, -4.0)),
+];
+
+const fn expect(
+    figure: &'static str,
+    metric: MetricKind,
+    paper: f64,
+    pass: (f64, f64),
+    warn: (f64, f64),
+) -> Expectation {
+    Expectation {
+        figure,
+        metric,
+        paper,
+        pass: Band::new(pass.0, pass.1),
+        warn: Band::new(warn.0, warn.1),
+    }
+}
+
+/// Expectations constraining one figure.
+pub fn for_figure(figure: &str) -> impl Iterator<Item = &'static Expectation> + '_ {
+    EXPECTATIONS.iter().filter(move |e| e.figure == figure)
+}
+
+/// Table 1's published exit counts `(periodic, tickless)` for W1–W4 —
+/// the analytic model must reproduce these *exactly*.
+pub const TABLE1_PAPER: [(u64, u64); 4] = [
+    (40_000, 0),
+    (160_000, 0),
+    (40_000, 60_000),
+    (160_000, 240_000),
+];
+
+/// A fidelity verdict, ordered best-to-worst.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    Pass,
+    Warn,
+    Fail,
+}
+
+impl Verdict {
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Warn => "warn",
+            Verdict::Fail => "fail",
+        }
+    }
+}
+
+/// Judge a replicated mean (with its 95 % confidence interval) against
+/// an expectation: **pass** when the mean lands in the pass band;
+/// **warn** when it lands in the warn band, or when the interval still
+/// overlaps the pass band (the point estimate drifted but the data
+/// cannot exclude the calibrated range); **fail** otherwise — including
+/// a non-finite mean, which means the replication itself broke.
+pub fn judge(e: &Expectation, mean: f64, ci: (f64, f64)) -> Verdict {
+    if !mean.is_finite() {
+        return Verdict::Fail;
+    }
+    if e.pass.contains(mean) {
+        Verdict::Pass
+    } else if e.warn.contains(mean) || e.pass.overlaps(ci) {
+        Verdict::Warn
+    } else {
+        Verdict::Fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_are_sane() {
+        for e in &EXPECTATIONS {
+            assert!(e.pass.lo < e.pass.hi, "{e:?}");
+            // The warn band contains the pass band.
+            assert!(e.warn.lo <= e.pass.lo && e.pass.hi <= e.warn.hi, "{e:?}");
+            // Sign anchoring: exits expectations never admit an increase.
+            if e.metric == MetricKind::ExitsPct {
+                assert!(e.pass.hi < 0.0, "{e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn judge_tiers() {
+        let e = expect("f", MetricKind::ExitsPct, -50.0, (-55.0, -30.0), (-70.0, -20.0));
+        // Mean inside the pass band.
+        assert_eq!(judge(&e, -40.0, (-42.0, -38.0)), Verdict::Pass);
+        // Mean in the warn band only.
+        assert_eq!(judge(&e, -25.0, (-26.0, -24.0)), Verdict::Warn);
+        // Mean outside both bands, but the CI still reaches the pass
+        // band: inconclusive, not failed.
+        assert_eq!(judge(&e, -15.0, (-35.0, 5.0)), Verdict::Warn);
+        // Clearly out.
+        assert_eq!(judge(&e, 10.0, (8.0, 12.0)), Verdict::Fail);
+        // Sign flip with a tight CI fails even near zero.
+        assert_eq!(judge(&e, 0.5, (0.4, 0.6)), Verdict::Fail);
+        // Broken statistics fail loudly.
+        assert_eq!(judge(&e, f64::NAN, (f64::NAN, f64::NAN)), Verdict::Fail);
+        assert!(Verdict::Pass < Verdict::Warn && Verdict::Warn < Verdict::Fail);
+    }
+}

@@ -1,0 +1,41 @@
+//! # paratick-lab — the statistics-and-validation laboratory
+//!
+//! The paper's claims are statistical: mean Δexits / Δthroughput /
+//! Δexec-time over *repeated* runs of PARSEC, fio and synthetic
+//! workloads (Tables 1–4, Figures 4–6). This crate turns the
+//! reproduction's single-run point values into defensible numbers and
+//! machine-checkable verdicts, in three layers:
+//!
+//! * [`replicate`] — run each experiment cell N times over independent
+//!   deterministic seed streams ([`paratick_sim::rng::seed_stream`]),
+//!   scheduled on the work-stealing [`paratick::sweep::Sweep`] pool and
+//!   memoized per-replicate in the content-addressed run cache (the
+//!   replicate seed is part of the scenario, hence of the cache key).
+//!   Aggregation keeps every replicate's value ([`paratick_sim::stats::Samples`]),
+//!   so reports carry percentiles, t / bootstrap confidence intervals
+//!   and paired effect sizes — not just means.
+//! * [`expect`] + [`validate`] — machine-readable expectation bands for
+//!   the paper's artefacts and `paratick validate`: a deterministic
+//!   per-figure pass/warn/fail report (JSON + human table) with a
+//!   nonzero exit on fail.
+//! * [`perf`] — `paratick bench` / `paratick compare`: the engine's
+//!   own speed (events/sec, wall per run) over a fixed scenario basket,
+//!   persisted as schema-versioned `BENCH_<label>.json` files and
+//!   compared with CI-backed verdicts, exiting nonzero on a significant
+//!   regression.
+//!
+//! Everything here is deterministic by construction: seeds derive from
+//! one base, bootstrap resampling is seeded, and report JSON excludes
+//! wall-clock noise — identical inputs give byte-identical reports
+//! (the perf layer's measured wall times are the deliberate exception).
+
+pub mod expect;
+pub mod perf;
+pub mod replicate;
+pub mod suite;
+pub mod validate;
+
+pub use expect::{Band, Expectation, MetricKind, Verdict};
+pub use perf::{BenchReport, CompareReport};
+pub use replicate::{CellStats, Replication, ReplicationReport};
+pub use validate::{ValidateOptions, ValidationReport};

@@ -1,0 +1,334 @@
+//! Replicated experiment runs over independent deterministic seed
+//! streams.
+//!
+//! A [`Replication`] wraps a set of experiment cells and runs each one
+//! N times, once per *replicate seed* derived from a single base via
+//! [`seed_stream`]. Each replicate is a one-iteration paired experiment
+//! whose scenarios embed the replicate's seed, so:
+//!
+//! * replicates are **independent** — distinct seeds, distinct RNG
+//!   streams, distinct (but deterministic) results;
+//! * replicates are **memoized individually** — the seed is part of the
+//!   scenario and therefore of the run-cache key, so a repeated
+//!   `paratick validate` re-reads every replicate from the cache;
+//! * the whole replication is **schedulable** — cells × replicates all
+//!   land on the existing work-stealing [`Sweep`] pool at once, rather
+//!   than serializing N sweeps.
+//!
+//! Aggregation keeps all N values per metric ([`Samples`]), so the
+//! report can answer interval and order-statistic questions (t /
+//! bootstrap CIs, percentiles, paired effect sizes), not just means.
+
+use paratick::cache::CacheStats;
+use paratick::experiment::Comparison;
+use paratick::prelude::*;
+use paratick_sim::rng::seed_stream;
+use paratick_sim::stats::Samples;
+use paratick_sim::{Json, ToJson};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default base seed of the replicate seed stream. Distinct from the
+/// experiment runner's internal `0xE1E7_…` iteration seeds, so a
+/// replicate never aliases a plain `Experiment::run` iteration.
+pub const DEFAULT_BASE_SEED: u64 = 0x5EED_0001;
+
+/// Default replicate count; the acceptance bar for `paratick validate`
+/// is "≥ 5 replicates per cell".
+pub const DEFAULT_REPLICATES: u32 = 5;
+
+/// The replicate-cell naming scheme: `cell#r<index>`.
+fn replicate_name(cell: &str, replicate: u32) -> String {
+    format!("{cell}#r{replicate}")
+}
+
+/// Inverse of [`replicate_name`]; `None` for names without the marker.
+fn split_replicate(name: &str) -> Option<(&str, u32)> {
+    let (cell, rest) = name.rsplit_once("#r")?;
+    Some((cell, rest.parse().ok()?))
+}
+
+/// A replicated run of a set of experiment cells.
+pub struct Replication {
+    name: String,
+    cells: Vec<Arc<Experiment>>,
+    replicates: u32,
+    base_seed: u64,
+    jobs: Option<usize>,
+    quiet: bool,
+}
+
+impl Replication {
+    pub fn new(name: impl Into<String>) -> Replication {
+        Replication {
+            name: name.into(),
+            cells: Vec::new(),
+            replicates: DEFAULT_REPLICATES,
+            base_seed: DEFAULT_BASE_SEED,
+            jobs: None,
+            quiet: false,
+        }
+    }
+
+    /// Add one experiment cell.
+    pub fn cell(mut self, exp: Experiment) -> Replication {
+        self.cells.push(Arc::new(exp));
+        self
+    }
+
+    pub fn cells(mut self, exps: impl IntoIterator<Item = Experiment>) -> Replication {
+        for e in exps {
+            self = self.cell(e);
+        }
+        self
+    }
+
+    /// Replicates per cell (≥ 1).
+    pub fn replicates(mut self, n: u32) -> Replication {
+        assert!(n >= 1, "replicates must be >= 1");
+        self.replicates = n;
+        self
+    }
+
+    /// Base of the seed stream; every replicate's scenario seed is
+    /// `seed_stream(base, replicate_index)`.
+    pub fn base_seed(mut self, base: u64) -> Replication {
+        self.base_seed = base;
+        self
+    }
+
+    pub fn jobs(mut self, jobs: usize) -> Replication {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    pub fn quiet(mut self) -> Replication {
+        self.quiet = true;
+        self
+    }
+
+    /// Run cells × replicates on the sweep pool and group the results
+    /// back per cell.
+    pub fn run(self) -> ReplicationReport {
+        let mut sweep = Sweep::new(self.name.clone());
+        if self.quiet {
+            sweep = sweep.quiet();
+        }
+        if let Some(jobs) = self.jobs {
+            sweep = sweep.jobs(jobs);
+        }
+        for cell in &self.cells {
+            for r in 0..self.replicates {
+                let seed = seed_stream(self.base_seed, u64::from(r));
+                let parent = Arc::clone(cell);
+                // One paired run per replicate: the replicate seed
+                // replaces the runner's internal iteration seeds, so
+                // the replicate is exactly one (baseline, treatment)
+                // scenario pair, fully determined by `seed`.
+                sweep = sweep.add(
+                    Experiment::new(replicate_name(&cell.name, r), move |mode, _seed| {
+                        parent.scenario(mode, seed)
+                    })
+                    .iterations(1, 1),
+                );
+            }
+        }
+
+        let report = sweep.run();
+
+        // Group completed replicates back per cell. Sweep results come
+        // back in submission order (cell-major, replicate-minor), so
+        // each cell's samples are in replicate order.
+        let mut cells: Vec<CellStats> = Vec::new();
+        for (c, cache) in report.completed.iter().zip(&report.cell_cache) {
+            let Some((cell_name, _)) = split_replicate(&c.name) else {
+                continue;
+            };
+            if cells.last().map(|s| s.name.as_str()) != Some(cell_name) {
+                cells.push(CellStats::new(cell_name));
+            }
+            cells.last_mut().expect("just pushed").record(c, cache);
+        }
+        let failed = report
+            .failed
+            .into_iter()
+            .map(|(name, err)| (name, err.to_string()))
+            .collect();
+
+        ReplicationReport {
+            name: self.name,
+            replicates: self.replicates,
+            base_seed: self.base_seed,
+            cells,
+            failed,
+            cache: report.cache,
+            wall: report.wall,
+        }
+    }
+}
+
+/// Per-cell replicate statistics: every headline metric as a full
+/// sample set.
+#[derive(Clone, Debug)]
+pub struct CellStats {
+    pub name: String,
+    pub exits_pct: Samples,
+    pub timer_exits_pct: Samples,
+    pub throughput_pct: Samples,
+    pub exec_time_pct: Samples,
+    /// Cache traffic summed over this cell's replicates.
+    pub cache: CacheStats,
+}
+
+impl CellStats {
+    fn new(name: &str) -> CellStats {
+        CellStats {
+            name: name.to_string(),
+            exits_pct: Samples::new(),
+            timer_exits_pct: Samples::new(),
+            throughput_pct: Samples::new(),
+            exec_time_pct: Samples::new(),
+            cache: CacheStats::default(),
+        }
+    }
+
+    fn record(&mut self, c: &Comparison, cache: &CacheStats) {
+        self.exits_pct.record(c.exits_pct);
+        self.timer_exits_pct.record(c.timer_exits_pct);
+        self.throughput_pct.record(c.throughput_pct);
+        self.exec_time_pct.record(c.exec_time_pct);
+        self.cache.merge(cache);
+    }
+
+    /// Completed replicates for this cell.
+    pub fn replicates(&self) -> usize {
+        self.exits_pct.len()
+    }
+}
+
+/// One metric's replicate statistics as a JSON object: the raw samples
+/// plus the derived interval quantities.
+pub fn metric_json(s: &Samples) -> Json {
+    let (lo, hi) = s.ci95_t();
+    Json::obj(vec![
+        ("n", Json::U64(s.len() as u64)),
+        ("mean", Json::F64(s.mean())),
+        ("stddev", Json::F64(s.stddev())),
+        ("p50", Json::F64(s.median())),
+        ("ci95", Json::Arr(vec![Json::F64(lo), Json::F64(hi)])),
+        ("effect_size", Json::F64(s.cohens_d())),
+        ("samples", s.to_json()),
+    ])
+}
+
+impl ToJson for CellStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("replicates", Json::U64(self.replicates() as u64)),
+            ("exits_pct", metric_json(&self.exits_pct)),
+            ("timer_exits_pct", metric_json(&self.timer_exits_pct)),
+            ("throughput_pct", metric_json(&self.throughput_pct)),
+            ("exec_time_pct", metric_json(&self.exec_time_pct)),
+        ])
+    }
+}
+
+/// The outcome of a [`Replication`].
+#[derive(Clone, Debug)]
+pub struct ReplicationReport {
+    pub name: String,
+    /// Requested replicates per cell (completed counts may be lower for
+    /// cells with failed replicates).
+    pub replicates: u32,
+    pub base_seed: u64,
+    /// Per-cell statistics, in submission order.
+    pub cells: Vec<CellStats>,
+    /// `(replicate name, error)` for every failed replicate.
+    pub failed: Vec<(String, String)>,
+    /// Cache counter movement attributable to this replication.
+    pub cache: CacheStats,
+    pub wall: Duration,
+}
+
+impl ReplicationReport {
+    pub fn cell(&self, name: &str) -> Option<&CellStats> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// Deterministic JSON body: pure function of the cells' results
+    /// (cache traffic and wall clock are deliberately excluded).
+    pub fn to_json_deterministic(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("replicates", Json::U64(u64::from(self.replicates))),
+            ("base_seed", Json::U64(self.base_seed)),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "failed",
+                Json::Arr(
+                    self.failed
+                        .iter()
+                        .map(|(name, err)| {
+                            Json::obj(vec![
+                                ("replicate", Json::Str(name.clone())),
+                                ("error", Json::Str(err.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human summary table: per cell, mean ± half-CI of the headline
+    /// metrics over the replicates.
+    pub fn summary(&self) -> String {
+        let fmt = |s: &Samples| {
+            let (lo, hi) = s.ci95_t();
+            let hw = (hi - lo) / 2.0;
+            if hw.is_nan() {
+                format!("{:+7.1}%", s.mean())
+            } else {
+                format!("{:+7.1}% ±{:.1}", s.mean(), hw)
+            }
+        };
+        let mut out = format!(
+            "replication {}: {} cells x {} replicates in {:.2?}; cache: {}\n",
+            self.name,
+            self.cells.len(),
+            self.replicates,
+            self.wall,
+            self.cache.summary(),
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "  {:<28} exits {}  throughput {}  exec {}\n",
+                c.name,
+                fmt(&c.exits_pct),
+                fmt(&c.throughput_pct),
+                fmt(&c.exec_time_pct),
+            ));
+        }
+        for (name, err) in &self.failed {
+            out.push_str(&format!("  FAILED {name}: {err}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_names_round_trip() {
+        assert_eq!(replicate_name("dedup/small", 3), "dedup/small#r3");
+        assert_eq!(split_replicate("dedup/small#r3"), Some(("dedup/small", 3)));
+        assert_eq!(split_replicate("plain"), None);
+        assert_eq!(split_replicate("odd#rx"), None);
+    }
+}

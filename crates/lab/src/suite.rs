@@ -1,0 +1,167 @@
+//! The validation suite: the experiment cells `paratick validate`
+//! replicates, grouped per paper figure.
+//!
+//! These mirror the artefact cells of `paratick fig4|fig5|fig6` (same
+//! scenario shapes, same cell names) but take the workload scale as an
+//! explicit parameter instead of reading `PARATICK_SCALE`: the
+//! expectation bands in [`crate::expect`] are calibrated at a fixed
+//! scale, so the suite definition must not drift with the caller's
+//! environment.
+//!
+//! The full suite replicates a representative subset of the paper grid
+//! (every Figure 4 benchmark, six benchmarks × three VM sizes for
+//! Figure 5, every fio pattern × two block sizes for Figure 6) — enough
+//! cells for stable aggregates while keeping `paratick validate` a
+//! minutes-not-hours gate. `--quick` shrinks each figure to smoke size.
+
+use paratick::experiment::Experiment;
+use paratick::prelude::*;
+use paratick_workloads::fio::{self, FioPattern, FioSpec};
+use paratick_workloads::{parsec, PARSEC};
+
+/// The scale the expectation bands are calibrated against.
+pub const VALIDATE_SCALE: f64 = 0.25;
+
+/// One figure's worth of cells.
+pub struct FigureCells {
+    /// Figure key, matching [`crate::expect::Expectation::figure`]
+    /// (`fig4`, `fig5/small`, `fig5/medium`, `fig5/large`, `fig6`).
+    pub figure: &'static str,
+    pub cells: Vec<Experiment>,
+}
+
+/// Figure 5 VM sizes, by label.
+fn vm_config(size: &str) -> VmConfig {
+    match size {
+        "small" => VmConfig::small_vm(),
+        "medium" => VmConfig::medium_vm(),
+        "large" => VmConfig::large_vm(),
+        other => panic!("unknown VM size {other}"),
+    }
+}
+
+/// A sequential-PARSEC cell (Figure 4 shape).
+fn seq_cell(name: &'static str, scale: f64) -> Experiment {
+    let profile = *parsec::profile(name).expect("unknown benchmark");
+    Experiment::new(name, move |mode, seed| {
+        Scenario::new(HostConfig::default())
+            .vm(
+                VmConfig::with_vcpus(1).mode(mode).spanning(1),
+                parsec::workload(&profile, 1, scale),
+            )
+            .seed(seed)
+    })
+}
+
+/// A parallel-PARSEC cell in one of the paper's VM sizes (Figure 5
+/// shape).
+fn par_cell(name: &'static str, size: &'static str, scale: f64) -> Experiment {
+    let profile = *parsec::profile(name).expect("unknown benchmark");
+    Experiment::new(format!("{name}/{size}"), move |mode, seed| {
+        let cfg = vm_config(size).mode(mode);
+        let threads = cfg.vcpus as usize;
+        Scenario::new(HostConfig::default())
+            .vm(cfg, parsec::workload(&profile, threads, scale))
+            .seed(seed)
+    })
+}
+
+/// A fio cell (Figure 6 shape: 1-vCPU VM, host-cached virtio disk).
+fn fio_cell(pattern: FioPattern, block_size: u64, scale: f64) -> Experiment {
+    let bytes = ((48u64 << 20) as f64 * scale) as u64;
+    let spec = FioSpec::new(pattern, block_size, bytes);
+    Experiment::new(spec.job_name(), move |mode, seed| {
+        let mut cfg = VmConfig::with_vcpus(1).mode(mode).spanning(1);
+        cfg.device = DeviceKind::VirtioCached;
+        Scenario::new(HostConfig::default())
+            .vm(cfg, fio::workload(&spec))
+            .seed(seed)
+    })
+}
+
+/// The Figure 5 benchmark subset (spans the sync-pattern space:
+/// lock-heavy, barrier-heavy, pipeline and compute-bound).
+const FIG5_BENCHMARKS: [&str; 6] = [
+    "blackscholes",
+    "canneal",
+    "dedup",
+    "fluidanimate",
+    "streamcluster",
+    "x264",
+];
+
+/// The validation suite at the given scale. `quick` shrinks every
+/// figure to a smoke-sized subset (same shapes, fewer cells).
+pub fn paper_suite(scale: f64, quick: bool) -> Vec<FigureCells> {
+    let mut figures = Vec::new();
+
+    let fig4: Vec<Experiment> = if quick {
+        ["swaptions", "dedup"]
+            .iter()
+            .map(|&n| seq_cell(n, scale))
+            .collect()
+    } else {
+        PARSEC.iter().map(|p| seq_cell(p.name, scale)).collect()
+    };
+    figures.push(FigureCells {
+        figure: "fig4",
+        cells: fig4,
+    });
+
+    for size in ["small", "medium", "large"] {
+        if quick && size != "small" {
+            continue;
+        }
+        let names: &[&'static str] = if quick { &["dedup"] } else { &FIG5_BENCHMARKS };
+        figures.push(FigureCells {
+            figure: match size {
+                "small" => "fig5/small",
+                "medium" => "fig5/medium",
+                _ => "fig5/large",
+            },
+            cells: names.iter().map(|&n| par_cell(n, size, scale)).collect(),
+        });
+    }
+
+    let blocks: &[u64] = if quick { &[4 << 10] } else { &[4 << 10, 64 << 10] };
+    let patterns: &[FioPattern] = if quick {
+        &[FioPattern::SeqRead]
+    } else {
+        &FioPattern::ALL
+    };
+    figures.push(FigureCells {
+        figure: "fig6",
+        cells: patterns
+            .iter()
+            .flat_map(|&p| blocks.iter().map(move |&bs| fio_cell(p, bs, scale)))
+            .collect(),
+    });
+
+    figures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shape() {
+        let full = paper_suite(VALIDATE_SCALE, false);
+        let keys: Vec<&str> = full.iter().map(|f| f.figure).collect();
+        assert_eq!(
+            keys,
+            ["fig4", "fig5/small", "fig5/medium", "fig5/large", "fig6"]
+        );
+        assert_eq!(full[0].cells.len(), PARSEC.len());
+        assert_eq!(full[1].cells.len(), FIG5_BENCHMARKS.len());
+        assert_eq!(full[4].cells.len(), FioPattern::ALL.len() * 2);
+
+        let quick = paper_suite(VALIDATE_SCALE, true);
+        let total: usize = quick.iter().map(|f| f.cells.len()).sum();
+        assert!(total <= 4, "quick suite stays smoke-sized, got {total}");
+        // Every quick figure key also exists in the full suite.
+        for f in &quick {
+            assert!(keys.contains(&f.figure));
+        }
+    }
+}

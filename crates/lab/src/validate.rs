@@ -1,0 +1,423 @@
+//! `paratick validate`: replicated paper-fidelity scoring.
+//!
+//! Runs the validation suite ([`crate::suite::paper_suite`]) with N
+//! replicates per cell on the sweep pool, aggregates each figure's
+//! headline metrics across cells per replicate, and judges the
+//! replicated means (with 95 % t-intervals) against the expectation
+//! bands of [`crate::expect`]. Table 1 is checked exactly against the
+//! analytic model. The JSON report is deterministic — a pure function
+//! of the suite, the seeds and the engine — so fidelity drift shows up
+//! as a diff, not a flake.
+
+use crate::expect::{self, judge, Expectation, MetricKind, Verdict};
+use crate::replicate::{metric_json, CellStats, Replication};
+use crate::suite::{self, FigureCells};
+use paratick::analytic;
+use paratick::cache::CacheStats;
+use paratick_sim::stats::Samples;
+use paratick_sim::Json;
+
+/// Options for a validation run.
+#[derive(Clone, Debug)]
+pub struct ValidateOptions {
+    /// Replicates per cell (the acceptance bar is ≥ 5).
+    pub replicates: u32,
+    /// Smoke-sized suite (see [`crate::suite::paper_suite`]).
+    pub quick: bool,
+    /// Workload scale; the bands are calibrated at
+    /// [`suite::VALIDATE_SCALE`] and the report records any override.
+    pub scale: f64,
+    /// Sweep worker override.
+    pub jobs: Option<usize>,
+    /// Base of the replicate seed stream.
+    pub base_seed: u64,
+    /// Silence per-replicate progress lines.
+    pub quiet: bool,
+}
+
+impl Default for ValidateOptions {
+    fn default() -> Self {
+        ValidateOptions {
+            replicates: crate::replicate::DEFAULT_REPLICATES,
+            quick: false,
+            scale: suite::VALIDATE_SCALE,
+            jobs: None,
+            base_seed: crate::replicate::DEFAULT_BASE_SEED,
+            quiet: false,
+        }
+    }
+}
+
+/// One `(figure, metric)` score: the replicated aggregate against its
+/// expectation.
+#[derive(Clone, Debug)]
+pub struct FigureScore {
+    pub expectation: &'static Expectation,
+    /// Per-replicate figure aggregates (mean across the figure's cells,
+    /// one value per replicate index).
+    pub samples: Samples,
+    pub verdict: Verdict,
+}
+
+impl FigureScore {
+    pub fn to_json(&self) -> Json {
+        let e = self.expectation;
+        Json::obj(vec![
+            ("figure", Json::Str(e.figure.to_string())),
+            ("metric", Json::Str(e.metric.key().to_string())),
+            ("paper", Json::F64(e.paper)),
+            ("pass_band", e.pass.to_json()),
+            ("warn_band", e.warn.to_json()),
+            ("measured", metric_json(&self.samples)),
+            ("verdict", Json::Str(self.verdict.label().to_string())),
+        ])
+    }
+}
+
+/// One Table 1 row: analytic model vs the paper's published counts.
+#[derive(Clone, Debug)]
+pub struct Table1Score {
+    pub workload: &'static str,
+    pub ours: (u64, u64),
+    pub paper: (u64, u64),
+    pub verdict: Verdict,
+}
+
+/// The complete validation outcome.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    pub quick: bool,
+    pub replicates: u32,
+    pub scale: f64,
+    pub table1: Vec<Table1Score>,
+    pub figures: Vec<FigureScore>,
+    /// `(replicate name, error)` for every replicate that failed to
+    /// simulate; any entry forces the overall verdict to fail.
+    pub failed: Vec<(String, String)>,
+    /// Cells replicated (before multiplying by replicates).
+    pub cells: usize,
+    /// Cache traffic of the run (excluded from the deterministic JSON).
+    pub cache: CacheStats,
+    pub wall: std::time::Duration,
+}
+
+impl ValidationReport {
+    /// Worst verdict across Table 1, every figure score, and the failed
+    /// list.
+    pub fn verdict(&self) -> Verdict {
+        let mut worst = Verdict::Pass;
+        if !self.failed.is_empty() {
+            worst = Verdict::Fail;
+        }
+        for t in &self.table1 {
+            worst = worst.max(t.verdict);
+        }
+        for f in &self.figures {
+            worst = worst.max(f.verdict);
+        }
+        worst
+    }
+
+    /// Nonzero exactly when the gate failed (warn still exits 0).
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.verdict() == Verdict::Fail)
+    }
+
+    /// Deterministic JSON body: excludes cache traffic and wall clock.
+    pub fn to_json_deterministic(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::U64(1)),
+            ("quick", Json::Bool(self.quick)),
+            ("replicates", Json::U64(u64::from(self.replicates))),
+            ("scale", Json::F64(self.scale)),
+            ("verdict", Json::Str(self.verdict().label().to_string())),
+            (
+                "table1",
+                Json::Arr(
+                    self.table1
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("workload", Json::Str(t.workload.to_string())),
+                                ("periodic", Json::U64(t.ours.0)),
+                                ("tickless", Json::U64(t.ours.1)),
+                                ("paper_periodic", Json::U64(t.paper.0)),
+                                ("paper_tickless", Json::U64(t.paper.1)),
+                                ("verdict", Json::Str(t.verdict.label().to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "figures",
+                Json::Arr(self.figures.iter().map(FigureScore::to_json).collect()),
+            ),
+            (
+                "failed",
+                Json::Arr(
+                    self.failed
+                        .iter()
+                        .map(|(name, err)| {
+                            Json::obj(vec![
+                                ("replicate", Json::Str(name.clone())),
+                                ("error", Json::Str(err.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable report table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "paratick validate ({} suite, {} cells x {} replicates, scale {}):\n\n",
+            if self.quick { "quick" } else { "full" },
+            self.cells,
+            self.replicates,
+            self.scale,
+        ));
+        out.push_str("Table 1 (analytic, exact):\n");
+        for t in &self.table1 {
+            out.push_str(&format!(
+                "  {:<4} periodic {:>7} (paper {:>7})  tickless {:>7} (paper {:>7})  [{}]\n",
+                t.workload, t.ours.0, t.paper.0, t.ours.1, t.paper.1, t.verdict.label(),
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<12} {:<12} {:>8} {:>18} {:>18} {:>7}\n",
+            "figure", "metric", "paper", "measured (95% CI)", "pass band", "verdict"
+        ));
+        for f in &self.figures {
+            let e = f.expectation;
+            let (lo, hi) = f.samples.ci95_t();
+            out.push_str(&format!(
+                "{:<12} {:<12} {:>7.0}% {:>7.1}% [{:>5.1},{:>5.1}] [{:>6.1},{:>6.1}] {:>7}\n",
+                e.figure,
+                e.metric.label(),
+                e.paper,
+                f.samples.mean(),
+                lo,
+                hi,
+                e.pass.lo,
+                e.pass.hi,
+                f.verdict.label(),
+            ));
+        }
+        for (name, err) in &self.failed {
+            out.push_str(&format!("FAILED replicate {name}: {err}\n"));
+        }
+        out.push_str(&format!(
+            "\noverall: {} ({} figure scores; cache: {}; {:.2?})\n",
+            self.verdict().label(),
+            self.figures.len(),
+            self.cache.summary(),
+            self.wall,
+        ));
+        out
+    }
+}
+
+/// Per-replicate aggregate across a figure's cells for one metric: the
+/// figure's value at replicate r is the mean over cells of that cell's
+/// r-th replicate (the paper's aggregated tables average per-benchmark
+/// improvements the same way). Only cells with all replicates present
+/// participate; partial cells are already reported in `failed`.
+fn figure_samples(cells: &[&CellStats], metric: MetricKind, replicates: u32) -> Samples {
+    let mut agg = Samples::new();
+    let complete: Vec<&&CellStats> = cells
+        .iter()
+        .filter(|c| c.replicates() == replicates as usize)
+        .collect();
+    if complete.is_empty() {
+        return agg;
+    }
+    for r in 0..replicates as usize {
+        let sum: f64 = complete
+            .iter()
+            .map(|c| {
+                let s = match metric {
+                    MetricKind::ExitsPct => &c.exits_pct,
+                    MetricKind::ThroughputPct => &c.throughput_pct,
+                    MetricKind::ExecTimePct => &c.exec_time_pct,
+                };
+                s.values()[r]
+            })
+            .sum();
+        agg.record(sum / complete.len() as f64);
+    }
+    agg
+}
+
+/// Run the validation suite and score it.
+pub fn validate(opts: &ValidateOptions) -> ValidationReport {
+    // Table 1 first: exact analytic check, no simulation involved.
+    const WORKLOADS: [&str; 4] = ["W1", "W2", "W3", "W4"];
+    let table1 = analytic::table1()
+        .iter()
+        .zip(expect::TABLE1_PAPER)
+        .zip(WORKLOADS)
+        .map(|((row, paper), workload)| Table1Score {
+            workload,
+            ours: (row.periodic, row.tickless),
+            paper,
+            verdict: if (row.periodic, row.tickless) == paper {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+        })
+        .collect();
+
+    let suite = suite::paper_suite(opts.scale, opts.quick);
+    let mut figures = Vec::new();
+    let mut failed = Vec::new();
+    let mut cells = 0;
+    let mut cache = CacheStats::default();
+    let mut wall = std::time::Duration::ZERO;
+
+    for FigureCells { figure, cells: exps } in suite {
+        cells += exps.len();
+        let mut rep = Replication::new(figure)
+            .cells(exps)
+            .replicates(opts.replicates)
+            .base_seed(opts.base_seed);
+        if let Some(jobs) = opts.jobs {
+            rep = rep.jobs(jobs);
+        }
+        if opts.quiet {
+            rep = rep.quiet();
+        }
+        let report = rep.run();
+        let figure_failed = !report.failed.is_empty();
+        failed.extend(report.failed.iter().cloned());
+        cache.merge(&report.cache);
+        wall += report.wall;
+
+        let cell_refs: Vec<&CellStats> = report.cells.iter().collect();
+        for e in expect::for_figure(figure) {
+            let samples = figure_samples(&cell_refs, e.metric, opts.replicates);
+            let verdict = if figure_failed {
+                // A figure with missing replicates cannot claim
+                // fidelity, whatever the surviving cells aggregate to.
+                Verdict::Fail
+            } else {
+                judge(e, samples.mean(), samples.ci95_t())
+            };
+            figures.push(FigureScore {
+                expectation: e,
+                samples,
+                verdict,
+            });
+        }
+    }
+
+    ValidationReport {
+        quick: opts.quick,
+        replicates: opts.replicates,
+        scale: opts.scale,
+        table1,
+        figures,
+        failed,
+        cells,
+        cache,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_exact() {
+        let report = ValidationReport {
+            quick: true,
+            replicates: 1,
+            scale: 1.0,
+            table1: validate_table1_only(),
+            figures: Vec::new(),
+            failed: Vec::new(),
+            cells: 0,
+            cache: CacheStats::default(),
+            wall: std::time::Duration::ZERO,
+        };
+        assert!(report.table1.iter().all(|t| t.verdict == Verdict::Pass));
+        assert_eq!(report.verdict(), Verdict::Pass);
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    fn validate_table1_only() -> Vec<Table1Score> {
+        const WORKLOADS: [&str; 4] = ["W1", "W2", "W3", "W4"];
+        analytic::table1()
+            .iter()
+            .zip(expect::TABLE1_PAPER)
+            .zip(WORKLOADS)
+            .map(|((row, paper), workload)| Table1Score {
+                workload,
+                ours: (row.periodic, row.tickless),
+                paper,
+                verdict: if (row.periodic, row.tickless) == paper {
+                    Verdict::Pass
+                } else {
+                    Verdict::Fail
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn failed_replicates_force_fail() {
+        let report = ValidationReport {
+            quick: true,
+            replicates: 5,
+            scale: 0.25,
+            table1: Vec::new(),
+            figures: Vec::new(),
+            failed: vec![("cell#r0".into(), "deadlock".into())],
+            cells: 1,
+            cache: CacheStats::default(),
+            wall: std::time::Duration::ZERO,
+        };
+        assert_eq!(report.verdict(), Verdict::Fail);
+        assert_eq!(report.exit_code(), 1);
+        assert!(report.render().contains("FAILED replicate"));
+    }
+
+    #[test]
+    fn figure_samples_aggregates_per_replicate() {
+        let mut a = cell_with_exits("a", &[-40.0, -42.0]);
+        let b = cell_with_exits("b", &[-60.0, -58.0]);
+        let refs = vec![&a, &b];
+        let s = figure_samples(&refs, MetricKind::ExitsPct, 2);
+        assert_eq!(s.values(), [-50.0, -50.0]);
+        // A partial cell (fewer replicates) is excluded from the
+        // aggregate rather than skewing replicate alignment.
+        a = cell_with_exits("a", &[-40.0]);
+        let refs = vec![&a, &b];
+        let s = figure_samples(&refs, MetricKind::ExitsPct, 2);
+        assert_eq!(s.values(), [-60.0, -58.0]);
+    }
+
+    fn cell_with_exits(name: &str, exits: &[f64]) -> CellStats {
+        let mut c = CellStats {
+            name: name.to_string(),
+            exits_pct: Samples::new(),
+            timer_exits_pct: Samples::new(),
+            throughput_pct: Samples::new(),
+            exec_time_pct: Samples::new(),
+            cache: CacheStats::default(),
+        };
+        for &x in exits {
+            c.exits_pct.record(x);
+            c.timer_exits_pct.record(x);
+            c.throughput_pct.record(-x);
+            c.exec_time_pct.record(x / 10.0);
+        }
+        c
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end checks of the lab surface: replication grouping and
+//! determinism against the real engine, and the bench → JSON →
+//! compare round trip including a synthetically regressed candidate.
+
+use paratick::experiment::Experiment;
+use paratick::prelude::*;
+use paratick_lab::perf::{self, BenchSummary};
+use paratick_lab::Replication;
+use paratick_sim::Json;
+use paratick_workloads::parsec;
+
+/// A cheap parallel cell (Figure 5 shape at smoke scale). Parallel
+/// cells are seed-*sensitive*: sync jitter moves exits and exec time,
+/// which the seed-stream independence test below relies on.
+fn tiny_cell(name: &'static str) -> Experiment {
+    let profile = *parsec::profile(name).expect("unknown benchmark");
+    Experiment::new(name, move |mode, seed| {
+        Scenario::new(HostConfig::default())
+            .vm(
+                VmConfig::small_vm().mode(mode),
+                parsec::workload(&profile, 2, 0.05),
+            )
+            .seed(seed)
+    })
+}
+
+fn run_replication() -> paratick_lab::ReplicationReport {
+    Replication::new("api-test")
+        .cell(tiny_cell("streamcluster"))
+        .cell(tiny_cell("dedup"))
+        .replicates(3)
+        .jobs(2)
+        .quiet()
+        .run()
+}
+
+#[test]
+fn replication_groups_per_cell_and_is_deterministic() {
+    let first = run_replication();
+    assert!(first.failed.is_empty(), "{:?}", first.failed);
+    let names: Vec<&str> = first.cells.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, ["streamcluster", "dedup"], "cell-major grouping");
+    for cell in &first.cells {
+        assert_eq!(cell.replicates(), 3, "{}", cell.name);
+    }
+
+    // Same cells, same base seed, same replicate count: the
+    // deterministic report body is byte-identical run to run.
+    let second = run_replication();
+    assert_eq!(
+        first.to_json_deterministic().to_string_pretty(),
+        second.to_json_deterministic().to_string_pretty(),
+    );
+}
+
+#[test]
+fn replicates_vary_across_the_seed_stream() {
+    let report = run_replication();
+    let cell = report.cell("streamcluster").expect("cell present");
+    // Independent replicate seeds must actually change the simulated
+    // run: at least one headline metric takes more than one value.
+    let distinct = |xs: &[f64]| {
+        xs.iter()
+            .map(|x| x.to_bits())
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    };
+    let spread = distinct(cell.exits_pct.values())
+        .max(distinct(cell.throughput_pct.values()))
+        .max(distinct(cell.exec_time_pct.values()));
+    assert!(spread > 1, "replicates collapsed to one value: {cell:?}");
+}
+
+#[test]
+fn bench_round_trips_and_gates_a_synthetic_regression() {
+    let report = perf::run_bench("api-test", 2).expect("bench runs");
+    assert_eq!(report.runs, 2);
+    assert!(!report.entries.is_empty());
+    for e in &report.entries {
+        assert!(e.events_dispatched > 0, "{}", e.scenario);
+        assert!(e.wall_millis.mean >= 0.0, "{}", e.scenario);
+    }
+
+    // Persisted form parses back losslessly.
+    let text = report.to_json().to_string_pretty();
+    let parsed = perf::BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(parsed.entries.len(), report.entries.len());
+
+    // A report is never a regression against itself.
+    let self_cmp = perf::compare(&report, &parsed);
+    assert_eq!(self_cmp.regressions(), 0, "{}", self_cmp.render());
+    assert_eq!(self_cmp.exit_code(), 0);
+    assert!(self_cmp.missing.is_empty() && self_cmp.drifted.is_empty());
+
+    // Synthetic regression: pin tight intervals on both sides (two real
+    // runs give wide t-intervals), then halve the candidate's event
+    // rate and double its wall time.
+    let tighten = |s: &mut BenchSummary| {
+        let hw = s.mean.abs() * 0.001 + 1e-9;
+        s.ci95 = (s.mean - hw, s.mean + hw);
+    };
+    let scale = |s: &mut BenchSummary, k: f64| {
+        s.mean *= k;
+        s.ci95 = (s.ci95.0 * k, s.ci95.1 * k);
+    };
+    let mut base = parsed.clone();
+    let mut cand = parsed.clone();
+    cand.label = "regressed".to_string();
+    for e in base.entries.iter_mut().chain(cand.entries.iter_mut()) {
+        tighten(&mut e.events_per_sec);
+        tighten(&mut e.wall_millis);
+    }
+    for e in &mut cand.entries {
+        scale(&mut e.events_per_sec, 0.5);
+        scale(&mut e.wall_millis, 2.0);
+    }
+    let cmp = perf::compare(&base, &cand);
+    assert!(cmp.regressions() > 0, "{}", cmp.render());
+    assert_eq!(cmp.exit_code(), 1);
+    assert!(cmp.render().contains("REGRESSED"));
+}

@@ -93,10 +93,15 @@ impl Summary {
         }
     }
 
-    /// Population variance.
+    /// Population variance. A single sample has zero spread by
+    /// definition; the guard keeps that case away from the `m2`
+    /// accumulator, whose rounding could otherwise leak a tiny
+    /// negative value through later subtractions.
     pub fn variance(&self) -> f64 {
         if self.n == 0 {
             f64::NAN
+        } else if self.n == 1 {
+            0.0
         } else {
             self.m2 / self.n as f64
         }
@@ -129,13 +134,41 @@ impl Summary {
 
     /// Coefficient of variation (stddev/mean); used by the experiment
     /// runner's "repeat until stable" loop, mirroring the paper's
-    /// 3-to-15-iteration protocol.
+    /// 3-to-15-iteration protocol. Undefined (NaN) below 2 samples —
+    /// a single observation carries no spread information, and the
+    /// stability loop must not mistake that for "stable".
     pub fn cv(&self) -> f64 {
+        if self.n < 2 {
+            return f64::NAN;
+        }
         let m = self.mean();
         if m == 0.0 {
             f64::NAN
         } else {
             self.stddev() / m.abs()
+        }
+    }
+
+    /// Half-width of the two-sided 95 % Student-t confidence interval
+    /// on the mean; NaN below 2 samples, 0 when every sample is equal.
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.n < 2 {
+            return f64::NAN;
+        }
+        t_critical_95(self.n - 1) * self.stddev() / (self.n as f64).sqrt()
+    }
+
+    /// Two-sided 95 % t-interval `(lo, hi)` on the mean. Degenerate
+    /// cases: no samples → `(NaN, NaN)`; one sample → the point
+    /// interval `(mean, mean)`; all-equal samples → zero width.
+    pub fn ci95(&self) -> (f64, f64) {
+        match self.n {
+            0 => (f64::NAN, f64::NAN),
+            1 => (self.mean, self.mean),
+            _ => {
+                let hw = self.ci95_halfwidth();
+                (self.mean - hw, self.mean + hw)
+            }
         }
     }
 
@@ -182,6 +215,171 @@ impl FromJson for Summary {
             min: json::field(v, "min")?,
             max: json::field(v, "max")?,
         })
+    }
+}
+
+/// Two-sided 95 % critical value of Student's t distribution for the
+/// given degrees of freedom. Table-driven for the small-sample regime
+/// the replication harness lives in (5–15 replicates); beyond df = 30
+/// the normal approximation is within 0.1 %.
+pub fn t_critical_95(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::NAN,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+/// A stored sample set: the replication harness keeps every replicate's
+/// value so it can answer order-statistic questions ([`percentile`],
+/// bootstrap resampling) that the single-pass [`Summary`] cannot. The
+/// embedded `Summary` stays in sync for the moment queries.
+///
+/// [`percentile`]: Samples::percentile
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    xs: Vec<f64>,
+    summary: Summary,
+}
+
+impl Samples {
+    pub fn new() -> Self {
+        Samples {
+            xs: Vec::new(),
+            summary: Summary::new(),
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.xs.push(x);
+        self.summary.record(x);
+    }
+
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The raw samples in recording order.
+    pub fn values(&self) -> &[f64] {
+        &self.xs
+    }
+
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.summary.stddev()
+    }
+
+    /// The `q`-th percentile (`0 ≤ q ≤ 100`) by linear interpolation
+    /// between closest ranks (type-7 / NumPy default). NaN when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&q), "percentile out of [0,100]: {q}");
+        if self.xs.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = q / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Two-sided 95 % Student-t confidence interval on the mean; see
+    /// [`Summary::ci95`] for the degenerate cases.
+    pub fn ci95_t(&self) -> (f64, f64) {
+        self.summary.ci95()
+    }
+
+    /// Percentile-bootstrap 95 % confidence interval on the mean:
+    /// `resamples` means of with-replacement draws, seeded so the
+    /// interval is a pure function of `(samples, resamples, seed)` and
+    /// validation reports stay byte-stable.
+    pub fn ci95_bootstrap(&self, resamples: u32, seed: u64) -> (f64, f64) {
+        let n = self.xs.len();
+        if n == 0 {
+            return (f64::NAN, f64::NAN);
+        }
+        if n == 1 || resamples == 0 {
+            return (self.xs[0], self.xs[0]);
+        }
+        let mut rng = crate::rng::SimRng::new(seed);
+        let mut means = Samples::new();
+        for _ in 0..resamples {
+            let mut sum = 0.0;
+            for _ in 0..n {
+                sum += self.xs[rng.gen_below(n as u64) as usize];
+            }
+            means.record(sum / n as f64);
+        }
+        (means.percentile(2.5), means.percentile(97.5))
+    }
+
+    /// Standardized effect size (Cohen's d) of this sample set against
+    /// zero — feed it *paired differences* to get the paired effect
+    /// size. All-equal nonzero samples are an infinitely clean effect;
+    /// all-zero samples are no effect at all.
+    pub fn cohens_d(&self) -> f64 {
+        if self.xs.len() < 2 {
+            return f64::NAN;
+        }
+        let sd = self.stddev();
+        let mean = self.mean();
+        if sd == 0.0 {
+            if mean == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * mean.signum()
+            }
+        } else {
+            mean / sd
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+impl ToJson for Samples {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.xs.iter().map(|&x| Json::F64(x)).collect())
+    }
+}
+
+impl FromJson for Samples {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_arr()?.iter().map(|x| x.as_f64()).collect()
     }
 }
 
@@ -325,6 +523,117 @@ mod tests {
         c.merge(&a);
         assert_eq!(c.count(), 1);
         assert_eq!(c.mean(), 5.0);
+    }
+
+    #[test]
+    fn variance_single_sample_is_zero() {
+        let mut s = Summary::new();
+        s.record(42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.cv().is_nan(), "cv undefined below 2 samples");
+    }
+
+    #[test]
+    fn cv_guard_below_two_samples() {
+        let mut s = Summary::new();
+        assert!(s.cv().is_nan());
+        s.record(3.0);
+        assert!(s.cv().is_nan());
+        s.record(3.0);
+        assert_eq!(s.cv(), 0.0, "two equal samples: zero spread, defined cv");
+    }
+
+    #[test]
+    fn t_table_monotone_toward_normal() {
+        assert!(t_critical_95(0).is_nan());
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        for df in 1..200 {
+            assert!(t_critical_95(df + 1) <= t_critical_95(df));
+        }
+        assert_eq!(t_critical_95(1_000_000), 1.960);
+    }
+
+    #[test]
+    fn ci95_known_value() {
+        // n = 5, mean 10, sd 1 => hw = 2.776 / sqrt(5).
+        let s: Samples = [9.0, 9.5, 10.0, 10.5, 11.0].into_iter().collect();
+        let sd = s.stddev();
+        let expect = 2.776 * sd / 5f64.sqrt();
+        let (lo, hi) = s.ci95_t();
+        assert!((hi - lo - 2.0 * expect).abs() < 1e-9);
+        assert!(((lo + hi) / 2.0 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci95_degenerate_cases() {
+        let empty = Samples::new();
+        let (lo, hi) = empty.ci95_t();
+        assert!(lo.is_nan() && hi.is_nan());
+
+        let one: Samples = [7.0].into_iter().collect();
+        assert_eq!(one.ci95_t(), (7.0, 7.0));
+
+        // All-equal samples: zero-width interval at the common value.
+        let flat: Samples = [4.0; 6].into_iter().collect();
+        assert_eq!(flat.ci95_t(), (4.0, 4.0));
+        assert_eq!(flat.summary().ci95_halfwidth(), 0.0);
+        assert_eq!(flat.ci95_bootstrap(200, 1), (4.0, 4.0));
+        assert_eq!(flat.percentile(0.0), 4.0);
+        assert_eq!(flat.percentile(100.0), 4.0);
+        assert_eq!(flat.median(), 4.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s: Samples = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert_eq!(s.median(), 2.5);
+        assert!((s.percentile(25.0) - 1.75).abs() < 1e-12);
+        assert!(Samples::new().percentile(50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_order_independent() {
+        let a: Samples = [5.0, 1.0, 3.0, 2.0, 4.0].into_iter().collect();
+        let b: Samples = [1.0, 2.0, 3.0, 4.0, 5.0].into_iter().collect();
+        assert_eq!(a.median(), b.median());
+        assert_eq!(a.percentile(90.0), b.percentile(90.0));
+    }
+
+    #[test]
+    fn bootstrap_ci_deterministic_and_sane() {
+        let s: Samples = (0..20).map(|i| 100.0 + (i * 7 % 13) as f64).collect();
+        let a = s.ci95_bootstrap(500, 42);
+        let b = s.ci95_bootstrap(500, 42);
+        assert_eq!(a, b, "same seed, same interval");
+        let c = s.ci95_bootstrap(500, 43);
+        assert_ne!(a, c, "different seed resamples differently");
+        let (lo, hi) = a;
+        assert!(lo <= s.mean() && s.mean() <= hi);
+        assert!(lo >= s.summary().min() && hi <= s.summary().max());
+    }
+
+    #[test]
+    fn cohens_d_cases() {
+        assert!(Samples::new().cohens_d().is_nan());
+        let paired: Samples = [1.0, 2.0, 3.0].into_iter().collect();
+        assert!((paired.cohens_d() - 2.0).abs() < 1e-12);
+        let flat: Samples = [5.0, 5.0].into_iter().collect();
+        assert_eq!(flat.cohens_d(), f64::INFINITY);
+        let neg: Samples = [-5.0, -5.0].into_iter().collect();
+        assert_eq!(neg.cohens_d(), f64::NEG_INFINITY);
+        let zero: Samples = [0.0, 0.0].into_iter().collect();
+        assert_eq!(zero.cohens_d(), 0.0);
+    }
+
+    #[test]
+    fn samples_json_round_trip() {
+        let s: Samples = [1.5, -2.0, 0.25].into_iter().collect();
+        let text = s.to_json().to_string_compact();
+        let back = Samples::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.values(), s.values());
+        assert_eq!(back.summary().count(), 3);
     }
 
     #[test]

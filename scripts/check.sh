@@ -37,8 +37,8 @@ run cargo test -q --workspace $CARGO_ARGS || exit 1
 # audit report; a violation or panic fails here).
 echo "==> PARATICK_FAULTS=campaign smoke run"
 if ! PARATICK_FAULTS=campaign \
-    cargo run --release -q -p paratick-bench --bin inspect $CARGO_ARGS \
-    -- parsec:dedup 1 > /tmp/paratick-faults-smoke.txt 2>&1; then
+    cargo run --release -q -p paratick-bench --bin paratick $CARGO_ARGS \
+    -- inspect parsec:dedup 1 > /tmp/paratick-faults-smoke.txt 2>&1; then
   echo "    fault campaign smoke run failed:"
   tail -20 /tmp/paratick-faults-smoke.txt
   exit 1
@@ -92,6 +92,37 @@ if [ "$warm_ms" -ge "$cold_ms" ]; then
 fi
 echo "    ok ($summary; cold ${cold_ms}ms -> warm ${warm_ms}ms; artifacts byte-identical)"
 rm -rf "$ACCEPT_DIR"
+
+# Paper-fidelity smoke: the quick validation suite (5 replicates per
+# cell over the smoke subset) must come back without a fail verdict.
+echo "==> paratick validate --quick smoke"
+if ! cargo run --release -q -p paratick-bench --bin paratick $CARGO_ARGS \
+    -- validate --quick --quiet > /tmp/paratick-validate-smoke.txt 2>&1; then
+  echo "    quick validation failed:"
+  tail -25 /tmp/paratick-validate-smoke.txt
+  exit 1
+fi
+echo "    ok ($(grep -m1 'overall:' /tmp/paratick-validate-smoke.txt || echo 'no overall line'))"
+
+# Perf gate self-check: measure the engine once and compare the snapshot
+# against itself — must report zero regressions and exit 0. The bench
+# file is kept (BENCH_DIR, default target/bench) so CI can archive it.
+echo "==> paratick bench -> compare self-comparison"
+BENCH_DIR=${BENCH_DIR:-target/bench}
+mkdir -p "$BENCH_DIR"
+if ! cargo run --release -q -p paratick-bench --bin paratick $CARGO_ARGS \
+    -- bench --label ci --runs 3 --out "$BENCH_DIR" \
+    > /tmp/paratick-bench-smoke.txt 2>&1; then
+  echo "    bench failed:"; tail -20 /tmp/paratick-bench-smoke.txt; exit 1
+fi
+if ! cargo run --release -q -p paratick-bench --bin paratick $CARGO_ARGS \
+    -- compare "$BENCH_DIR/BENCH_ci.json" "$BENCH_DIR/BENCH_ci.json" \
+    > /tmp/paratick-compare-smoke.txt 2>&1; then
+  echo "    self-comparison reported a regression:"
+  tail -20 /tmp/paratick-compare-smoke.txt
+  exit 1
+fi
+echo "    ok ($(grep -m1 'verdict:' /tmp/paratick-compare-smoke.txt); snapshot in $BENCH_DIR)"
 
 if cargo fmt --version >/dev/null 2>&1; then
   advisory cargo fmt --all --check
