@@ -1,22 +1,26 @@
 //! `paratick bench`: measure the engine's own speed and persist a
 //! comparable snapshot.
 //!
-//! Usage: `paratick bench [--label L] [--runs N] [--out DIR]`
+//! Usage: `paratick bench [--label L] [--runs N] [--out DIR] [--micro]`
 //!
 //! Runs the fixed scenario basket `N` times each (default 5, plus one
 //! untimed warm-up), collecting events/sec and wall-per-run from the
 //! engine's self-profiling, and writes `BENCH_<label>.json` for a later
-//! `paratick compare`.
+//! `paratick compare`. `--micro` instead times the substrate data
+//! structures (event queue, timer wheel, RNG, histogram) and prints a
+//! rate table without persisting anything.
 
-use paratick_lab::perf;
+use paratick_lab::{micro, perf};
 
 pub fn run(args: &[String]) {
     let mut label = String::from("local");
     let mut runs: u32 = 5;
     let mut out_dir = String::from(".");
+    let mut micro_mode = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--micro" => micro_mode = true,
             "--label" => match it.next() {
                 Some(l) if !l.is_empty() => label = l.clone(),
                 _ => die("--label needs a name"),
@@ -31,6 +35,11 @@ pub fn run(args: &[String]) {
             },
             other => die(&format!("unknown argument `{other}`")),
         }
+    }
+
+    if micro_mode {
+        print!("{}", micro::run_micro(runs).render());
+        return;
     }
 
     let report = match perf::run_bench(&label, runs) {
@@ -54,6 +63,6 @@ pub fn run(args: &[String]) {
 
 fn die(msg: &str) -> ! {
     eprintln!("paratick bench: {msg}");
-    eprintln!("usage: paratick bench [--label L] [--runs N] [--out DIR]");
+    eprintln!("usage: paratick bench [--label L] [--runs N] [--out DIR] [--micro]");
     std::process::exit(2);
 }

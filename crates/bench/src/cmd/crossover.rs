@@ -11,9 +11,9 @@
 use paratick::analytic::{self, VmShape};
 use paratick::prelude::*;
 use paratick::report;
+use paratick::sweep::{default_jobs, parallel_map};
 use paratick_workloads::{ThreadModel, VmWorkload};
 use paratick_workloads::models::LockLoop;
-use rayon::prelude::*;
 
 /// A 2-thread ping-pong whose idle period is ~the critical section of
 /// the peer: tune `cs` to tune `T_idle`.
@@ -82,9 +82,8 @@ pub fn run() {
 
     println!("--- simulated validation (2-thread ping-pong, 2 vCPUs) ---");
     let sweep: Vec<u64> = vec![200, 500, 1_000, 2_000, 4_000, 8_000, 16_000];
-    let results: Vec<Vec<String>> = sweep
-        .par_iter()
-        .map(|&t_idle_us| {
+    let results: Vec<Vec<String>> =
+        parallel_map(default_jobs(sweep.len()), &sweep, |_, &t_idle_us| {
             let t_idle = SimDuration::from_micros(t_idle_us);
             let run = |mode: TickMode| {
                 crate::run_or_exit(
@@ -111,8 +110,7 @@ pub fn run() {
                 paratick.timer_exits().to_string(),
                 winner.to_string(),
             ]
-        })
-        .collect();
+        });
     println!(
         "{}",
         report::table(

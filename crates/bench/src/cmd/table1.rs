@@ -8,8 +8,8 @@
 use paratick::analytic;
 use paratick::prelude::*;
 use paratick::report;
+use paratick::sweep::{default_jobs, parallel_map};
 use paratick_workloads::synthetic;
-use rayon::prelude::*;
 
 fn simulate(mode: TickMode, workloads: Vec<VmWorkload>, horizon_s: u64) -> RunMetrics {
     let mut s = Scenario::new(HostConfig {
@@ -60,9 +60,8 @@ pub fn run() {
         ("W4", TickMode::Periodic, 4),
         ("W4", TickMode::DynticksIdle, 4),
     ];
-    let results: Vec<(String, u64, u64)> = cases
-        .par_iter()
-        .map(|&(name, mode, which)| {
+    let results: Vec<(String, u64, u64)> =
+        parallel_map(default_jobs(cases.len()), &cases, |_, &(name, mode, which)| {
             let wl = match which {
                 1 => synthetic::w1(),
                 2 => synthetic::w2(),
@@ -75,8 +74,7 @@ pub fn run() {
                 m.timer_exits(),
                 m.total_exits(),
             )
-        })
-        .collect();
+        });
     let rows: Vec<Vec<String>> = results
         .into_iter()
         .map(|(n, timer, total)| vec![n, timer.to_string(), total.to_string()])

@@ -20,10 +20,9 @@
 //! physical CPU".
 
 use paratick_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Shape of one VM for the analytic model.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct VmShape {
     pub vcpus: u64,
     pub tick_hz: u64,
@@ -89,7 +88,7 @@ pub fn formula_tickless_exits(t_secs: f64, vms: &[VmShape]) -> f64 {
 }
 
 /// Exit counts for one scenario row of Table 1.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Table1Row {
     pub periodic: u64,
     pub tickless: u64,

@@ -30,7 +30,6 @@
 
 use paratick_sim::SimTime;
 use paratick_vmm::{FaultKind, PCpu, SimEvent, VcpuId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Cap on individually-recorded violations; past it only the total
@@ -38,7 +37,7 @@ use std::collections::HashMap;
 const MAX_RECORDED: usize = 32;
 
 /// One invariant violation, timestamped in simulated nanoseconds.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuditViolation {
     pub at_ns: u64,
     /// Short invariant code, e.g. `timer-lifecycle`, `conservation`.
@@ -47,7 +46,7 @@ pub struct AuditViolation {
 }
 
 /// The auditor's end-of-run verdict, embedded in `RunMetrics`.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AuditReport {
     /// Events the auditor observed.
     pub events_checked: u64,

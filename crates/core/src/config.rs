@@ -351,6 +351,14 @@ pub struct EnvConfig {
     /// `PARATICK_WAKEUP_US`: calibration override of the wakeup latency
     /// (`inspect` only).
     pub wakeup_us: Option<u64>,
+    /// `PARATICK_PROP_SEED`: base seed for the propcheck property-test
+    /// framework (hex with `0x` prefix or decimal). Read directly by
+    /// `paratick_sim::propcheck` — `paratick-sim` sits below this crate
+    /// — but declared here so the loader recognizes and documents it.
+    pub prop_seed: Option<u64>,
+    /// `PARATICK_PROP_CASES`: propcheck case budget per property
+    /// (overrides each suite's compiled-in `Config::cases`).
+    pub prop_cases: Option<u32>,
 }
 
 impl Default for EnvConfig {
@@ -371,6 +379,8 @@ impl Default for EnvConfig {
             jobs: None,
             indirect_mult: None,
             wakeup_us: None,
+            prop_seed: None,
+            prop_cases: None,
         }
     }
 }
@@ -379,7 +389,7 @@ impl EnvConfig {
     /// Every variable the loader understands. `PARATICK_OBS_CHILD` is a
     /// subprocess marker used by the integration tests; it carries no
     /// configuration but must not trip the unrecognized-variable warning.
-    pub const KNOWN_VARS: [&'static str; 15] = [
+    pub const KNOWN_VARS: [&'static str; 17] = [
         "PARATICK_SCALE",
         "PARATICK_ITERS",
         "PARATICK_JSON",
@@ -394,6 +404,8 @@ impl EnvConfig {
         "PARATICK_JOBS",
         "PARATICK_INDIRECT_MULT",
         "PARATICK_WAKEUP_US",
+        "PARATICK_PROP_SEED",
+        "PARATICK_PROP_CASES",
         "PARATICK_OBS_CHILD",
     ];
 
@@ -463,6 +475,26 @@ impl EnvConfig {
         }
         if let Some(v) = get("PARATICK_WAKEUP_US") {
             cfg.wakeup_us = Some(parse_num("PARATICK_WAKEUP_US", &v)?);
+        }
+        if let Some(v) = get("PARATICK_PROP_SEED") {
+            // Same convention as propcheck's own parser: `0x`-prefixed
+            // hex (what failure reports print) or plain decimal.
+            let t = v.trim();
+            let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => t.parse().ok(),
+            };
+            match parsed {
+                Some(s) => cfg.prop_seed = Some(s),
+                None => return Err(invalid("PARATICK_PROP_SEED", &v, "not a u64 (decimal or 0x-hex)")),
+            }
+        }
+        if let Some(v) = get("PARATICK_PROP_CASES") {
+            let cases: u32 = parse_num("PARATICK_PROP_CASES", &v)?;
+            if cases == 0 {
+                return Err(invalid("PARATICK_PROP_CASES", &v, "must be at least 1"));
+            }
+            cfg.prop_cases = Some(cases);
         }
         Ok(cfg)
     }
@@ -649,6 +681,8 @@ mod tests {
             "PARATICK_CACHE" => Some("off".into()),
             "PARATICK_JOBS" => Some("4".into()),
             "PARATICK_FAULTS" => Some("campaign".into()),
+            "PARATICK_PROP_SEED" => Some("0xDEAD_BEEF".replace('_', "")),
+            "PARATICK_PROP_CASES" => Some("128".into()),
             _ => None,
         })
         .unwrap();
@@ -659,6 +693,8 @@ mod tests {
         assert!(!cfg.cache);
         assert_eq!(cfg.jobs, Some(4));
         assert!(cfg.faults.as_ref().is_some_and(FaultConfig::any_enabled));
+        assert_eq!(cfg.prop_seed, Some(0xDEAD_BEEF));
+        assert_eq!(cfg.prop_cases, Some(128));
     }
 
     #[test]
@@ -681,6 +717,32 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.var, "PARATICK_FAULTS");
+
+        let err = EnvConfig::from_lookup(|var| {
+            (var == "PARATICK_PROP_SEED").then(|| "0xZZ".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "PARATICK_PROP_SEED");
+
+        let err = EnvConfig::from_lookup(|var| {
+            (var == "PARATICK_PROP_CASES").then(|| "0".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "PARATICK_PROP_CASES");
+    }
+
+    #[test]
+    fn env_config_prop_seed_accepts_both_radixes() {
+        let hex = EnvConfig::from_lookup(|var| {
+            (var == "PARATICK_PROP_SEED").then(|| "0x5EED".to_string())
+        })
+        .unwrap();
+        let dec = EnvConfig::from_lookup(|var| {
+            (var == "PARATICK_PROP_SEED").then(|| "24301".to_string())
+        })
+        .unwrap();
+        assert_eq!(hex.prop_seed, Some(0x5EED));
+        assert_eq!(hex.prop_seed, dec.prop_seed);
     }
 
     #[test]

@@ -13,7 +13,6 @@ use crate::metrics::RunMetrics;
 use paratick_guest::TickMode;
 use paratick_sim::stats::Summary;
 use paratick_vmm::accounting::delta;
-use serde::{Deserialize, Serialize};
 
 /// Scenario factory: mode + iteration seed → scenario.
 pub type ScenarioBuilder = Box<dyn Fn(TickMode, u64) -> Scenario + Send + Sync>;
@@ -31,7 +30,7 @@ pub struct Experiment {
 }
 
 /// Summary of one mode's repeated runs.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ModeSummary {
     pub exits: Summary,
     pub timer_exits: Summary,
@@ -40,14 +39,11 @@ pub struct ModeSummary {
     pub iterations: u32,
     /// Engine self-profiling across the iterations: DES events
     /// dispatched per run (absent in pre-profile dumps).
-    #[serde(default)]
     pub events_dispatched: Summary,
     /// Event-queue depth high-water mark per run.
-    #[serde(default)]
     pub queue_depth_hwm: Summary,
     /// Simulator speed: DES events per wall-clock second
     /// (non-deterministic; excluded from stability checks).
-    #[serde(default)]
     pub events_per_wall_sec: Summary,
 }
 
@@ -78,7 +74,7 @@ impl ModeSummary {
 
 /// The outcome of a paired experiment: the three §6 metrics as
 /// percentage deltas (treatment vs baseline).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Comparison {
     pub name: String,
     pub baseline: ModeSummary,

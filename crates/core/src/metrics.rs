@@ -4,10 +4,9 @@
 use paratick_guest::TickMode;
 use paratick_sim::{Cycles, Freq, Histogram, SimDuration, SimTime};
 use paratick_vmm::{ExitCounts, KvmVcpu, SystemStats};
-use serde::{Deserialize, Serialize};
 
 /// Per-VM metrics for one run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct VmMetrics {
     pub name: String,
     pub mode: TickMode,
@@ -86,7 +85,7 @@ impl VmMetrics {
 }
 
 /// Wall-clock cost of one engine event kind (self-profiling).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct KindProfile {
     pub kind: String,
     /// Events of this kind dispatched (deterministic).
@@ -100,7 +99,7 @@ pub struct KindProfile {
 /// Engine self-profiling: where the *simulator's* time goes, as opposed
 /// to where simulated time goes. Wall-clock fields vary run to run; the
 /// counts and the queue high-water mark are deterministic.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EngineProfile {
     /// Wall-clock nanoseconds for the whole run (bootstrap + main loop).
     pub wall_nanos: u64,
@@ -125,7 +124,7 @@ impl EngineProfile {
 }
 
 /// Metrics for one whole simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunMetrics {
     /// Simulated end time of the run.
     pub duration: SimTime,
@@ -136,14 +135,11 @@ pub struct RunMetrics {
     /// Number of DES events processed (engine diagnostics).
     pub events_dispatched: u64,
     /// Engine self-profiling (absent in pre-profile dumps).
-    #[serde(default)]
     pub profile: EngineProfile,
     /// Invariant-audit report (absent in pre-audit dumps).
-    #[serde(default)]
     pub audit: crate::audit::AuditReport,
     /// Fault-injection and recovery counters (all zero unless the run
     /// had a fault plan).
-    #[serde(default)]
     pub faults: paratick_vmm::FaultStats,
 }
 

@@ -1,11 +1,16 @@
 //! Declarative experiment grids on a bounded work-stealing scheduler.
 //!
-//! A [`Sweep`] is a set of named [`Experiment`] cells executed across a
-//! fixed pool of worker threads. Each worker owns a deque seeded
-//! round-robin; it pops its own work from the front and, when empty,
-//! steals from the back of a sibling — the classic Chase–Lev shape,
-//! here with plain `Mutex<VecDeque>`s since cells are seconds-coarse
-//! and contention is nil. Cells sharing a name are deduplicated before
+//! The scheduler itself is exposed as [`parallel_map`]: each worker
+//! owns a deque seeded round-robin; it pops its own work from the
+//! front and, when empty, steals from the back of a sibling — the
+//! classic Chase–Lev shape, here with plain `Mutex<VecDeque>`s since
+//! tasks are milliseconds-to-seconds coarse and contention is nil. The
+//! bench CLI's table/figure grids fan out on it directly (it is the
+//! in-repo replacement for the stubbed `rayon::par_iter`, which was
+//! silently sequential).
+//!
+//! A [`Sweep`] is a set of named [`Experiment`] cells executed on that
+//! pool. Cells sharing a name are deduplicated before
 //! scheduling (the figure grids overlap: `fig5` and `ablations` both
 //! want `canneal/small`), and every cell routes its simulations through
 //! the run cache ([`crate::cache`]), so overlapping *scenarios* across
@@ -35,6 +40,79 @@ use std::sync::Mutex;
 /// What one sweep cell resolves to: the paired comparison plus the
 /// cell's own cache traffic, or the error that stopped it.
 type CellOutcome = Result<(Comparison, CacheStats), SimError>;
+
+/// Map `f` over `items` on a bounded work-stealing worker pool and
+/// return the outputs in input order. `f` gets `(index, &item)`.
+///
+/// Workers own one deque each, seeded round-robin so every worker
+/// starts loaded; a worker pops its own front (FIFO keeps submission
+/// order roughly intact) and, when dry, steals from the back of the
+/// first non-empty sibling. With `jobs <= 1` (or a single item) the map
+/// runs inline on the caller's thread — no pool, no overhead.
+pub fn parallel_map<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, total);
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, q) in (0..total).zip((0..jobs).cycle()) {
+        queues[q].lock().unwrap().push_back(i);
+    }
+    let results: Vec<Mutex<Option<U>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let queues = &queues;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Pop the own deque in its own statement: the
+                // MutexGuard temporary lives to the end of the
+                // statement, and stealing while still holding it
+                // would AB-BA deadlock two workers with dry deques.
+                let own = queues[worker].lock().unwrap().pop_front();
+                let task = own.or_else(|| {
+                    (0..queues.len())
+                        .filter(|&q| q != worker)
+                        .filter_map(|q| queues[q].lock().unwrap().pop_back())
+                        .next()
+                });
+                let Some(idx) = task else { break };
+                *results[idx].lock().unwrap() = Some(f(idx, &items[idx]));
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("scope joined every worker")
+        })
+        .collect()
+}
+
+/// Worker count for standalone [`parallel_map`] callers: `PARATICK_JOBS`
+/// when set, otherwise the machine's available parallelism, clamped to
+/// the item count.
+pub fn default_jobs(len: usize) -> usize {
+    let configured = EnvConfig::get().ok().and_then(|e| e.jobs);
+    let n = configured
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    n.clamp(1, len.max(1))
+}
 
 /// A declarative grid of experiment cells plus scheduling knobs.
 pub struct Sweep {
@@ -168,82 +246,45 @@ impl Sweep {
             .as_ref()
             .and_then(|dir| ArtifactWriter::create(dir.clone()));
 
-        // Work-stealing deques, seeded round-robin so every worker
-        // starts loaded; a worker pops its own front (LIFO locality is
-        // irrelevant here, FIFO keeps submission order roughly intact)
-        // and steals from a sibling's back.
-        let queues: Vec<Mutex<VecDeque<usize>>> =
-            (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (i, q) in (0..total).zip((0..jobs).cycle()) {
-            queues[q].lock().unwrap().push_back(i);
-        }
-        let results: Vec<Mutex<Option<CellOutcome>>> =
-            (0..total).map(|_| Mutex::new(None)).collect();
         let done = AtomicUsize::new(0);
-
-        std::thread::scope(|scope| {
-            for worker in 0..jobs {
-                let cells = &self.cells;
-                let queues = &queues;
-                let results = &results;
-                let done = &done;
-                let artifacts = artifacts.as_ref();
-                let progress = self.progress;
-                let sweep_name = self.name.as_str();
-                scope.spawn(move || loop {
-                    // Pop the own deque in its own statement: the
-                    // MutexGuard temporary lives to the end of the
-                    // statement, and stealing while still holding it
-                    // would AB-BA deadlock two workers with dry deques.
-                    let own = queues[worker].lock().unwrap().pop_front();
-                    let task = own.or_else(|| {
-                        // Own deque dry: steal from the back of the
-                        // first non-empty sibling.
-                        (0..queues.len())
-                            .filter(|&q| q != worker)
-                            .filter_map(|q| queues[q].lock().unwrap().pop_back())
-                            .next()
-                    });
-                    let Some(idx) = task else { break };
-                    let cell = &cells[idx];
-                    let cell_started = std::time::Instant::now();
-                    let outcome = cell.run_detailed();
-                    let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
-                    if progress {
-                        match &outcome {
-                            Ok((_, cache)) => eprintln!(
-                                "[{sweep_name} {finished}/{total}] {} ok in {:.2?} (cache {}h/{}m/{}b)",
-                                cell.name,
-                                cell_started.elapsed(),
-                                cache.hits,
-                                cache.misses,
-                                cache.bypasses,
-                            ),
-                            Err(e) => eprintln!(
-                                "[{sweep_name} {finished}/{total}] {} FAILED: {e}",
-                                cell.name
-                            ),
-                        }
-                    }
-                    if let (Some(w), Ok((c, cache))) = (artifacts, &outcome) {
-                        w.emit(c, cache);
-                    }
-                    *results[idx].lock().unwrap() = Some(outcome);
-                });
+        let progress = self.progress;
+        let sweep_name = self.name.as_str();
+        let outcomes: Vec<CellOutcome> = parallel_map(jobs, &self.cells, |_, cell| {
+            let cell_started = std::time::Instant::now();
+            let outcome = cell.run_detailed();
+            let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
+            if progress {
+                match &outcome {
+                    Ok((_, cache)) => eprintln!(
+                        "[{sweep_name} {finished}/{total}] {} ok in {:.2?} (cache {}h/{}m/{}b)",
+                        cell.name,
+                        cell_started.elapsed(),
+                        cache.hits,
+                        cache.misses,
+                        cache.bypasses,
+                    ),
+                    Err(e) => eprintln!(
+                        "[{sweep_name} {finished}/{total}] {} FAILED: {e}",
+                        cell.name
+                    ),
+                }
             }
+            if let (Some(w), Ok((c, cache))) = (artifacts.as_ref(), &outcome) {
+                w.emit(c, cache);
+            }
+            outcome
         });
 
         let mut completed = Vec::new();
         let mut cell_cache = Vec::new();
         let mut failed = Vec::new();
-        for (idx, slot) in results.into_iter().enumerate() {
-            match slot.into_inner().unwrap() {
-                Some(Ok((c, cache))) => {
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok((c, cache)) => {
                     completed.push(c);
                     cell_cache.push(cache);
                 }
-                Some(Err(e)) => failed.push((self.cells[idx].name.clone(), e)),
-                None => unreachable!("scope joined every worker"),
+                Err(e) => failed.push((self.cells[idx].name.clone(), e)),
             }
         }
         SweepReport {
@@ -413,5 +454,46 @@ mod tests {
     fn sanitize_cell_names() {
         assert_eq!(sanitize("canneal/small"), "canneal_small");
         assert_eq!(sanitize("seqr-4k"), "seqr-4k");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_runs_all() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(4, &items, |i, &x| {
+            assert_eq!(i as u64, x, "index matches item position");
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_really_fans_out() {
+        use std::collections::HashSet;
+        let items: Vec<u32> = (0..64).collect();
+        let ids = Mutex::new(HashSet::new());
+        parallel_map(4, &items, |_, _| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "every task ran on a single thread — the pool is sequential"
+        );
+    }
+
+    #[test]
+    fn parallel_map_empty_single_and_oversubscribed() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(1, &[5u8, 6], |_, &x| x + 1), vec![6, 7]);
+        // More workers than items clamps rather than spawning idlers.
+        assert_eq!(parallel_map(64, &[1u8], |_, &x| x), vec![1]);
+    }
+
+    #[test]
+    fn default_jobs_clamped() {
+        assert_eq!(default_jobs(0), 1);
+        assert_eq!(default_jobs(1), 1);
+        assert!(default_jobs(1_000_000) >= 1);
     }
 }

@@ -14,7 +14,6 @@
 
 use crate::tick::TickMode;
 use paratick_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// What the engine must do when a CPU completes its mode switch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,7 +26,7 @@ pub struct BootSwitch {
 }
 
 /// Per-CPU boot state.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GuestBoot {
     /// When high-resolution timers become available on this CPU.
     hres_at: SimTime,

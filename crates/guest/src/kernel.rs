@@ -17,10 +17,9 @@ use crate::sched::{GuestSched, ThreadId};
 use crate::tick::{IdleEntryCtx, TickMode, TickSched};
 use crate::timer_wheel::{TimerHandle, TimerWheel};
 use paratick_sim::{Freq, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Payload of a guest soft timer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SoftTimer {
     /// A sleeping thread's wakeup (nanosleep, poll timeout, ...).
     WakeThread(ThreadId),

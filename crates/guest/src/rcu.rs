@@ -13,11 +13,10 @@
 //! callback on the CPU is not yet invocable; `next_event` reports when
 //! the earliest one becomes invocable.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Per-CPU RCU callback state.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RcuCpu {
     /// Jiffies at which queued callbacks become invocable (sorted by
     /// construction: monotone queue times + fixed grace period).
@@ -27,7 +26,7 @@ pub struct RcuCpu {
 }
 
 /// RCU engine for one VM.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Rcu {
     cpus: Vec<RcuCpu>,
     /// Grace period length in jiffies.

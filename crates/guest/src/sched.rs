@@ -8,12 +8,11 @@
 //! synchronization makes vCPUs oscillate between idle and busy, because
 //! wakeups chase idle vCPUs.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// A guest thread (task) within one VM.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ThreadId(pub u32);
 
 impl fmt::Debug for ThreadId {
@@ -23,7 +22,7 @@ impl fmt::Debug for ThreadId {
 }
 
 /// One vCPU's run queue.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunQueue {
     queue: VecDeque<ThreadId>,
     current: Option<ThreadId>,
@@ -56,7 +55,7 @@ pub struct Placement {
 }
 
 /// The scheduler for one VM's guest kernel.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GuestSched {
     rqs: Vec<RunQueue>,
     /// Last CPU each thread ran on (indexed by ThreadId).

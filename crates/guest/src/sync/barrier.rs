@@ -10,7 +10,6 @@
 //! blocked states").
 
 use crate::sched::ThreadId;
-use serde::{Deserialize, Serialize};
 
 /// Result of arriving at a barrier.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,7 +23,7 @@ pub enum BarrierOutcome {
 }
 
 /// A reusable (cyclic) barrier.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GuestBarrier {
     parties: usize,
     waiting: Vec<ThreadId>,

@@ -5,11 +5,10 @@
 //! the workload engine; the condvar itself only tracks the wait queue.
 
 use crate::sched::ThreadId;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A condition variable wait queue.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct GuestCondvar {
     waiters: VecDeque<ThreadId>,
     pub waits: u64,

@@ -7,7 +7,6 @@
 //! an idle vCPU → the VM-exit traffic the paper measures).
 
 use crate::sched::ThreadId;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Result of a lock attempt.
@@ -20,7 +19,7 @@ pub enum LockOutcome {
 }
 
 /// A blocking mutex over guest threads.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct GuestMutex {
     holder: Option<ThreadId>,
     waiters: VecDeque<ThreadId>,

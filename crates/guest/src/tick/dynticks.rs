@@ -17,10 +17,9 @@
 
 use super::{next_tick_after, IdleEntryCtx, TickIrqOutcome, TimerAction};
 use paratick_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Per-CPU dynticks state.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DynticksTick {
     pub period: SimDuration,
     /// The tick is currently deferred or disabled (set at idle entry,

@@ -20,10 +20,9 @@
 
 use super::{next_tick_after, IdleEntryCtx, TickIrqOutcome, TimerAction};
 use paratick_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Per-CPU full-dynticks state.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FullDynticksTick {
     pub period: SimDuration,
     /// CPU 0: keeps the tick unconditionally (timekeeping duty).

@@ -31,10 +31,9 @@ pub use paratick::ParatickTick;
 pub use periodic::PeriodicTick;
 
 use paratick_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Which tick strategy a guest runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TickMode {
     /// Classic fixed-rate scheduler tick.
     Periodic,
@@ -166,7 +165,7 @@ pub(crate) fn next_tick_after(now: SimTime, period: SimDuration) -> SimTime {
 /// dyn_.on_activate(SimTime::ZERO);
 /// assert_eq!(dyn_.on_idle_entry(ctx), TimerAction::Disable);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum TickSched {
     Periodic(PeriodicTick),
     Dynticks(DynticksTick),

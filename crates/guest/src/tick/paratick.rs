@@ -23,10 +23,9 @@
 
 use super::{next_tick_after, IdleEntryCtx, TickIrqOutcome, TimerAction, VirtualTickOutcome};
 use paratick_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Per-CPU paratick state.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ParatickTick {
     pub period: SimDuration,
     /// Set once the boot sequence switches this CPU to paratick mode

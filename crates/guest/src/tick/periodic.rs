@@ -8,10 +8,9 @@
 
 use super::{next_tick_after, IdleEntryCtx, TickIrqOutcome, TimerAction};
 use paratick_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Per-CPU periodic tick state (stateless beyond the period).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PeriodicTick {
     pub period: SimDuration,
     pub ticks_handled: u64,

@@ -18,7 +18,6 @@
 //!   (dynticks, Fig. 1b) or whether a one-shot wakeup timer must be
 //!   programmed (paratick, Fig. 3c).
 
-use serde::{Deserialize, Serialize};
 
 /// Number of buckets per level.
 const LVL_SIZE: u64 = 64;
@@ -42,7 +41,7 @@ fn lvl_max_delta(level: usize) -> u64 {
 }
 
 /// Handle to a queued timer; survives as a safe way to cancel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TimerHandle {
     slot: u32,
     generation: u32,
@@ -246,7 +245,7 @@ impl<T> TimerWheel<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use paratick_sim::propcheck::prelude::*;
 
     #[test]
     fn fires_at_exact_jiffy_level0() {
@@ -353,12 +352,11 @@ mod tests {
         assert!(w.slab.len() <= 32, "slab grew to {}", w.slab.len());
     }
 
-    proptest! {
+    propcheck! {
         /// Every inserted timer fires exactly once, never early, and
         /// within its level's granularity slack.
-        #[test]
         fn prop_never_early_bounded_late(
-            expiries in proptest::collection::vec(1u64..100_000, 1..100),
+            expiries in collection::vec(1u64..100_000, 1..100)
         ) {
             let mut w = TimerWheel::new();
             for (i, &e) in expiries.iter().enumerate() {
@@ -386,9 +384,8 @@ mod tests {
 
         /// next_fire is a faithful lower bound: advancing to just before
         /// it fires nothing; advancing to it fires at least one timer.
-        #[test]
         fn prop_next_fire_tight(
-            expiries in proptest::collection::vec(1u64..10_000, 1..50),
+            expiries in collection::vec(1u64..10_000, 1..50)
         ) {
             let mut w = TimerWheel::new();
             for (i, &e) in expiries.iter().enumerate() {
@@ -404,5 +401,27 @@ mod tests {
             }
             prop_assert!(w.is_empty());
         }
+    }
+
+    /// Budget canary: this suite's propcheck configuration really
+    /// executes generated cases (guards against regressing to a
+    /// swallowed-body stub).
+    #[test]
+    fn prop_suite_executes_generated_cases() {
+        let budget = Config::default().effective_cases();
+        let ran = std::cell::Cell::new(0u32);
+        check(
+            env!("CARGO_MANIFEST_DIR"),
+            "timer_wheel_budget_canary",
+            &Config::default(),
+            &collection::vec(1u64..100_000, 1..100),
+            |_expiries| {
+                ran.set(ran.get() + 1);
+                Ok(())
+            },
+        )
+        .expect("trivially true");
+        assert!(ran.get() >= budget, "only {} of {budget} cases ran", ran.get());
+        assert!(cases_executed("timer_wheel_budget_canary") >= budget as u64);
     }
 }

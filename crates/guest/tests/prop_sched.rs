@@ -3,7 +3,7 @@
 //! exactly one place and none is lost.
 
 use paratick_guest::{GuestSched, ThreadId};
-use proptest::prelude::*;
+use paratick_sim::propcheck::prelude::*;
 use std::collections::HashSet;
 
 #[derive(Clone, Debug)]
@@ -25,6 +25,10 @@ fn op(n_threads: u8, n_cpus: u8) -> impl Strategy<Value = Op> {
     ]
 }
 
+fn sched_config() -> Config {
+    Config::default().with_cases(64)
+}
+
 /// Shadow state: where each thread is (Blocked / Queued / Running).
 #[derive(Clone, Copy, PartialEq, Debug)]
 enum Where {
@@ -32,12 +36,11 @@ enum Where {
     Scheduled,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+propcheck! {
+    #![propcheck_config(sched_config())]
 
-    #[test]
     fn prop_sched_never_loses_threads(
-        ops in proptest::collection::vec(op(6, 3), 1..200),
+        ops in collection::vec(op(6, 3), 1..200)
     ) {
         const N_CPUS: usize = 3;
         const N_THREADS: usize = 6;
@@ -104,4 +107,27 @@ proptest! {
             }
         }
     }
+}
+
+/// Budget canary: this suite's propcheck configuration really executes
+/// generated cases (guards against regressing to a swallowed-body
+/// stub) — including through the `prop_oneof!`/`prop_map` op strategy.
+#[test]
+fn prop_suite_executes_generated_cases() {
+    let budget = sched_config().effective_cases();
+    let ran = std::cell::Cell::new(0u32);
+    check(
+        env!("CARGO_MANIFEST_DIR"),
+        "sched_budget_canary",
+        &sched_config(),
+        &collection::vec(op(6, 3), 1..200),
+        |ops| {
+            assert!(!ops.is_empty() && ops.len() < 200);
+            ran.set(ran.get() + 1);
+            Ok(())
+        },
+    )
+    .expect("trivially true");
+    assert!(ran.get() >= budget, "only {} of {budget} cases ran", ran.get());
+    assert!(cases_executed("sched_budget_canary") >= budget as u64);
 }

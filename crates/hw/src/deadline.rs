@@ -19,7 +19,6 @@
 
 use crate::tsc::Tsc;
 use paratick_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Effect of a `TSC_DEADLINE` write, as seen by the entity emulating it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,7 +32,7 @@ pub enum DeadlineWriteEffect {
 }
 
 /// State of a TSC-deadline timer (one per vCPU / CPU).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct TscDeadline {
     /// Raw MSR value (TSC ticks); 0 means disarmed.
     msr: u64,

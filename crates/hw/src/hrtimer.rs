@@ -9,17 +9,16 @@
 //! timer state to a lazy-cancellation event queue.
 
 use paratick_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Externally visible state of an [`HrTimer`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HrTimerState {
     Idle,
     Armed { expiry: SimTime },
 }
 
 /// One host high-resolution timer slot.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct HrTimer {
     state: HrTimerState,
     /// Bumped on every arm/cancel; an expiry event carrying an older

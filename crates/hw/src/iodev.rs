@@ -16,10 +16,9 @@
 //! devices" extrapolation the paper makes in its conclusion.
 
 use paratick_sim::{SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// I/O operation direction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IoOp {
     Read,
     Write,
@@ -35,7 +34,7 @@ pub struct IoRequest {
 }
 
 /// Device classes with calibrated timing profiles.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeviceKind {
     /// 7200rpm spinning disk behind a RAID cache.
     Hdd,
@@ -60,7 +59,7 @@ pub enum DeviceKind {
 }
 
 /// Timing profile for a device kind.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DeviceProfile {
     /// Mean read access latency (random, first byte).
     pub read_latency_ns: u64,
@@ -178,7 +177,7 @@ impl paratick_sim::StableHash for DeviceKind {
 }
 
 /// A single-server block device with a write cache.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BlockDevice {
     kind: DeviceKind,
     profile: DeviceProfile,

@@ -16,10 +16,9 @@
 //! (0xEC = 236). Keeping the real numbers makes the traces and tests read
 //! like the paper.
 
-use serde::{Deserialize, Serialize};
 
 /// An interrupt vector number (0-255; 32+ usable for interrupts).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Vector(pub u8);
 
 impl Vector {
@@ -42,7 +41,7 @@ impl Vector {
 }
 
 /// Pending-interrupt state of one (v)CPU's local APIC.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Lapic {
     /// 256-bit IRR as four words.
     irr: [u64; 4],
@@ -139,7 +138,7 @@ impl Lapic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use paratick_sim::propcheck::prelude::*;
 
     #[test]
     fn request_and_ack() {
@@ -211,11 +210,10 @@ mod tests {
         Lapic::new().request(Vector(14));
     }
 
-    proptest! {
+    propcheck! {
         /// ack_highest always returns vectors in strictly decreasing
         /// order when nothing new is requested.
-        #[test]
-        fn prop_ack_order_decreasing(vecs in proptest::collection::hash_set(32u8..=255, 1..50)) {
+        fn prop_ack_order_decreasing(vecs in collection::hash_set(32u8..=255, 1..50)) {
             let mut apic = Lapic::new();
             for &v in &vecs {
                 apic.request(Vector(v));
@@ -231,13 +229,34 @@ mod tests {
         }
 
         /// pending_count matches requests minus acks for distinct vectors.
-        #[test]
-        fn prop_pending_count(vecs in proptest::collection::hash_set(32u8..=255, 0..64)) {
+        fn prop_pending_count(vecs in collection::hash_set(32u8..=255, 0..64)) {
             let mut apic = Lapic::new();
             for &v in &vecs {
                 apic.request(Vector(v));
             }
             prop_assert_eq!(apic.pending_count() as usize, vecs.len());
         }
+    }
+
+    /// Budget canary: this suite's propcheck configuration really
+    /// executes generated cases (guards against regressing to a
+    /// swallowed-body stub).
+    #[test]
+    fn prop_suite_executes_generated_cases() {
+        let budget = Config::default().effective_cases();
+        let ran = std::cell::Cell::new(0u32);
+        check(
+            env!("CARGO_MANIFEST_DIR"),
+            "lapic_budget_canary",
+            &Config::default(),
+            &collection::hash_set(32u8..=255, 1..50),
+            |_vecs| {
+                ran.set(ran.get() + 1);
+                Ok(())
+            },
+        )
+        .expect("trivially true");
+        assert!(ran.get() >= budget, "only {} of {budget} cases ran", ran.get());
+        assert!(cases_executed("lapic_budget_canary") >= budget as u64);
     }
 }

@@ -14,10 +14,9 @@
 //! so a demoted vCPU demonstrably recovers.
 
 use paratick_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One LAPIC oneshot timer (per vCPU).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LapicOneshot {
     /// Programming granularity: intervals round **up** to a multiple of
     /// this (the divided timer clock period).

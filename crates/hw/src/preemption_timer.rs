@@ -14,10 +14,9 @@
 //! mode; if the vCPU is descheduled, KVM falls back to a host hrtimer.
 
 use paratick_sim::{Freq, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Per-vCPU VMX preemption timer state.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PreemptionTimer {
     /// TSC-to-timer shift from IA32_VMX_MISC (typically 5: timer ticks at
     /// tsc_freq / 32).
@@ -28,7 +27,7 @@ pub struct PreemptionTimer {
     state: PtState,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum PtState {
     Disarmed,
     /// vCPU in guest mode; counts down to this instant.

@@ -12,10 +12,9 @@
 //! the guest sees time starting near zero at its own boot.
 
 use paratick_sim::{Cycles, Freq, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// An invariant TSC: constant `freq`, optional guest offset.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Tsc {
     freq: Freq,
     /// Value the counter read at simulated time zero (the "TSC offset"

@@ -22,7 +22,9 @@
 //!   own speed (events/sec, wall per run) over a fixed scenario basket,
 //!   persisted as schema-versioned `BENCH_<label>.json` files and
 //!   compared with CI-backed verdicts, exiting nonzero on a significant
-//!   regression.
+//!   regression. [`micro`] adds `paratick bench --micro`: display-only
+//!   throughput of the substrate data structures (event queue, timer
+//!   wheel, RNG, histogram).
 //!
 //! Everything here is deterministic by construction: seeds derive from
 //! one base, bootstrap resampling is seeded, and report JSON excludes
@@ -30,6 +32,7 @@
 //! (the perf layer's measured wall times are the deliberate exception).
 
 pub mod expect;
+pub mod micro;
 pub mod perf;
 pub mod replicate;
 pub mod suite;

@@ -5,7 +5,6 @@
 //! gives a bounded relative error (~1/2^sub_bits) across many orders of
 //! magnitude — exactly what latency distributions need — in a few KiB.
 
-use serde::{Deserialize, Serialize};
 
 const SUB_BITS: u32 = 5; // 32 sub-buckets => <= ~3.1% relative error
 const SUB_COUNT: usize = 1 << SUB_BITS;
@@ -13,7 +12,7 @@ const MAGNITUDES: usize = 64;
 
 /// Fixed-size log-bucketed histogram over `u64` values (typically
 /// nanoseconds).
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Histogram {
     buckets: Vec<u64>, // MAGNITUDES * SUB_COUNT
     count: u64,
@@ -214,7 +213,7 @@ impl std::fmt::Debug for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::propcheck::prelude::*;
 
     #[test]
     fn empty_histogram() {
@@ -368,10 +367,9 @@ mod tests {
         assert_eq!(format!("{:?}", Histogram::new()), "Histogram(empty)");
     }
 
-    proptest! {
+    propcheck! {
         /// The bucket a value lands in always has a representative value
         /// within ~3.2% below the true value (monotone log bucketing).
-        #[test]
         fn prop_bucket_relative_error(v in 1u64..u64::MAX / 2) {
             let idx = Histogram::index_of(v);
             let rep = Histogram::value_of(idx);
@@ -381,17 +379,15 @@ mod tests {
         }
 
         /// index_of is monotone non-decreasing.
-        #[test]
         fn prop_index_monotone(a in 0u64..u64::MAX/2, b in 0u64..u64::MAX/2) {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             prop_assert!(Histogram::index_of(lo) <= Histogram::index_of(hi));
         }
 
         /// Quantile never exceeds max nor goes below min.
-        #[test]
         fn prop_quantile_within_bounds(
-            values in proptest::collection::vec(0u64..1_000_000_000, 1..100),
-            q in 0.0f64..1.0,
+            values in collection::vec(0u64..1_000_000_000, 1..100),
+            q in 0.0f64..1.0
         ) {
             let mut h = Histogram::new();
             for &v in &values {
@@ -401,5 +397,27 @@ mod tests {
             prop_assert!(qv >= h.min().unwrap());
             prop_assert!(qv <= h.max().unwrap());
         }
+    }
+
+    /// Budget canary: this suite's propcheck configuration really
+    /// executes generated cases (guards against regressing to a
+    /// swallowed-body stub).
+    #[test]
+    fn prop_suite_executes_generated_cases() {
+        let budget = Config::default().effective_cases();
+        let ran = std::cell::Cell::new(0u32);
+        check(
+            env!("CARGO_MANIFEST_DIR"),
+            "histogram_budget_canary",
+            &Config::default(),
+            &(1u64..u64::MAX / 2),
+            |_v| {
+                ran.set(ran.get() + 1);
+                Ok(())
+            },
+        )
+        .expect("trivially true");
+        assert!(ran.get() >= budget, "only {} of {budget} cases ran", ran.get());
+        assert!(cases_executed("histogram_budget_canary") >= budget as u64);
     }
 }

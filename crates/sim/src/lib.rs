@@ -26,6 +26,10 @@
 //! * [`json`] — a self-contained JSON codec ([`ToJson`]/[`FromJson`])
 //!   with bit-exact float round-tripping, used for metric persistence
 //!   and artifact export.
+//! * [`propcheck`] — a deterministic property-testing framework
+//!   (choice-tape generators over [`SimRng`], greedy shrinking,
+//!   seed-replay and regression-seed files) used by every crate's
+//!   invariant suites; see the [`propcheck!`] macro.
 //!
 //! The engine is intentionally *not* generic over a "process" model: the
 //! paratick system simulator (in the `paratick` core crate) uses the
@@ -35,6 +39,7 @@
 pub mod hash;
 pub mod histogram;
 pub mod json;
+pub mod propcheck;
 pub mod queue;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,1541 @@
+//! # propcheck — in-repo deterministic property testing
+//!
+//! A small, self-contained property-testing framework with no external
+//! dependencies, built on the same SplitMix/xoshiro seed machinery
+//! ([`crate::rng`]) the simulator itself uses. It replaces the vendored
+//! `proptest` stub that silently swallowed every property body.
+//!
+//! ## Design: the choice tape
+//!
+//! Generators do not produce shrink trees. Instead every generator draws
+//! raw `u64`s from a [`Choices`] source that *records* each draw onto a
+//! tape. A test case is therefore fully described by its tape, and
+//! shrinking is tape editing: delete chunks of draws, binary-search
+//! individual draws toward zero, and *replay* generation against the
+//! edited tape (reads past the end return 0). Because generation itself
+//! re-runs on every candidate tape, shrinking composes through
+//! `prop_map`, `vec`, `hash_set`, unions and filters for free — the
+//! same idea as Hypothesis-style "integrated shrinking".
+//!
+//! Two properties of the primitives make tape editing effective:
+//!
+//! * [`Choices::below`] maps a raw draw to a bounded value with a plain
+//!   multiply-shift (`(x * n) >> 64`) — **no rejection loop**, so a
+//!   zero-filled replay tail can never hang, and the mapping is
+//!   monotone: shrinking a draw toward 0 shrinks the value toward the
+//!   range's low end.
+//! * Deleting draws only shifts later generators onto earlier tape
+//!   positions (or the zero tail); generation still terminates and the
+//!   recorded tape of a failing replay becomes the new, shorter best.
+//!
+//! ## Determinism and replay
+//!
+//! Case seeds come from [`seed_stream`]`(cfg.seed ^ fnv1a(name), i)`,
+//! so the whole suite is a pure function of the base seed. Override the
+//! base with `PARATICK_PROP_SEED` (decimal or `0x…` hex) and the case
+//! budget with `PARATICK_PROP_CASES`; both are registered in
+//! `paratick-core`'s `EnvConfig`. Failures persist their *case seed* to
+//! a regression file (see [`Config::regressions_file`]) with the
+//! line-oriented format `<property-name> 0x<case-seed>`; those seeds are
+//! replayed before fresh cases on every subsequent run.
+//!
+//! ## Entry points
+//!
+//! Most tests use the [`propcheck!`] macro, which mirrors the old
+//! `proptest!` surface:
+//!
+//! ```ignore
+//! propcheck! {
+//!     #![propcheck_config(Config::default().with_cases(128))]
+//!     /// Doubling is monotone.
+//!     fn prop_double(x in 0u64..1000, y in 0u64..1000) {
+//!         if x < y { prop_assert!(2 * x < 2 * y); }
+//!     }
+//! }
+//! ```
+//!
+//! [`run`] panics with a report containing the original and shrunk
+//! counterexamples; [`check`] returns it as a value (used by the
+//! self-test canaries). [`cases_executed`] exposes a per-property
+//! counter so suites can assert they really executed their budget —
+//! the guard against ever regressing to swallowed bodies.
+
+use crate::rng::{seed_stream, SimRng};
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// Base seed when neither the config nor `PARATICK_PROP_SEED` sets one.
+pub const DEFAULT_SEED: u64 = 0x5EED_0001_C0DE_0001;
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Hard cap on draws per generated case; a generator that exceeds it is
+/// broken (unbounded recursion), not unlucky.
+const DRAW_LIMIT: usize = 1 << 20;
+
+/// Attempts per case budget before giving up on filter-heavy
+/// strategies (`executed` may then fall short of `cases`; [`run`]
+/// treats that as an error).
+const DISCARD_FACTOR: u32 = 10;
+
+// ---------------------------------------------------------------------------
+// Choice source
+// ---------------------------------------------------------------------------
+
+/// The raw-draw source generators pull from. Either a fresh PRNG stream
+/// (normal generation) or a prerecorded tape being replayed (shrinking
+/// and regression-seed replay). Every draw is recorded.
+pub struct Choices {
+    tape: Vec<u64>,
+    pos: usize,
+    rng: Option<SimRng>,
+    recorded: Vec<u64>,
+}
+
+impl Choices {
+    /// Fresh stream: draws come from a PRNG seeded with `case_seed`.
+    pub fn fresh(case_seed: u64) -> Self {
+        Choices {
+            tape: Vec::new(),
+            pos: 0,
+            rng: Some(SimRng::new(case_seed)),
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Replay an edited tape; draws past the end of the tape return 0
+    /// (the "smallest" draw), never blocking generation.
+    pub fn replay(tape: Vec<u64>) -> Self {
+        Choices {
+            tape,
+            pos: 0,
+            rng: None,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Take the next raw 64-bit draw from the tape.
+    #[inline]
+    pub fn draw(&mut self) -> u64 {
+        assert!(
+            self.recorded.len() < DRAW_LIMIT,
+            "propcheck: generator exceeded {DRAW_LIMIT} draws in one case"
+        );
+        let v = if self.pos < self.tape.len() {
+            self.tape[self.pos]
+        } else if let Some(rng) = &mut self.rng {
+            rng.next_u64()
+        } else {
+            0
+        };
+        self.pos += 1;
+        self.recorded.push(v);
+        v
+    }
+
+    /// Uniform-ish value in `[0, n)` by multiply-shift. Deliberately
+    /// *not* Lemire rejection sampling: a rejection loop can spin
+    /// forever on a zero-filled replay tail, and multiply-shift is
+    /// monotone in the raw draw, which is exactly what tape shrinking
+    /// needs. The ~2⁻⁶⁴·n bias is irrelevant for test generation.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "propcheck: below(0)");
+        let x = self.draw();
+        ((x as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`, monotone in the raw draw.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The draws consumed so far (the case's tape).
+    pub fn recorded(&self) -> &[u64] {
+        &self.recorded
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A value generator. `generate` must be a pure function of the draws
+/// it takes from `Choices` — that is what makes replay (and therefore
+/// shrinking and regression seeds) sound.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn generate(&self, c: &mut Choices) -> Self::Value;
+
+    /// Map generated values through `f` (shrinking happens on the
+    /// underlying draws, so mapped strategies shrink for free).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `keep`. A case whose draws cannot
+    /// satisfy the filter after bounded retries is *discarded* (it does
+    /// not count against the case budget and is never a failure).
+    fn prop_filter<F>(self, label: &'static str, keep: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            label,
+            keep,
+        }
+    }
+
+    /// Type-erase, for heterogeneous unions ([`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (what [`Strategy::boxed`] returns).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, c: &mut Choices) -> T {
+        (**self).generate(c)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, c: &mut Choices) -> S::Value {
+        (**self).generate(c)
+    }
+}
+
+/// `prop_map` combinator (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, c: &mut Choices) -> U {
+        (self.f)(self.inner.generate(c))
+    }
+}
+
+/// Panic payload used to discard a case (filter exhaustion). The runner
+/// downcasts for it and retries with a fresh case seed; the label is
+/// kept for ad-hoc debugging of over-rejecting strategies.
+struct Rejected(#[allow(dead_code)] &'static str);
+
+/// `prop_filter` combinator (see [`Strategy::prop_filter`]).
+pub struct Filter<S, F> {
+    inner: S,
+    label: &'static str,
+    keep: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, c: &mut Choices) -> S::Value {
+        for _ in 0..64 {
+            let v = self.inner.generate(c);
+            if (self.keep)(&v) {
+                return v;
+            }
+        }
+        panic::panic_any(Rejected(self.label));
+    }
+}
+
+/// A constant strategy (always yields a clone of its value).
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _c: &mut Choices) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "propcheck: empty union");
+        Union { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, c: &mut Choices) -> T {
+        let i = c.below(self.options.len() as u64) as usize;
+        self.options[i].generate(c)
+    }
+}
+
+// --- integer and float ranges ---
+
+#[inline]
+fn int_in(c: &mut Choices, lo: i128, span: u128) -> i128 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        // Only reachable for (near-)full u64/i64 ranges.
+        lo + c.draw() as i128
+    } else {
+        lo + c.below(span as u64) as i128
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, c: &mut Choices) -> $t {
+                assert!(self.start < self.end, "propcheck: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                int_in(c, self.start as i128, span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, c: &mut Choices) -> $t {
+                assert!(self.start() <= self.end(), "propcheck: empty range");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                int_in(c, *self.start() as i128, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, c: &mut Choices) -> f64 {
+        assert!(self.start < self.end, "propcheck: empty range");
+        self.start + c.unit_f64() * (self.end - self.start)
+    }
+}
+
+// --- any::<T>() ---
+
+/// Types generatable over their whole domain via [`any`].
+pub trait ArbitraryValue: fmt::Debug {
+    fn arbitrary(c: &mut Choices) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(c: &mut Choices) -> $t {
+                c.draw() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(c: &mut Choices) -> bool {
+        c.below(2) == 1
+    }
+}
+
+/// Strategy over a type's whole domain (see [`ArbitraryValue`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<u64>()`, `any::<bool>()`, … — the full-domain strategy.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, c: &mut Choices) -> T {
+        T::arbitrary(c)
+    }
+}
+
+// --- tuples ---
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, c: &mut Choices) -> Self::Value {
+                ($(self.$idx.generate(c),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// --- collections ---
+
+/// `vec`/`hash_set` size strategies (mirrors proptest's size-range
+/// conversions: `1..200` means lengths in `[1, 200)`).
+pub mod collection {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "propcheck: empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "propcheck: empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, c: &mut Choices) -> usize {
+            self.lo + c.below((self.hi_incl - self.lo + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `vec(elem, 1..200)` — a vector of generated elements. The length
+    /// is drawn first, so shrinking the length draw truncates the
+    /// vector and chunk deletion drops elements wholesale.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, c: &mut Choices) -> Vec<S::Value> {
+            let len = self.size.pick(c);
+            (0..len).map(|_| self.elem.generate(c)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `hash_set(elem, 1..50)` — a set of distinct generated elements.
+    /// Insertion attempts are capped, so a narrow element domain yields
+    /// a smaller set rather than spinning (a case that cannot even
+    /// reach the minimum size is discarded).
+    pub fn hash_set<S>(elem: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, c: &mut Choices) -> HashSet<S::Value> {
+            let target = self.size.pick(c);
+            let mut out = HashSet::with_capacity(target);
+            let attempts = target * 8 + 16;
+            for _ in 0..attempts {
+                if out.len() == target {
+                    break;
+                }
+                out.insert(self.elem.generate(c));
+            }
+            if out.len() < self.size.lo {
+                panic::panic_any(Rejected("hash_set: element domain too narrow"));
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Per-property configuration. `PARATICK_PROP_SEED` / `PARATICK_PROP_CASES`
+/// override `seed` / `cases` at run time (both are registered with
+/// `paratick-core`'s `EnvConfig`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Fresh generated cases to run (after regression-seed replay).
+    pub cases: u32,
+    /// Base seed; per-property streams are derived from it, so one
+    /// value pins the whole suite.
+    pub seed: u64,
+    /// Replay budget for the shrinker.
+    pub max_shrink_iters: u32,
+    /// Regression-seed file, relative to the call site's
+    /// `CARGO_MANIFEST_DIR`. Failing case seeds are appended; recorded
+    /// seeds replay before fresh cases on every run.
+    pub regressions: Option<String>,
+    /// Ignore the `PARATICK_PROP_*` environment overrides and run with
+    /// exactly this configuration. For tests *of the framework itself*
+    /// that pin exact case counts or seeds — suite properties should
+    /// leave this false so `check.sh` can pin the whole tree's budget.
+    pub pinned: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: DEFAULT_CASES,
+            seed: DEFAULT_SEED,
+            max_shrink_iters: 4096,
+            regressions: None,
+            pinned: false,
+        }
+    }
+}
+
+impl Config {
+    pub fn with_cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn max_shrink_iters(mut self, iters: u32) -> Self {
+        self.max_shrink_iters = iters;
+        self
+    }
+
+    pub fn regressions_file(mut self, rel_path: &str) -> Self {
+        self.regressions = Some(rel_path.to_string());
+        self
+    }
+
+    /// See [`Config::pinned`].
+    pub fn pinned(mut self) -> Self {
+        self.pinned = true;
+        self
+    }
+
+    /// The base seed actually used: `PARATICK_PROP_SEED` if set (and
+    /// not [`Config::pinned`]), else [`Config::seed`].
+    pub fn effective_seed(&self) -> u64 {
+        if self.pinned {
+            return self.seed;
+        }
+        env_u64("PARATICK_PROP_SEED").unwrap_or(self.seed)
+    }
+
+    /// The case budget actually used: `PARATICK_PROP_CASES` if set (and
+    /// not [`Config::pinned`]), else [`Config::cases`]. Budget canaries
+    /// should assert against this, not the raw field, so they stay true
+    /// under an environment override.
+    pub fn effective_cases(&self) -> u32 {
+        if self.pinned {
+            return self.cases;
+        }
+        env_u64("PARATICK_PROP_CASES")
+            .map(|c| c.min(u32::MAX as u64) as u32)
+            .unwrap_or(self.cases)
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("propcheck: ignoring unparsable {name}={raw:?}");
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports, counters
+// ---------------------------------------------------------------------------
+
+/// Outcome of a passing [`check`].
+#[derive(Clone, Debug)]
+pub struct PropReport {
+    pub name: String,
+    /// Fresh generated cases that executed to completion.
+    pub executed: u32,
+    /// Cases discarded by filters (not counted in `executed`).
+    pub discarded: u32,
+    /// Regression seeds replayed before fresh generation.
+    pub regressions_replayed: u32,
+}
+
+/// A failing property, fully described: seed, counterexamples, message.
+#[derive(Clone, Debug)]
+pub struct PropFailure {
+    pub name: String,
+    /// Seed of the failing case — replayable directly (regression file)
+    /// and derivable from the base seed.
+    pub case_seed: u64,
+    /// Base seed the suite ran under (for the env-var replay hint).
+    pub base_seed: u64,
+    /// 0-based index of the failing fresh case, or `None` when a
+    /// replayed regression seed failed.
+    pub case_index: Option<u32>,
+    /// `Debug` rendering of the originally failing value.
+    pub original: String,
+    /// `Debug` rendering after shrinking.
+    pub shrunk: String,
+    /// Shrinker replays spent.
+    pub shrink_iters: u32,
+    /// The assertion/panic message of the *shrunk* case.
+    pub message: String,
+}
+
+impl fmt::Display for PropFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "property `{}` failed", self.name)?;
+        match self.case_index {
+            Some(i) => writeln!(f, "  case:     #{i} (seed {:#018x})", self.case_seed)?,
+            None => writeln!(f, "  case:     regression seed {:#018x}", self.case_seed)?,
+        }
+        writeln!(f, "  error:    {}", self.message)?;
+        writeln!(f, "  original: {}", self.original)?;
+        writeln!(
+            f,
+            "  shrunk:   {}  ({} shrink replays)",
+            self.shrunk, self.shrink_iters
+        )?;
+        write!(
+            f,
+            "  replay:   PARATICK_PROP_SEED={:#x} reruns this suite deterministically",
+            self.base_seed
+        )
+    }
+}
+
+static COUNTERS: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+
+fn counters() -> &'static Mutex<HashMap<String, u64>> {
+    COUNTERS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fresh cases executed so far (across this process) for a property —
+/// the hook suites use to assert their budget actually ran.
+pub fn cases_executed(name: &str) -> u64 {
+    counters().lock().unwrap().get(name).copied().unwrap_or(0)
+}
+
+fn record_executed(name: &str, n: u64) {
+    *counters().lock().unwrap().entry(name.to_string()).or_insert(0) += n;
+}
+
+// ---------------------------------------------------------------------------
+// Panic capture
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Install (once) a chaining panic hook that stays silent while a
+/// propcheck case is being probed — expected failures during generation
+/// and shrinking would otherwise spam hundreds of backtraces.
+fn silence_expected_panics() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Case execution and shrinking
+// ---------------------------------------------------------------------------
+
+enum CaseOutcome {
+    Pass,
+    Discard,
+    Fail { debug: String, message: String },
+}
+
+/// Run one case against a choice source; the recorded tape is left in
+/// `c` for the caller.
+fn run_case<S, F>(strat: &S, test: &F, c: &mut Choices) -> CaseOutcome
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    silence_expected_panics();
+    QUIET.with(|q| q.set(true));
+    // The value's Debug rendering is stashed outside the unwind
+    // boundary so a panicking test body still reports its input.
+    let debug_slot = std::cell::RefCell::new(None::<String>);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let value = strat.generate(c);
+        *debug_slot.borrow_mut() = Some(format!("{:?}", value));
+        test(value)
+    }));
+    QUIET.with(|q| q.set(false));
+    let debug = || {
+        debug_slot
+            .borrow_mut()
+            .take()
+            .unwrap_or_else(|| "<generation panicked before a value existed>".to_string())
+    };
+    match result {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(message)) => CaseOutcome::Fail {
+            debug: debug(),
+            message,
+        },
+        Err(payload) => {
+            if payload.downcast_ref::<Rejected>().is_some() {
+                CaseOutcome::Discard
+            } else {
+                CaseOutcome::Fail {
+                    debug: debug(),
+                    message: panic_message(payload.as_ref()),
+                }
+            }
+        }
+    }
+}
+
+struct Failing {
+    tape: Vec<u64>,
+    debug: String,
+    message: String,
+}
+
+/// Replay an edited tape; `Some(failing)` iff the property still fails
+/// on it (discards and passes both count as "no longer failing").
+fn replay_fails<S, F>(strat: &S, test: &F, tape: &[u64]) -> Option<Failing>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let mut c = Choices::replay(tape.to_vec());
+    match run_case(strat, test, &mut c) {
+        CaseOutcome::Fail { debug, message } => Some(Failing {
+            tape: c.recorded().to_vec(),
+            debug,
+            message,
+        }),
+        _ => None,
+    }
+}
+
+/// Greedy tape shrinking: chunk-deletion passes over decreasing chunk
+/// sizes, then per-draw binary search toward 0, repeated to a fixpoint
+/// or until the replay budget runs out. Each successful replay's *own*
+/// recorded tape becomes the new best, which keeps the tape consistent
+/// with what generation actually consumed.
+fn shrink<S, F>(strat: &S, test: &F, start: Failing, budget: u32) -> (Failing, u32)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let mut best = start;
+    let mut iters: u32 = 0;
+    let try_tape = |tape: &[u64], iters: &mut u32| -> Option<Failing> {
+        if *iters >= budget {
+            return None;
+        }
+        *iters += 1;
+        replay_fails(strat, test, tape)
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete chunks of draws (big to small).
+        for &size in &[64usize, 32, 16, 8, 4, 2, 1] {
+            let mut i = 0;
+            while i + size <= best.tape.len() {
+                let mut candidate = best.tape.clone();
+                candidate.drain(i..i + size);
+                match try_tape(&candidate, &mut iters) {
+                    Some(f) if f.tape.len() < best.tape.len() => {
+                        best = f;
+                        improved = true;
+                        // Do not advance: the same index now names new draws.
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+
+        // Pass 2: binary-search each draw toward 0.
+        for i in 0..best.tape.len() {
+            if i >= best.tape.len() || best.tape[i] == 0 {
+                continue;
+            }
+            let mut lo = 0u64;
+            let mut hi = best.tape[i];
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.tape.clone();
+                candidate[i] = mid;
+                match try_tape(&candidate, &mut iters) {
+                    Some(f) => {
+                        let structure_changed = f.tape.len() != candidate.len();
+                        best = f;
+                        improved = true;
+                        if structure_changed {
+                            break;
+                        }
+                        hi = mid;
+                    }
+                    None => lo = mid + 1,
+                }
+                if iters >= budget {
+                    break;
+                }
+            }
+            if iters >= budget {
+                break;
+            }
+        }
+
+        if !improved || iters >= budget {
+            return (best, iters);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression-seed files
+// ---------------------------------------------------------------------------
+
+fn regression_path(manifest_dir: &str, cfg: &Config) -> Option<PathBuf> {
+    cfg.regressions
+        .as_ref()
+        .map(|rel| Path::new(manifest_dir).join(rel))
+}
+
+/// Parse the seeds recorded for `name`. Format: one `<property-name>
+/// 0x<case-seed-hex>` pair per line; `#` starts a comment; unknown
+/// lines are ignored (forward compatibility).
+fn load_regression_seeds(path: &Path, name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        let mut parts = line.split_whitespace();
+        let (Some(prop), Some(seed)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if prop != name {
+            continue;
+        }
+        let parsed = seed
+            .strip_prefix("0x")
+            .or_else(|| seed.strip_prefix("0X"))
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .or_else(|| seed.parse().ok());
+        if let Some(s) = parsed {
+            seeds.push(s);
+        }
+    }
+    seeds
+}
+
+fn append_regression_seed(path: &Path, name: &str, seed: u64) {
+    use std::io::Write as _;
+    let exists = path.exists();
+    let mut opts = std::fs::OpenOptions::new();
+    let Ok(mut f) = opts.create(true).append(true).open(path) else {
+        return; // read-only checkout: the failure report still has the seed
+    };
+    if !exists {
+        let _ = writeln!(
+            f,
+            "# propcheck regression seeds — one `<property> 0x<case-seed>` per line.\n\
+             # Replayed before fresh cases on every run; append-only."
+        );
+    }
+    let _ = writeln!(f, "{name} {seed:#018x}");
+}
+
+// ---------------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------------
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Check a property and return the outcome as a value. `manifest_dir`
+/// anchors the regression file (pass `env!("CARGO_MANIFEST_DIR")`; the
+/// [`propcheck!`] macro does). Replays recorded regression seeds first,
+/// then runs `cfg.cases` fresh cases; the first failure is shrunk,
+/// persisted (if a regression file is configured) and returned.
+pub fn check<S, F>(
+    manifest_dir: &str,
+    name: &str,
+    cfg: &Config,
+    strat: &S,
+    test: F,
+) -> Result<PropReport, Box<PropFailure>>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let base_seed = cfg.effective_seed();
+    let cases = cfg.effective_cases();
+    let prop_base = base_seed ^ fnv1a(name);
+    let reg_path = regression_path(manifest_dir, cfg);
+
+    let fail = |case_seed: u64, case_index: Option<u32>, failing: Failing, persist: bool| {
+        let original_debug = failing.debug.clone();
+        let (shrunk, iters) = shrink(strat, &test, failing, cfg.max_shrink_iters);
+        if persist {
+            if let Some(path) = &reg_path {
+                append_regression_seed(path, name, case_seed);
+            }
+        }
+        Box::new(PropFailure {
+            name: name.to_string(),
+            case_seed,
+            base_seed,
+            case_index,
+            original: original_debug,
+            shrunk: shrunk.debug,
+            shrink_iters: iters,
+            message: shrunk.message,
+        })
+    };
+
+    // Phase 1: replay persisted regression seeds.
+    let mut regressions_replayed = 0u32;
+    if let Some(path) = &reg_path {
+        for seed in load_regression_seeds(path, name) {
+            regressions_replayed += 1;
+            let mut c = Choices::fresh(seed);
+            if let CaseOutcome::Fail { debug, message } = run_case(strat, &test, &mut c) {
+                let failing = Failing {
+                    tape: c.recorded().to_vec(),
+                    debug,
+                    message,
+                };
+                // Already persisted — don't duplicate the line.
+                return Err(fail(seed, None, failing, false));
+            }
+        }
+    }
+
+    // Phase 2: fresh cases from the deterministic seed stream.
+    let mut executed = 0u32;
+    let mut discarded = 0u32;
+    let mut index = 0u32;
+    let attempt_cap = cases.saturating_mul(DISCARD_FACTOR).max(cases);
+    while executed < cases && index < attempt_cap {
+        let case_seed = seed_stream(prop_base, index as u64);
+        let mut c = Choices::fresh(case_seed);
+        match run_case(strat, &test, &mut c) {
+            CaseOutcome::Pass => executed += 1,
+            CaseOutcome::Discard => discarded += 1,
+            CaseOutcome::Fail { debug, message } => {
+                let failing = Failing {
+                    tape: c.recorded().to_vec(),
+                    debug,
+                    message,
+                };
+                return Err(fail(case_seed, Some(index), failing, true));
+            }
+        }
+        index += 1;
+    }
+
+    record_executed(name, executed as u64);
+    Ok(PropReport {
+        name: name.to_string(),
+        executed,
+        discarded,
+        regressions_replayed,
+    })
+}
+
+/// Check a property, panicking with a full report on failure or if the
+/// case budget could not be met (filter discarding nearly everything).
+/// This is what [`propcheck!`]-generated `#[test]`s call.
+pub fn run<S, F>(manifest_dir: &str, name: &str, cfg: &Config, strat: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    match check(manifest_dir, name, cfg, strat, test) {
+        Ok(report) => {
+            let cases = cfg.effective_cases();
+            assert!(
+                report.executed >= cases,
+                "property `{name}` executed only {} of {} cases ({} discarded) — \
+                 strategy filters are rejecting too much",
+                report.executed,
+                cases,
+                report.discarded
+            );
+        }
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Mirrors the old `proptest!` surface:
+///
+/// ```ignore
+/// propcheck! {
+///     #![propcheck_config(Config::default().with_cases(12))]  // optional
+///     /// What the property states.
+///     fn prop_name(x in 0u64..100, v in collection::vec(any::<bool>(), 1..20)) {
+///         prop_assert!(v.len() <= 20);
+///     }
+/// }
+/// ```
+///
+/// Each `fn` becomes a `#[test]` that runs the property through
+/// [`run`] with the shared config.
+#[macro_export]
+macro_rules! propcheck {
+    (#![propcheck_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__propcheck_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__propcheck_fns! { cfg = ($crate::propcheck::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __propcheck_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr); $(#[$meta:meta])* fn $name:ident $args:tt $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            $crate::__propcheck_split! {
+                cfg = ($cfg);
+                name = (stringify!($name));
+                body = $body;
+                pats = ();
+                strats = ();
+                rest = $args
+            }
+        }
+        $crate::__propcheck_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __propcheck_split {
+    // Munch one `pat in strategy,` pair.
+    (cfg = $cfg:tt; name = $name:tt; body = $body:block;
+     pats = ($($p:pat_param,)*); strats = ($($s:expr,)*);
+     rest = ($pp:pat_param in $ss:expr, $($rest:tt)*)) => {
+        $crate::__propcheck_split! {
+            cfg = $cfg; name = $name; body = $body;
+            pats = ($($p,)* $pp,); strats = ($($s,)* $ss,);
+            rest = ($($rest)*)
+        }
+    };
+    // Final `pat in strategy` (no trailing comma).
+    (cfg = $cfg:tt; name = $name:tt; body = $body:block;
+     pats = ($($p:pat_param,)*); strats = ($($s:expr,)*);
+     rest = ($pp:pat_param in $ss:expr)) => {
+        $crate::__propcheck_split! {
+            cfg = $cfg; name = $name; body = $body;
+            pats = ($($p,)* $pp,); strats = ($($s,)* $ss,);
+            rest = ()
+        }
+    };
+    // All pairs munched: emit the runner call.
+    (cfg = ($cfg:expr); name = ($name:expr); body = $body:block;
+     pats = ($($p:pat_param,)+); strats = ($($s:expr,)+);
+     rest = ()) => {{
+        #[allow(unused_imports)]
+        use $crate::propcheck::Strategy as _;
+        let __strategy = ($($s,)+);
+        $crate::propcheck::run(
+            env!("CARGO_MANIFEST_DIR"),
+            $name,
+            &$cfg,
+            &__strategy,
+            |($($p,)+)| { $body Ok(()) },
+        );
+    }};
+}
+
+/// Property-scoped assertion: fails the *case* (recording a
+/// counterexample and shrinking) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with both values in the message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($a), stringify!($b), __a, __b, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// `prop_assert!(a != b)` with both values in the message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($a), stringify!($b), __a, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Uniform choice among heterogeneous strategies with a common value
+/// type: `prop_oneof![ (0..6u8).prop_map(Op::Wake), Just(Op::Yield) ]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::propcheck::Union::new(vec![
+            $($crate::propcheck::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// One-stop imports for property tests:
+/// `use paratick_sim::propcheck::prelude::*;`.
+pub mod prelude {
+    pub use super::collection::{self, hash_set, vec};
+    pub use super::{
+        any, cases_executed, check, run, Choices, Config, Just, PropFailure, PropReport, Strategy,
+        Union,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, propcheck};
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    // Framework self-tests pin exact case counts and seeds, so they
+    // must not move under the `PARATICK_PROP_*` overrides check.sh
+    // applies to the tree's property suites.
+    fn cfg() -> Config {
+        Config::default().pinned()
+    }
+
+    /// A false property must fail, and the tape shrinker must land on
+    /// the canonical minimal counterexample `[0, 0, 0]` — this is the
+    /// canary that proves bodies execute and shrinking works end to
+    /// end. (Guarded against env overrides so `check.sh`'s fixed-seed
+    /// run cannot skew it: the property is false for *every* seed.)
+    #[test]
+    fn canary_false_property_fails_with_shrunk_counterexample() {
+        let strat = collection::vec(0u64..1000, 1..50);
+        let result = check(
+            env!("CARGO_MANIFEST_DIR"),
+            "canary_len_lt_3",
+            &cfg(),
+            &strat,
+            |v: Vec<u64>| {
+                if v.len() < 3 {
+                    Ok(())
+                } else {
+                    Err(format!("len {} >= 3", v.len()))
+                }
+            },
+        );
+        let failure = result.expect_err("false property must fail");
+        assert_eq!(
+            failure.shrunk, "[0, 0, 0]",
+            "shrinker must reach the minimal counterexample; got {}",
+            failure.shrunk
+        );
+        assert!(failure.message.contains(">= 3"));
+    }
+
+    /// Panicking properties (plain `assert!`) are captured and shrunk
+    /// exactly like `prop_assert!` failures.
+    #[test]
+    fn canary_panicking_property_is_captured() {
+        let strat = 0u64..1_000_000;
+        let failure = check(
+            env!("CARGO_MANIFEST_DIR"),
+            "canary_panic",
+            &cfg(),
+            &strat,
+            |x: u64| {
+                assert!(x < 10, "x = {x}");
+                Ok(())
+            },
+        )
+        .expect_err("property false for x >= 10");
+        // Minimal failing value under binary-search shrinking is exactly 10.
+        assert_eq!(failure.shrunk, "10");
+    }
+
+    /// True properties pass and execute their full case budget, visible
+    /// through the counter registry.
+    #[test]
+    fn true_property_executes_full_budget() {
+        let strat = (0u64..100, 0u64..100);
+        let report = check(
+            env!("CARGO_MANIFEST_DIR"),
+            "canary_true_prop",
+            &cfg().with_cases(37),
+            &strat,
+            |(a, b)| {
+                if a + b >= a {
+                    Ok(())
+                } else {
+                    Err("overflow".into())
+                }
+            },
+        )
+        .expect("true property");
+        assert!(report.executed >= 37);
+        assert!(cases_executed("canary_true_prop") >= 37);
+    }
+
+    /// The suite is a pure function of the base seed: same seed, same
+    /// failure; different seed still fails (the property is false
+    /// everywhere) but the original counterexample may differ.
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        // Run with explicit config seeds (not env) so this test is
+        // itself deterministic under check.sh's PARATICK_PROP_SEED.
+        std::env::remove_var("__NONEXISTENT__"); // no-op; documents intent
+        let strat = collection::vec(0u64..1000, 1..50);
+        let go = |seed: u64| {
+            check(
+                env!("CARGO_MANIFEST_DIR"),
+                "canary_det",
+                &cfg().with_seed(seed),
+                &strat,
+                |v: Vec<u64>| {
+                    if v.iter().sum::<u64>() < 2000 {
+                        Ok(())
+                    } else {
+                        Err("sum too big".into())
+                    }
+                },
+            )
+        };
+        // Note: env PARATICK_PROP_SEED would override both identically,
+        // so equality still holds under check.sh's pinned seed.
+        let a = go(1).expect_err("falsifiable");
+        let b = go(1).expect_err("falsifiable");
+        assert_eq!(a.case_seed, b.case_seed);
+        assert_eq!(a.original, b.original);
+        assert_eq!(a.shrunk, b.shrunk);
+    }
+
+    /// Filters discard without failing and without eating the budget.
+    #[test]
+    fn filter_discards_dont_fail() {
+        let strat = (0u64..100).prop_filter("even only", |x| x % 2 == 0);
+        let report = check(
+            env!("CARGO_MANIFEST_DIR"),
+            "canary_filter",
+            &cfg().with_cases(20),
+            &strat,
+            |x| {
+                if x % 2 == 0 {
+                    Ok(())
+                } else {
+                    Err("filter leaked an odd value".into())
+                }
+            },
+        )
+        .expect("filtered property holds");
+        assert!(report.executed >= 20);
+    }
+
+    /// prop_map and unions shrink through to the underlying draws.
+    #[test]
+    fn union_and_map_shrink() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum E {
+            A(u64),
+            B(u64),
+        }
+        let strat = prop_oneof![
+            (0u64..1000).prop_map(E::A),
+            (0u64..1000).prop_map(E::B),
+        ];
+        let failure = check(
+            env!("CARGO_MANIFEST_DIR"),
+            "canary_union",
+            &cfg(),
+            &strat,
+            |e: E| match e {
+                E::A(x) | E::B(x) if x < 5 => Ok(()),
+                _ => Err("x >= 5".into()),
+            },
+        )
+        .expect_err("false for x >= 5");
+        // The union index shrinks to 0 (variant A) and the payload to
+        // the minimal failing value.
+        assert_eq!(failure.shrunk, "A(5)");
+    }
+
+    /// hash_set respects its size range and element bounds.
+    #[test]
+    fn hash_set_strategy_bounds() {
+        let strat = collection::hash_set(32u8..=255, 1..50);
+        let report = check(
+            env!("CARGO_MANIFEST_DIR"),
+            "canary_hash_set",
+            &cfg().with_cases(32),
+            &strat,
+            |s: std::collections::HashSet<u8>| {
+                if s.is_empty() || s.len() >= 50 {
+                    return Err(format!("size {} out of [1, 50)", s.len()));
+                }
+                if s.iter().any(|&v| v < 32) {
+                    return Err("element below 32".into());
+                }
+                Ok(())
+            },
+        )
+        .expect("bounds hold");
+        assert!(report.executed >= 32);
+    }
+
+    /// Regression-seed files round-trip: a failure appends its case
+    /// seed, and a later run replays (and re-fails on) that exact seed.
+    #[test]
+    fn regression_seed_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("propcheck-reg-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let rel = "reg-roundtrip-seeds.txt";
+        let path = dir.join(rel);
+        let _ = std::fs::remove_file(&path);
+
+        let manifest = dir.to_str().unwrap();
+        let cfg = Config::default().pinned().regressions_file(rel);
+        let strat = 0u64..1_000_000;
+        let test = |x: u64| {
+            if x < 500_000 {
+                Ok(())
+            } else {
+                Err("too big".into())
+            }
+        };
+
+        let first = check(manifest, "reg_prop", &cfg, &strat, test).expect_err("falsifiable");
+        assert!(first.case_index.is_some(), "first failure is a fresh case");
+        let seeds = load_regression_seeds(&path, "reg_prop");
+        assert_eq!(seeds, vec![first.case_seed], "seed persisted");
+
+        // Second run hits the regression replay phase before any fresh case.
+        let second = check(manifest, "reg_prop", &cfg, &strat, test).expect_err("still fails");
+        assert_eq!(second.case_seed, first.case_seed);
+        assert_eq!(second.case_index, None, "failure came from replay");
+        // Replay failures must not duplicate the persisted line.
+        assert_eq!(load_regression_seeds(&path, "reg_prop").len(), 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Zero-filled replay tails cannot hang `below` (the reason it is
+    /// multiply-shift, not Lemire rejection).
+    #[test]
+    fn replay_tail_terminates() {
+        let mut c = Choices::replay(vec![]);
+        for _ in 0..100 {
+            assert_eq!(c.below(977), 0);
+        }
+        // And below() is monotone in the raw draw.
+        let v = |x: u64| ((x as u128 * 1000u128) >> 64) as u64;
+        assert!(v(0) == 0 && v(u64::MAX) == 999);
+        let mut prev = 0;
+        for x in (0..=u64::MAX).step_by(1 << 58) {
+            let y = v(x);
+            assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    // The macro surface itself, exercised as real tests.
+    propcheck! {
+        #![propcheck_config(Config::default().with_cases(40).pinned())]
+
+        /// Tuple + range strategies through the macro path.
+        fn prop_macro_tuples(a in 0u64..100, b in 10u64..20, flag in any::<bool>()) {
+            prop_assert!(a < 100);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(flag || !flag);
+        }
+
+        /// `mut` bindings and vec strategies parse (pat_param fragment).
+        fn prop_macro_mut_vec(mut v in collection::vec(0u32..50, 1..10)) {
+            v.sort_unstable();
+            for w in v.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            prop_assert!(!v.is_empty() && v.len() < 10);
+        }
+    }
+
+    /// Budget counters recorded by the macro-generated tests above are
+    /// observable. (Scoped to this process; ordering-independent since
+    /// it probes via a fresh check rather than the other tests.)
+    #[test]
+    fn counters_visible_after_check() {
+        let executed = std::cell::Cell::new(0u32);
+        let strat = 0u64..10;
+        let _ = check(
+            env!("CARGO_MANIFEST_DIR"),
+            "canary_counter_probe",
+            &cfg().with_cases(11),
+            &strat,
+            |_x| {
+                executed.set(executed.get() + 1);
+                Ok(())
+            },
+        )
+        .expect("trivially true");
+        assert_eq!(executed.get(), 11, "closure ran once per case");
+        assert_eq!(cases_executed("canary_counter_probe"), 11);
+    }
+}

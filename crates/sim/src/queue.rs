@@ -202,8 +202,8 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::propcheck::prelude::*;
     use crate::time::SimTime;
-    use proptest::prelude::*;
 
     fn t(ns: u64) -> SimTime {
         SimTime::from_nanos(ns)
@@ -320,11 +320,10 @@ mod tests {
         assert_eq!(q.depth_high_water(), 3, "draining does not reset the mark");
     }
 
-    proptest! {
+    propcheck! {
         /// Dispatch order is monotone in time and FIFO within a time for
         /// arbitrary push sequences.
-        #[test]
-        fn prop_monotone_fifo(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        fn prop_monotone_fifo(times in collection::vec(0u64..1_000, 1..200)) {
             let mut q = EventQueue::new();
             for (i, &ns) in times.iter().enumerate() {
                 q.push(t(ns), i);
@@ -342,10 +341,9 @@ mod tests {
         }
 
         /// Cancelled tokens never fire; everything else fires exactly once.
-        #[test]
         fn prop_cancellation(
-            times in proptest::collection::vec(0u64..1_000, 1..200),
-            cancel_mask in proptest::collection::vec(any::<bool>(), 1..200),
+            times in collection::vec(0u64..1_000, 1..200),
+            cancel_mask in collection::vec(any::<bool>(), 1..200)
         ) {
             let mut q = EventQueue::new();
             let mut tokens = Vec::new();
@@ -366,5 +364,28 @@ mod tests {
             }
             prop_assert_eq!(fired.len() + cancelled.len(), times.len());
         }
+    }
+
+    /// Budget canary: this suite's propcheck configuration really
+    /// executes generated cases (guards against regressing to a
+    /// swallowed-body stub). The ported properties above enforce their
+    /// own budget inside `run`; this one observes execution directly.
+    #[test]
+    fn prop_suite_executes_generated_cases() {
+        let budget = Config::default().effective_cases();
+        let ran = std::cell::Cell::new(0u32);
+        check(
+            env!("CARGO_MANIFEST_DIR"),
+            "queue_budget_canary",
+            &Config::default(),
+            &collection::vec(0u64..1_000, 1..200),
+            |_times| {
+                ran.set(ran.get() + 1);
+                Ok(())
+            },
+        )
+        .expect("trivially true");
+        assert!(ran.get() >= budget, "only {} of {budget} cases ran", ran.get());
+        assert!(cases_executed("queue_budget_canary") >= budget as u64);
     }
 }

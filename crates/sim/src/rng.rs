@@ -10,7 +10,6 @@
 //! of higher crates; the hot simulation path uses this generator so a
 //! `rand` version bump can never change experiment results.
 
-use serde::{Deserialize, Serialize};
 
 /// SplitMix64 step, used for seeding.
 #[inline]
@@ -38,7 +37,7 @@ pub fn seed_stream(base: u64, index: u64) -> u64 {
 }
 
 /// xoshiro256++ deterministic PRNG.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimRng {
     s: [u64; 4],
     /// Cached second normal variate from Box-Muller.

@@ -1,10 +1,9 @@
 //! Counters, rate meters and online summaries for metric collection.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A simple monotone event counter.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -51,7 +50,7 @@ impl std::iter::Sum for Counter {
 ///
 /// Numerically stable and single-pass; used to summarize per-iteration
 /// experiment metrics without storing samples.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -398,7 +397,7 @@ impl FromJson for Counter {
 /// Sliding-window event rate meter: counts events in fixed windows and
 /// reports the previous complete window's rate. Used by adaptive
 /// mechanisms (e.g. halt-polling growth/shrink).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RateMeter {
     window: SimDuration,
     window_start: SimTime,

@@ -8,10 +8,9 @@ use crate::exit::ExitCounts;
 use crate::pcpu::{CycleLedger, PCpu};
 use crate::vcpu::KvmVcpu;
 use paratick_sim::{Cycles, Freq, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Aggregated statistics for one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SystemStats {
     /// Exit counters summed over all vCPUs.
     pub exits: ExitCounts,

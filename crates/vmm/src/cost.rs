@@ -18,10 +18,9 @@
 
 use crate::exit::ExitReason;
 use paratick_sim::{Cycles, Freq, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// The full cost model for a simulated host.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     /// Physical CPU clock frequency.
     pub cpu_freq: Freq,

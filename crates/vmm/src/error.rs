@@ -8,7 +8,6 @@
 //! is that type; `Engine::run` returns `Result<RunMetrics, SimError>`.
 
 use crate::vcpu::{VcpuId, VcpuRunState};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A simulation-level failure.
@@ -16,7 +15,7 @@ use std::fmt;
 /// Every variant carries enough context to diagnose the failure without
 /// a debugger: ids, the offending state, and (for deadlocks) the full
 /// wait-for report the engine used to print before aborting.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
     /// The scenario is malformed (zero pCPUs, zero vCPUs, bad fault
     /// spec, ...). Raised before the simulation starts.

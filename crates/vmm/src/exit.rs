@@ -19,12 +19,11 @@
 //! [`ExitReason::is_timer_related`] gives the subset the paper's
 //! "timer-related VM exits" metric counts.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// Why a vCPU exited guest mode.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum ExitReason {
     /// Guest wrote the `TSC_DEADLINE` MSR (arming, re-arming or
@@ -112,7 +111,7 @@ impl fmt::Display for ExitReason {
 }
 
 /// Per-reason exit counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExitCounts {
     counts: [u64; ExitReason::COUNT],
 }

@@ -24,11 +24,10 @@
 //! ([`RetryPolicy`]) before falling back to dynticks.
 
 use paratick_sim::{SimDuration, SimRng};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One kind of injected disturbance.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum FaultKind {
     /// The guest TSC drifts by a bounded random offset (calibration
@@ -112,7 +111,7 @@ impl fmt::Display for FaultKind {
 /// Which hardware backend currently drives a vCPU's oneshot timer —
 /// the degradation ladder's rungs (Linux's clocksource watchdog demotes
 /// TSC-deadline to the LAPIC oneshot timer the same way).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TimerBackend {
     /// `TSC_DEADLINE` MSR (precise, but trusts the deadline path).
     #[default]
@@ -131,7 +130,7 @@ impl TimerBackend {
 }
 
 /// Bounded exponential backoff for the paravirt retry path.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts allowed (first try + retries).
     pub max_attempts: u32,
@@ -157,7 +156,7 @@ impl RetryPolicy {
 /// Fault campaign configuration. All-zero rates (the default) disable
 /// injection entirely; [`FaultConfig::campaign`] is the standard
 /// all-kinds stress mix used by tests and the `PARATICK_FAULTS=1` knob.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FaultConfig {
     /// Arrival rate per kind, in faults per simulated second. 0 = off.
     /// (`HypercallFail` is count-based; nonzero merely enables it.)
@@ -371,7 +370,7 @@ impl FaultPlan {
 }
 
 /// Injection and recovery counters for one run.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Faults actually injected, per kind.
     pub injected: [u64; FaultKind::COUNT],

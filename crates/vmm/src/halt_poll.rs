@@ -16,7 +16,6 @@
 //! Parameters mirror KVM's `halt_poll_ns` module parameters.
 
 use paratick_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a halt-poll episode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,7 +31,7 @@ pub enum PollOutcome {
 }
 
 /// Adaptive halt-polling state for one vCPU.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct HaltPoll {
     pub enabled: bool,
     /// Current per-vCPU polling window.

@@ -14,12 +14,11 @@
 
 use crate::vcpu::VcpuId;
 use paratick_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifies a physical CPU.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PcpuId(pub u32);
 
 impl fmt::Debug for PcpuId {

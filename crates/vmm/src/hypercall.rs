@@ -8,10 +8,9 @@
 //! ([`HypercallResult::NeedsRateAdaptation`]) — the §4.1 mismatch path.
 
 use paratick_sim::{Freq, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Hypercalls the model understands.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Hypercall {
     /// Paratick boot declaration: "my scheduler tick runs at this rate".
     DeclareTickFreq(Freq),

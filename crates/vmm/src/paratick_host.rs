@@ -19,7 +19,6 @@
 //! update + injection-cost accounting).
 
 use paratick_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// What the host does at a VM entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,7 +33,7 @@ pub enum InjectDecision {
 }
 
 /// Host-side paratick configuration and decision logic.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ParatickHost {
     /// Whether the host-side code is compiled in/enabled at all.
     pub enabled: bool,
@@ -81,7 +80,7 @@ impl ParatickHost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use paratick_sim::propcheck::prelude::*;
 
     const PERIOD: SimDuration = SimDuration::from_millis(4);
 
@@ -152,16 +151,15 @@ mod tests {
         );
     }
 
-    proptest! {
+    propcheck! {
         /// Injection happens iff elapsed >= period (given no pending irq):
         /// the liveness half guarantees a busy vCPU entering at least once
         /// per period always gets its tick; the safety half guarantees no
         /// double ticks within a period.
-        #[test]
         fn prop_inject_iff_elapsed(
             now_us in 0u64..1_000_000,
             last_us in 0u64..1_000_000,
-            period_ms in 1u64..10,
+            period_ms in 1u64..10
         ) {
             let h = ParatickHost::default();
             let period = SimDuration::from_millis(period_ms);
@@ -173,5 +171,27 @@ mod tests {
                 prop_assert_eq!(d, InjectDecision::Nothing);
             }
         }
+    }
+
+    /// Budget canary: this suite's propcheck configuration really
+    /// executes generated cases (guards against regressing to a
+    /// swallowed-body stub).
+    #[test]
+    fn prop_suite_executes_generated_cases() {
+        let budget = Config::default().effective_cases();
+        let ran = std::cell::Cell::new(0u32);
+        check(
+            env!("CARGO_MANIFEST_DIR"),
+            "paratick_host_budget_canary",
+            &Config::default(),
+            &(0u64..1_000_000, 0u64..1_000_000, 1u64..10),
+            |(_now, _last, _period)| {
+                ran.set(ran.get() + 1);
+                Ok(())
+            },
+        )
+        .expect("trivially true");
+        assert!(ran.get() >= budget, "only {} of {budget} cases ran", ran.get());
+        assert!(cases_executed("paratick_host_budget_canary") >= budget as u64);
     }
 }

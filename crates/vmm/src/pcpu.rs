@@ -9,10 +9,9 @@
 
 use crate::host_sched::PcpuId;
 use paratick_sim::{Cycles, Freq, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// What a pCPU was doing during an accounted span.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum CycleCategory {
     /// Guest mode, executing application work.
@@ -74,7 +73,7 @@ impl CycleCategory {
 
 /// Accounted time per category, in nanoseconds (exact; converted to
 /// cycles only at reporting time).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CycleLedger {
     ns: [u64; CycleCategory::COUNT],
 }

@@ -26,11 +26,10 @@ use crate::fault::TimerBackend;
 use crate::host_sched::PcpuId;
 use paratick_hw::{HrTimer, Lapic, LapicOneshot, PreemptionTimer, Tsc, TscDeadline};
 use paratick_sim::{Freq, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a vCPU: VM index plus vCPU index within the VM.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VcpuId {
     pub vm: u32,
     pub vcpu: u32,
@@ -55,7 +54,7 @@ impl fmt::Display for VcpuId {
 }
 
 /// Scheduling state of a vCPU as seen by the host.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VcpuRunState {
     /// Waiting for a pCPU.
     Runnable,
@@ -66,7 +65,7 @@ pub enum VcpuRunState {
 }
 
 /// Per-vCPU statistics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct VcpuStats {
     pub exits: ExitCounts,
     /// VM entries (== exits unless the simulation ends mid-exit).

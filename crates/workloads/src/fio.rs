@@ -10,10 +10,9 @@ use crate::action::{ThreadModel, VmWorkload};
 use crate::models::FioThread;
 use paratick_hw::IoOp;
 use paratick_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The four fio access patterns the paper evaluates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FioPattern {
     /// Sequential read ("seqr").
     SeqRead,
@@ -72,7 +71,7 @@ pub const BLOCK_SIZES: [u64; 7] = [
 ];
 
 /// One fio job specification.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct FioSpec {
     pub pattern: FioPattern,
     pub block_size: u64,

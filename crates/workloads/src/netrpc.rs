@@ -17,10 +17,9 @@
 use crate::action::{Action, ThreadModel, VmWorkload};
 use paratick_hw::IoOp;
 use paratick_sim::{SimDuration, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// One RPC-service worker specification.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct RpcSpec {
     /// Total calls each worker makes (closed loop).
     pub calls_per_worker: u64,

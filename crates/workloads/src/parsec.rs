@@ -31,10 +31,9 @@
 use crate::action::{Action, ThreadModel, VmWorkload};
 use paratick_hw::IoOp;
 use paratick_sim::{SimDuration, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// Synchronization signature of a benchmark.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SyncPattern {
     /// No inter-thread synchronization (swaptions).
     None,
@@ -51,7 +50,7 @@ pub enum SyncPattern {
 }
 
 /// Behavioural profile of one PARSEC benchmark.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ParsecProfile {
     pub name: &'static str,
     /// Per-thread compute budget of the nominal ("simsmall-like") run.

@@ -8,7 +8,7 @@ use paratick_workloads::models::{
     BarrierLoop, ComputeThread, FioThread, LockLoop, SleeperThread,
 };
 use paratick_workloads::{ThreadModel, VmWorkload};
-use proptest::prelude::*;
+use paratick_sim::propcheck::prelude::*;
 
 /// A compact, generatable description of a random thread.
 #[derive(Clone, Debug)]
@@ -162,63 +162,75 @@ fn make_runnable(kinds: &mut [ThreadKind]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
+/// Shared propcheck configuration for this suite: the engine runs 4
+/// full simulations per case, so the budget is small, and failing case
+/// seeds persist next to the suite (replacing the old
+/// `proptest-regressions` artifact).
+fn engine_config() -> Config {
+    Config::default()
+        .with_cases(12)
+        .regressions_file("tests/prop_engine.propcheck-seeds")
+}
+
+/// Body of `prop_random_workloads_run_sound`, factored out so the
+/// migrated regression case below replays the exact same invariants.
+fn sound_invariants(mut kinds: Vec<ThreadKind>, vcpus: u32, seed: u64) -> Result<(), String> {
+    make_runnable(&mut kinds);
+    let mut results = Vec::new();
+    for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::FullDynticks, TickMode::Paratick] {
+        let m = Engine::run(scenario(&kinds, vcpus, mode, seed)).unwrap();
+        // Completion.
+        prop_assert!(m.per_vm[0].finished_at.is_some(), "{mode}: deadlock");
+        // Conservation: busy + idle == accounted total (collect()
+        // already asserts per-pCPU ledger == frontier).
+        let busy = m.system.cycles.busy().as_nanos();
+        let idle = m.system.cycles.get(paratick_vmm::CycleCategory::Idle).as_nanos();
+        prop_assert_eq!(m.system.cycles.total().as_nanos(), busy + idle);
+        results.push((mode, m));
+    }
+    let timer = |mode: TickMode| {
+        results.iter().find(|(m, _)| *m == mode).unwrap().1.timer_exits()
+    };
+    // §4.2 dominance.
+    prop_assert!(
+        timer(TickMode::Paratick) <= timer(TickMode::DynticksIdle),
+        "paratick {} > dynticks {}",
+        timer(TickMode::Paratick),
+        timer(TickMode::DynticksIdle)
+    );
+    // Guest work is mode-invariant (within rounding).
+    let works: Vec<f64> = results
+        .iter()
+        .map(|(_, m)| m.system.cycles.get(paratick_vmm::CycleCategory::GuestWork).as_nanos() as f64)
+        .collect();
+    let max = works.iter().cloned().fold(0.0, f64::max);
+    let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
+    prop_assert!(max > 0.0);
+    // Budgets are mode-independent; the residual slack is one
+    // jittered critical section per lock thread (consumed past the
+    // budget's end) plus the end-of-run segment flush.
+    prop_assert!((max - min) / max < 0.03, "guest work varies: {works:?}");
+    Ok(())
+}
+
+propcheck! {
+    #![propcheck_config(engine_config())]
 
     /// Any random workload completes (no deadlock), conserves cycles,
     /// and paratick never takes more timer exits than dynticks.
-    #[test]
     fn prop_random_workloads_run_sound(
-        mut kinds in proptest::collection::vec(thread_kind(), 1..6),
+        kinds in collection::vec(thread_kind(), 1..6),
         vcpus in 1u32..5,
-        seed in 0u64..1_000,
+        seed in 0u64..1_000
     ) {
-        make_runnable(&mut kinds);
-        let mut results = Vec::new();
-        for mode in [TickMode::Periodic, TickMode::DynticksIdle, TickMode::FullDynticks, TickMode::Paratick] {
-            let m = Engine::run(scenario(&kinds, vcpus, mode, seed)).unwrap();
-            // Completion.
-            prop_assert!(m.per_vm[0].finished_at.is_some(), "{mode}: deadlock");
-            // Conservation: busy + idle == accounted total (collect()
-            // already asserts per-pCPU ledger == frontier).
-            let busy = m.system.cycles.busy().as_nanos();
-            let idle = m.system.cycles.get(paratick_vmm::CycleCategory::Idle).as_nanos();
-            prop_assert_eq!(m.system.cycles.total().as_nanos(), busy + idle);
-            results.push((mode, m));
-        }
-        let timer = |mode: TickMode| {
-            results.iter().find(|(m, _)| *m == mode).unwrap().1.timer_exits()
-        };
-        // §4.2 dominance.
-        prop_assert!(
-            timer(TickMode::Paratick) <= timer(TickMode::DynticksIdle),
-            "paratick {} > dynticks {}",
-            timer(TickMode::Paratick),
-            timer(TickMode::DynticksIdle)
-        );
-        // Guest work is mode-invariant (within rounding).
-        let works: Vec<f64> = results
-            .iter()
-            .map(|(_, m)| m.system.cycles.get(paratick_vmm::CycleCategory::GuestWork).as_nanos() as f64)
-            .collect();
-        let max = works.iter().cloned().fold(0.0, f64::max);
-        let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
-        prop_assert!(max > 0.0);
-        // Budgets are mode-independent; the residual slack is one
-        // jittered critical section per lock thread (consumed past the
-        // budget's end) plus the end-of-run segment flush.
-        prop_assert!((max - min) / max < 0.03, "guest work varies: {works:?}");
+        sound_invariants(kinds, vcpus, seed)?;
     }
 
     /// Determinism across the engine: same scenario, same seed, same
     /// metrics — for arbitrary compositions.
-    #[test]
     fn prop_deterministic_replay(
-        mut kinds in proptest::collection::vec(thread_kind(), 1..5),
-        seed in 0u64..1_000,
+        mut kinds in collection::vec(thread_kind(), 1..5),
+        seed in 0u64..1_000
     ) {
         make_runnable(&mut kinds);
         let a = Engine::run(scenario(&kinds, 2, TickMode::Paratick, seed)).unwrap();
@@ -231,6 +243,47 @@ proptest! {
             b.busy_cycles().get()
         );
     }
+}
+
+/// The counterexample encoded in the retired
+/// `tests/prop_engine.proptest-regressions` artifact, migrated to an
+/// explicit always-run case: an I/O thread plus a lock thread on 2
+/// vCPUs at seed 273 once violated the soundness invariants.
+#[test]
+fn regression_io_plus_lock_vcpus2_seed273() {
+    let kinds = vec![
+        ThreadKind::Io { ops: 19, block_kb: 1 },
+        ThreadKind::Lock { work_us: 758, grain_us: 38, cs_us: 11 },
+    ];
+    if let Err(msg) = sound_invariants(kinds, 2, 273) {
+        panic!("migrated regression case failed: {msg}");
+    }
+}
+
+/// Budget canary: this suite's propcheck configuration really executes
+/// generated cases (guards against regressing to a swallowed-body
+/// stub). Counts through the same `thread_kind()` strategy the real
+/// properties draw from, without paying for engine runs.
+#[test]
+fn prop_suite_executes_generated_cases() {
+    let budget = engine_config().effective_cases();
+    let ran = std::cell::Cell::new(0u32);
+    check(
+        env!("CARGO_MANIFEST_DIR"),
+        "engine_budget_canary",
+        &engine_config(),
+        &(collection::vec(thread_kind(), 1..6), 1u32..5, 0u64..1_000),
+        |(kinds, vcpus, seed)| {
+            assert!(!kinds.is_empty() && kinds.len() < 6);
+            assert!((1..5).contains(&vcpus));
+            assert!(seed < 1_000);
+            ran.set(ran.get() + 1);
+            Ok(())
+        },
+    )
+    .expect("trivially true");
+    assert!(ran.get() >= budget, "only {} of {budget} cases ran", ran.get());
+    assert!(cases_executed("engine_budget_canary") >= budget as u64);
 }
 
 // ---------------------------------------------------------------------

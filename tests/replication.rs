@@ -9,16 +9,16 @@
 //!   cache key folds the seed in, so replicate memoization can never
 //!   alias two replicates or miss a repeat of one.
 //!
-//! The proptest blocks keep the properties stated as properties; the
-//! vendored proptest stub swallows closure bodies, so each one is
-//! shadowed by a plain `#[test]` that actually executes the assertions
-//! over a fixed sample of the input space.
+//! The propcheck blocks execute the seed-stream properties over
+//! generated inputs; the plain `#[test]`s cover the engine- and
+//! cache-level halves, which are too expensive to run per generated
+//! case.
 
 use paratick::cache::{CacheOutcome, RunCache};
 use paratick::prelude::*;
+use paratick_sim::propcheck::prelude::*;
 use paratick_sim::rng::seed_stream;
 use paratick_workloads::parsec;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 /// A seed-sensitive scenario: parallel dedup's sync jitter moves exits
@@ -138,10 +138,9 @@ fn strip_wall_profile(bytes: &[u8]) -> String {
     strip(doc).to_string_pretty()
 }
 
-proptest! {
-    /// Property form of the injectivity test (the stub swallows this
-    /// body; the plain test above executes the same property).
-    #[test]
+propcheck! {
+    /// Property form of the injectivity test, over arbitrary bases
+    /// (the plain test above pins a few named bases).
     fn prop_seed_stream_injective(base in any::<u64>(), a in 0u64..4096, b in 0u64..4096) {
         if a != b {
             prop_assert_ne!(seed_stream(base, a), seed_stream(base, b));
@@ -150,8 +149,29 @@ proptest! {
     }
 
     /// Property form of seed-stream base independence.
-    #[test]
     fn prop_seed_stream_bases_differ(base in any::<u64>(), r in 0u64..4096) {
         prop_assert_ne!(seed_stream(base, r), seed_stream(base ^ 1, r));
     }
+}
+
+/// Budget canary: this suite's propcheck configuration really executes
+/// generated cases (guards against regressing to a swallowed-body
+/// stub).
+#[test]
+fn prop_suite_executes_generated_cases() {
+    let budget = Config::default().effective_cases();
+    let ran = std::cell::Cell::new(0u32);
+    check(
+        env!("CARGO_MANIFEST_DIR"),
+        "replication_budget_canary",
+        &Config::default(),
+        &(any::<u64>(), 0u64..4096),
+        |(_base, _r)| {
+            ran.set(ran.get() + 1);
+            Ok(())
+        },
+    )
+    .expect("trivially true");
+    assert!(ran.get() >= budget, "only {} of {budget} cases ran", ran.get());
+    assert!(cases_executed("replication_budget_canary") >= budget as u64);
 }
